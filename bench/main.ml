@@ -1,0 +1,154 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section from the simulator, plus Bechamel microbenchmarks of
+   the compiler passes themselves.
+
+   Usage:
+     dune exec bench/main.exe                 # everything (small datasets)
+     dune exec bench/main.exe -- fig9 fig12   # selected experiments
+     dune exec bench/main.exe -- all --size=medium
+     dune exec bench/main.exe -- fig9 --csv=results/   # also write CSVs
+
+   Experiments: table1 fig9 fig10 fig11 fig12 fixed128 ablation micro *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%.1fs wall]\n%!" (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: compiler-pass throughput                  *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let src = Test_prog.nested_src in
+  let prog = Minicu.Parser.program src in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  (* one Test.make per compiler stage *)
+  let tests =
+    Test.make_grouped ~name:"passes"
+      [
+        mk "parse" (fun () -> Minicu.Parser.program src);
+        mk "typecheck" (fun () -> Minicu.Typecheck.check prog);
+        mk "pretty-print" (fun () -> Minicu.Pretty.program prog);
+        mk "thresholding" (fun () ->
+            Dpopt.Thresholding.transform
+              ~opts:{ Dpopt.Thresholding.threshold = 32 }
+              prog);
+        mk "coarsening" (fun () ->
+            Dpopt.Coarsening.transform ~opts:{ Dpopt.Coarsening.cfactor = 8 }
+              prog);
+        mk "aggregation-block" (fun () ->
+            Dpopt.Aggregation.transform
+              ~opts:
+                {
+                  Dpopt.Aggregation.granularity = Dpopt.Aggregation.Block;
+                  agg_threshold = None;
+                }
+              prog);
+        mk "aggregation-multiblock" (fun () ->
+            Dpopt.Aggregation.transform
+              ~opts:
+                {
+                  Dpopt.Aggregation.granularity =
+                    Dpopt.Aggregation.Multi_block 8;
+                  agg_threshold = None;
+                }
+              prog);
+        mk "full-pipeline-TCA" (fun () ->
+            Dpopt.Pipeline.run
+              ~opts:
+                (Dpopt.Pipeline.make ~threshold:32 ~cfactor:8
+                   ~granularity:(Dpopt.Aggregation.Multi_block 8) ())
+              prog);
+        mk "simulator-compile" (fun () ->
+            Gpusim.Compile.compile Gpusim.Config.default prog);
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n=== Microbenchmarks: compiler pass throughput ===\n";
+  Printf.printf "%-40s %14s\n" "pass" "time/run";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+          let pretty =
+            if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          in
+          Printf.printf "%-40s %14s\n" name pretty
+      | _ -> Printf.printf "%-40s %14s\n" name "-")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let size =
+    if List.mem "--size=medium" args then Benchmarks.Registry.Medium
+    else Benchmarks.Registry.Small
+  in
+  let csv_dir =
+    List.find_map
+      (fun a ->
+        if String.length a > 6 && String.sub a 0 6 = "--csv=" then
+          Some (String.sub a 6 (String.length a - 6))
+        else None)
+      args
+  in
+  (match csv_dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | _ -> ());
+  let csv name write =
+    match csv_dir with
+    | None -> ()
+    | Some d ->
+        let path = Filename.concat d (name ^ ".csv") in
+        write path;
+        Printf.printf "wrote %s\n" path
+  in
+  let args =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let wanted = if args = [] || List.mem "all" args then None else Some args in
+  let enabled name =
+    match wanted with None -> true | Some l -> List.mem name l
+  in
+  Printf.printf
+    "Reproduction harness for 'A Compiler Framework for Optimizing Dynamic \
+     Parallelism on GPUs' (CGO 2022)\n\
+     Simulated device: %d SMs, warp %d, launch service %d cycles (see \
+     Gpusim.Config)\n"
+    Gpusim.Config.default.num_sms Gpusim.Config.default.warp_size
+    Gpusim.Config.default.launch_service_interval;
+  if enabled "table1" then wall (fun () -> Harness.Figures.table1 ~size ());
+  if enabled "fig9" then
+    wall (fun () ->
+        let rows, _ = Harness.Figures.fig9 ~size () in
+        csv "fig9" (fun p -> Harness.Csv.fig9 p rows));
+  if enabled "fig10" then
+    wall (fun () ->
+        let data = Harness.Figures.fig10 ~size () in
+        csv "fig10" (fun p -> Harness.Csv.fig10 p data));
+  if enabled "fig11" then
+    wall (fun () ->
+        let data = Harness.Figures.fig11 ~size () in
+        csv "fig11" (fun p -> Harness.Csv.fig11 p data));
+  if enabled "fig12" then
+    wall (fun () -> ignore (Harness.Figures.fig12 ~size ()));
+  if enabled "fixed128" then
+    wall (fun () -> ignore (Harness.Figures.fixed128 ~size ()));
+  if enabled "ablation" then
+    wall (fun () -> List.iter Harness.Ablation.print (Harness.Ablation.all ()));
+  if enabled "micro" then wall micro

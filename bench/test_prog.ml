@@ -1,0 +1,23 @@
+(* The canonical nested-parallelism program used by the pass
+   microbenchmarks (same program as the test suite's Test_helpers). *)
+
+let nested_src =
+  {|
+__global__ void child(int* data, int base, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    data[base + i] = data[base + i] * 2 + 1;
+  }
+}
+
+__global__ void parent(int* rows, int* data, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < n) {
+    int start = rows[v];
+    int deg = rows[v + 1] - rows[v];
+    if (deg > 0) {
+      child<<<(deg + 31) / 32, 32>>>(data, start, deg);
+    }
+  }
+}
+|}

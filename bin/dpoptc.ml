@@ -1,0 +1,198 @@
+(** dpoptc — the source-to-source compiler CLI.
+
+    Reads a MiniCU (.cu-like) file, applies any combination of the three
+    dynamic-parallelism optimizations in the canonical order (thresholding,
+    coarsening, aggregation — paper Fig. 8a), and writes the transformed
+    source. Mirrors the paper's artifact workflow: .cu in, .cu out.
+
+    Examples:
+
+    {v
+    dpoptc input.cu                      # parse + typecheck + print
+    dpoptc -T 128 input.cu               # thresholding at 128
+    dpoptc -T 128 -C 8 -A multiblock:16 input.cu -o out.cu
+    dpoptc -A grid --report input.cu     # + per-site transformation report
+    v} *)
+
+open Cmdliner
+
+let granularity_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "warp" -> Ok Dpopt.Aggregation.Warp
+    | "block" -> Ok Dpopt.Aggregation.Block
+    | "grid" -> Ok Dpopt.Aggregation.Grid
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i
+          when String.sub s 0 i = "multiblock"
+               || String.sub s 0 i = "multi-block" -> (
+            let g = String.sub s (i + 1) (String.length s - i - 1) in
+            match int_of_string_opt g with
+            | Some g when g > 0 -> Ok (Dpopt.Aggregation.Multi_block g)
+            | _ -> Error (`Msg "multiblock:<n> needs a positive integer"))
+        | _ ->
+            Error
+              (`Msg
+                (Fmt.str
+                   "unknown granularity %S (expected warp | block | \
+                    multiblock:<n> | grid)"
+                   s)))
+  in
+  Arg.conv (parse, fun ppf g -> Dpopt.Aggregation.pp_granularity ppf g)
+
+let input =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"INPUT" ~doc:"MiniCU source file to transform.")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write transformed source to $(docv) (default: stdout).")
+
+let threshold =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "T"; "threshold" ] ~docv:"N"
+        ~doc:
+          "Enable the thresholding pass: launch a child grid only if the \
+           desired number of child threads is at least $(docv); serialize \
+           in the parent otherwise.")
+
+let cfactor =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "C"; "coarsen" ] ~docv:"FACTOR"
+        ~doc:
+          "Enable the coarsening pass: each coarsened child block executes \
+           the work of $(docv) original blocks.")
+
+let granularity =
+  Arg.(
+    value
+    & opt (some granularity_conv) None
+    & info [ "A"; "aggregate" ] ~docv:"GRAN"
+        ~doc:
+          "Enable the aggregation pass at granularity $(docv): warp, block, \
+           multiblock:<n>, or grid.")
+
+let agg_threshold =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "agg-threshold" ] ~docv:"N"
+        ~doc:
+          "Aggregation threshold (Section V-B): aggregate only if at least \
+           $(docv) parents in the group participate; otherwise they launch \
+           directly. Warp/block granularity only.")
+
+let report =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:"Print a per-launch-site transformation report to stderr.")
+
+let promote =
+  Arg.(
+    value & flag
+    & info [ "promote" ]
+        ~doc:
+          "Also apply KLAP's promotion to eligible self-recursive \
+           single-block kernels (the Section IX pattern T/C/A cannot help).")
+
+let check_only =
+  Arg.(
+    value & flag
+    & info [ "check" ] ~doc:"Parse and typecheck only; write nothing.")
+
+let run input output threshold cfactor granularity agg_threshold promote
+    report check_only =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let src = In_channel.with_open_text input In_channel.input_all in
+  match
+    let prog = Minicu.Parser.program ~file:input src in
+    Minicu.Typecheck.check prog;
+    if check_only then `Checked
+    else
+      let opts =
+        Dpopt.Pipeline.make ?threshold ?cfactor ?granularity ?agg_threshold ()
+      in
+      let r = Dpopt.Pipeline.run ~opts prog in
+      if promote then begin
+        let p = Dpopt.Promotion.transform r.prog in
+        Minicu.Typecheck.check p.prog;
+        List.iter
+          (fun (sr : Dpopt.Promotion.site_report) ->
+            if report then
+              Fmt.epr "promotion %s: %s (%s)@." sr.sr_kernel
+                (if sr.sr_transformed then "promoted" else "skipped")
+                sr.sr_reason)
+          p.reports;
+        `Result { r with prog = p.prog }
+      end
+      else `Result r
+  with
+  | `Checked ->
+      Fmt.epr "%s: OK@." input;
+      0
+  | `Result r ->
+      let text = Minicu.Pretty.program r.prog in
+      (match output with
+      | None -> print_string text
+      | Some f -> Out_channel.with_open_text f (fun oc ->
+            Out_channel.output_string oc text));
+      if report then begin
+        List.iter
+          (fun (sr : Dpopt.Thresholding.site_report) ->
+            Fmt.epr "thresholding %s -> %s: %s (%s)@." sr.sr_parent sr.sr_child
+              (if sr.sr_transformed then "transformed" else "skipped")
+              sr.sr_reason)
+          r.threshold_reports;
+        List.iter
+          (fun (sr : Dpopt.Coarsening.site_report) ->
+            Fmt.epr "coarsening %s -> %s: %s (%s)@." sr.sr_parent sr.sr_child
+              (if sr.sr_transformed then "transformed" else "skipped")
+              sr.sr_reason)
+          r.coarsen_reports;
+        List.iter
+          (fun (sr : Dpopt.Aggregation.site_report) ->
+            Fmt.epr "aggregation %s -> %s: %s (%s)@." sr.sr_parent sr.sr_child
+              (if sr.sr_transformed then "transformed" else "skipped")
+              sr.sr_reason)
+          r.agg_reports;
+        if r.auto_params <> [] then
+          List.iter
+            (fun (k, aps) ->
+              Fmt.epr
+                "note: kernel %S gained %d runtime-allocated buffer \
+                 parameters@."
+                k (List.length aps))
+            r.auto_params
+      end;
+      0
+  | exception Minicu.Loc.Error (loc, msg) ->
+      Fmt.epr "%a: error: %s@." Minicu.Loc.pp loc msg;
+      1
+  | exception Minicu.Typecheck.Type_error msg ->
+      Fmt.epr "%s: type error: %s@." input msg;
+      1
+
+let cmd =
+  let doc =
+    "optimize dynamic parallelism in CUDA-like kernels (thresholding, \
+     coarsening, aggregation)"
+  in
+  Cmd.v
+    (Cmd.info "dpoptc" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ input $ output $ threshold $ cfactor $ granularity
+      $ agg_threshold $ promote $ report $ check_only)
+
+let () = exit (Cmd.eval' cmd)

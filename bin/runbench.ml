@@ -1,0 +1,138 @@
+(** runbench — run one benchmark/dataset under one optimization variant in
+    the GPU simulator and print its time and metrics.
+
+    {v
+    runbench BFS KRON                       # plain CDP
+    runbench BFS KRON --no-cdp
+    runbench SSSP CNR -T 64 -C 8 -A multiblock:8
+    runbench BT T2048-C64 -T 128 -A block --size medium
+    v} *)
+
+open Cmdliner
+
+let granularity_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "warp" -> Ok Dpopt.Aggregation.Warp
+    | "block" -> Ok Dpopt.Aggregation.Block
+    | "grid" -> Ok Dpopt.Aggregation.Grid
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "multiblock" -> (
+            match
+              int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+            with
+            | Some g when g > 0 -> Ok (Dpopt.Aggregation.Multi_block g)
+            | _ -> Error (`Msg "multiblock:<n> needs a positive integer"))
+        | _ -> Error (`Msg (Fmt.str "unknown granularity %S" s)))
+  in
+  Arg.conv (parse, Dpopt.Aggregation.pp_granularity)
+
+let size_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "small" -> Ok Benchmarks.Registry.Small
+        | "medium" -> Ok Benchmarks.Registry.Medium
+        | s -> Error (`Msg (Fmt.str "unknown size %S (small | medium)" s))),
+      fun ppf s ->
+        Fmt.string ppf
+          (match s with
+          | Benchmarks.Registry.Small -> "small"
+          | Benchmarks.Registry.Medium -> "medium") )
+
+let bench =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCH" ~doc:"Benchmark: BFS, BT, MSTF, MSTV, SP, SSSP, TC.")
+
+let dataset =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"DATASET"
+        ~doc:"Dataset: KRON, CNR, ROAD, T0032-C16, T2048-C64, RAND-3, 5-SAT.")
+
+let no_cdp = Arg.(value & flag & info [ "no-cdp" ] ~doc:"Run the non-CDP version.")
+
+let threshold =
+  Arg.(value & opt (some int) None & info [ "T"; "threshold" ] ~docv:"N")
+
+let cfactor =
+  Arg.(value & opt (some int) None & info [ "C"; "coarsen" ] ~docv:"FACTOR")
+
+let granularity =
+  Arg.(
+    value
+    & opt (some granularity_conv) None
+    & info [ "A"; "aggregate" ] ~docv:"GRAN")
+
+let size =
+  Arg.(
+    value
+    & opt size_conv Benchmarks.Registry.Small
+    & info [ "size" ] ~docv:"SIZE" ~doc:"Dataset scale: small or medium.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print a per-grid execution timeline (launch issue, queue wait, \
+           execution span, blocks, SM footprint).")
+
+let run bench dataset no_cdp threshold cfactor granularity size trace =
+  match Benchmarks.Registry.find ~size ~name:bench ~dataset () with
+  | None ->
+      Fmt.epr "unknown benchmark/dataset pair %s/%s@." bench dataset;
+      1
+  | Some spec -> (
+      let variant =
+        if no_cdp then Harness.Variant.No_cdp
+        else
+          Harness.Variant.Cdp
+            (Dpopt.Pipeline.make ?threshold ?cfactor ?granularity ())
+      in
+      if trace then begin
+        (* traced run: drive the device directly so we can read the events *)
+        let v =
+          match variant with
+          | Harness.Variant.No_cdp -> `No_cdp
+          | Harness.Variant.Cdp o -> `Cdp o
+        in
+        let dev = Benchmarks.Bench_common.load_variant spec v in
+        Gpusim.Device.enable_trace dev;
+        ignore (spec.run dev);
+        Fmt.pr "%a@." Gpusim.Trace.timeline (Gpusim.Device.trace_events dev)
+      end;
+      match Harness.Experiment.run spec variant with
+      | m ->
+          Fmt.pr "%s / %s under %s@." m.bench m.dataset m.variant;
+          Fmt.pr "simulated time: %.0f cycles@." m.time;
+          Fmt.pr "output fingerprint: %d (validated against reference)@."
+            m.fingerprint;
+          Fmt.pr
+            "grids=%d (device %d, host %d) blocks=%d threads=%d@."
+            m.snap.grids_launched m.snap.device_launches m.snap.host_launches
+            m.snap.blocks_executed m.snap.threads_executed;
+          Fmt.pr
+            "breakdown: parent=%.0f child=%.0f agg=%.0f disagg=%.0f \
+             launch=%.0f serialized=%d max_pending=%d@."
+            m.snap.parent_cycles m.snap.child_cycles m.snap.agg_cycles
+            m.snap.disagg_cycles m.snap.launch_cycles
+            m.snap.serialized_launches m.snap.max_pending_launches;
+          0
+      | exception Harness.Experiment.Validation_failure msg ->
+          Fmt.epr "VALIDATION FAILURE: %s@." msg;
+          2)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "runbench" ~version:"1.0.0"
+       ~doc:"run one paper benchmark in the GPU simulator")
+    Term.(
+      const run $ bench $ dataset $ no_cdp $ threshold $ cfactor $ granularity
+      $ size $ trace)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,76 @@
+(* Autotuning demo (paper Section VIII-C): search threshold x coarsening x
+   granularity for one benchmark, print the landscape and the best point,
+   and check the paper's rules of thumb.
+
+     dune exec examples/autotune.exe *)
+
+let () =
+  let ds = Workloads.Graph_gen.kron_dataset ~scale:9 () in
+  let spec = Benchmarks.Bfs.spec ~dataset:ds in
+  Fmt.pr "Autotuning BFS on %s (%a)@." ds.name Workloads.Csr.stats ds.graph;
+  Fmt.pr "largest dynamic launch: %d child threads@.@." spec.max_child_threads;
+
+  (* Full sweep of threshold x granularity at a fixed coarsening factor —
+     the Fig. 11 view of the design space. *)
+  let cdp =
+    Harness.Experiment.run spec (Harness.Variant.Cdp Dpopt.Pipeline.none)
+  in
+  let table = Harness.Tuning.sweep ~cfactor:8 spec in
+  (match table with
+  | (_, cells) :: _ ->
+      Fmt.pr "%10s" "threshold";
+      List.iter
+        (fun (g, _) ->
+          Fmt.pr " %14s"
+            (match g with
+            | None -> "T only"
+            | Some g -> Fmt.str "%a" Dpopt.Aggregation.pp_granularity g))
+        cells;
+      Fmt.pr "@."
+  | [] -> ());
+  List.iter
+    (fun (thr, cells) ->
+      Fmt.pr "%10d" thr;
+      List.iter
+        (fun (_, t) ->
+          Fmt.pr " %14s" (Harness.Stats.speedup_to_string (cdp.time /. t)))
+        cells;
+      Fmt.pr "@.")
+    table;
+
+  (* The quick search the paper recommends (fewer than ten runs). *)
+  let tuned =
+    Harness.Tuning.tune ~quick:true spec
+      { Harness.Variant.t = true; c = true; a = true }
+  in
+  Fmt.pr "@.quick search best: %a -> %.0f cycles (%s over CDP), %d runs@."
+    Harness.Variant.pp_params tuned.best_params tuned.best.time
+    (Harness.Stats.speedup_to_string (cdp.time /. tuned.best.time))
+    (List.length tuned.all_runs);
+
+  (* Paper rule of thumb: warp granularity is never favorable. *)
+  let flat =
+    List.concat_map
+      (fun (thr, cells) ->
+        List.filter_map
+          (fun (g, t) -> Option.map (fun g -> (thr, g, t)) g)
+          cells)
+      table
+  in
+  let best_warp =
+    List.fold_left
+      (fun acc (_, g, t) ->
+        if g = Dpopt.Aggregation.Warp then Float.min acc t else acc)
+      infinity flat
+  in
+  let best_other =
+    List.fold_left
+      (fun acc (_, g, t) ->
+        if g <> Dpopt.Aggregation.Warp then Float.min acc t else acc)
+      infinity flat
+  in
+  Fmt.pr "best warp-granularity time %.0f vs best other %.0f -> %s@." best_warp
+    best_other
+    (if best_other <= best_warp then
+       "warp granularity is never favorable (matches Section VIII-C)"
+     else "warp granularity won here (differs from the paper)")

@@ -1,0 +1,51 @@
+(* Recursive single-block kernels and KLAP's promotion (paper Section IX):
+   a pairwise-fold kernel relaunches itself once per level; promotion turns
+   the launch chain into a persistent loop, eliminating every device-side
+   launch. The paper's T/C/A optimizations cannot help this pattern
+   (identical child sizes, one block, one launching thread) — promotion is
+   the baseline's answer, included here for completeness.
+
+     dune exec examples/recursion.exe *)
+
+let fold_src =
+  {|
+__global__ void fold(int* data, int n) {
+  int half = n / 2;
+  int i = threadIdx.x;
+  while (i < half) {
+    data[i] = data[i] + data[i + half];
+    i = i + blockDim.x;
+  }
+  if (threadIdx.x == 0) {
+    if (half > 1) {
+      fold<<<1, blockDim.x>>>(data, half);
+    }
+  }
+}
+|}
+
+let run prog ~n =
+  let open Gpusim in
+  let dev = Device.create () in
+  Device.load_program dev prog;
+  let d = Device.alloc_ints dev (Array.init n (fun i -> i + 1)) in
+  Device.launch dev ~kernel:"fold" ~grid:(1, 1, 1) ~block:(128, 1, 1)
+    ~args:[ Ptr d; Int n ];
+  let time = Device.sync dev in
+  ((Device.read_ints dev d 1).(0), time, Device.metrics dev)
+
+let () =
+  let n = 4096 in
+  let expected = n * (n + 1) / 2 in
+  let plain = Minicu.Parser.program fold_src in
+  let r = Dpopt.Promotion.transform plain in
+  Fmt.pr "--- promoted kernel ---@.%s@." (Minicu.Pretty.program r.prog);
+  let sum1, t1, m1 = run plain ~n in
+  let sum2, t2, m2 = run r.prog ~n in
+  assert (sum1 = expected && sum2 = expected);
+  Fmt.pr "recursive CDP : sum=%d  %8.0f cycles  %d device launches@." sum1 t1
+    m1.device_launches;
+  Fmt.pr "promoted      : sum=%d  %8.0f cycles  %d device launches@." sum2 t2
+    m2.device_launches;
+  Fmt.pr "promotion speedup: %.2fx (launch chain of depth %d eliminated)@."
+    (t1 /. t2) m1.device_launches

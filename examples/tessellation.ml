@@ -1,0 +1,40 @@
+(* Bezier tessellation demo (the BT benchmark): the child grid size is
+   data-dependent (curvature-driven), so the threshold decides which curves
+   tessellate in a child grid and which serialize in their parent thread.
+
+     dune exec examples/tessellation.exe *)
+
+let () =
+  let flat = Workloads.Bezier.t0032_c16 ~n_lines:300 () in
+  let curvy = Workloads.Bezier.t2048_c64 ~n_lines:100 () in
+  List.iter
+    (fun (d : Workloads.Bezier.t) ->
+      let pts = Array.map (Workloads.Bezier.tess_points d) d.lines in
+      Fmt.pr "@.%s: %d lines, tessellation points avg %d / max %d@." d.name
+        (Array.length d.lines)
+        (Array.fold_left ( + ) 0 pts / Array.length pts)
+        (Array.fold_left max 0 pts);
+      let spec = Benchmarks.Bt.spec ~dataset:d in
+      let baseline =
+        Harness.Experiment.run spec (Harness.Variant.Cdp Dpopt.Pipeline.none)
+      in
+      Fmt.pr "  %-28s %10.0f cycles@." "CDP" baseline.time;
+      List.iter
+        (fun threshold ->
+          let m =
+            Harness.Experiment.run spec
+              (Harness.Variant.Cdp
+                 (Dpopt.Pipeline.make ~threshold ~cfactor:8
+                    ~granularity:Dpopt.Aggregation.Block ()))
+          in
+          Fmt.pr
+            "  CDP+T+C+A threshold=%-6d %10.0f cycles  (%s vs CDP, %d curves \
+             serialized)@."
+            threshold m.time
+            (Harness.Stats.speedup_to_string (baseline.time /. m.time))
+            m.snap.serialized_launches)
+        [ 8; 64; 512 ];
+      (* outputs are validated inside Experiment.run; also show the
+         tessellated positions checksum by re-running the reference *)
+      Fmt.pr "  reference fingerprint: %d@." (spec.reference ()))
+    [ flat; curvy ]

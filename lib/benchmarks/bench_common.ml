@@ -1,0 +1,91 @@
+(** Shared machinery for the seven Table I benchmarks.
+
+    Each benchmark provides two MiniCU translation units — a [No CDP]
+    version (parent threads loop over their nested work) and a [CDP] version
+    (parent threads launch child grids) — plus an OCaml host driver that
+    works against either, and a pure-OCaml reference implementation used by
+    the test suite to validate every transformed variant's output. *)
+
+type spec = {
+  name : string;  (** Benchmark name (paper Table I): BFS, BT, ... *)
+  dataset : string;  (** Dataset name: KRON, CNR, T0032-C16, ... *)
+  cdp_src : string;  (** MiniCU source using dynamic parallelism. *)
+  no_cdp_src : string;  (** MiniCU source without dynamic parallelism. *)
+  parent_kernel : string;
+  max_child_threads : int;
+      (** Largest dynamic launch size in the CDP version; the threshold is
+          not tuned beyond this (Section VII) except for Fig. 12. *)
+  run : Gpusim.Device.t -> int;
+      (** Drive the loaded program to completion (all launches and syncs);
+          returns the output fingerprint. *)
+  reference : unit -> int;
+      (** Pure-OCaml reference result; must equal [run]'s fingerprint. *)
+}
+
+(** Order-independent fingerprint of an int sequence (commutative mix, so
+    outputs that are conceptually sets — e.g. frontier contents — compare
+    equal regardless of atomically-raced ordering). *)
+let mix_hash (a : int array) =
+  Array.fold_left
+    (fun acc x ->
+      let h = x * 0x9E3779B1 in
+      let h = h lxor (h lsr 15) in
+      acc + (h * 0x85EBCA77))
+    0 a
+  land 0x3FFFFFFFFFFFFFF
+
+(** Position-sensitive fingerprint (for outputs that are true arrays). *)
+let array_hash (a : int array) =
+  let acc = ref 17 in
+  Array.iter (fun x -> acc := (!acc * 31) + x land 0x3FFFFFFFFFFFFFF) a;
+  !acc
+
+let quantize f = int_of_float (Float.round (f *. 1024.0))
+
+(** Upload a CSR graph; returns (row, col, weight) device pointers. *)
+let upload_graph dev (g : Workloads.Csr.t) =
+  ( Gpusim.Device.alloc_ints dev g.row,
+    Gpusim.Device.alloc_ints dev g.col,
+    Gpusim.Device.alloc_ints dev g.weight )
+
+(** Convert the aggregation pass's allocation specs to the runtime's. *)
+let to_device_auto (aps : (string * Dpopt.Aggregation.auto_param list) list) :
+    (string * Gpusim.Device.auto_param list) list =
+  List.map
+    (fun (k, l) ->
+      ( k,
+        List.map
+          (fun (ap : Dpopt.Aggregation.auto_param) ->
+            {
+              Gpusim.Device.ap_name = ap.ap_name;
+              ap_elems =
+                (fun ~grid:(gx, gy, gz) ~block:(bx, by, bz) ->
+                  ap.ap_elems ~grid_blocks:(gx * gy * gz)
+                    ~block_threads:(bx * by * bz));
+            })
+          l ))
+    aps
+
+(** [load_variant dev spec variant] compiles the right source through the
+    optimization pipeline and loads it. [variant] is [`No_cdp] or
+    [`Cdp opts]. *)
+let load_variant ?cfg spec variant : Gpusim.Device.t =
+  let dev = Gpusim.Device.create ?cfg () in
+  (match variant with
+  | `No_cdp ->
+      Gpusim.Device.load_program dev (Minicu.Parser.program spec.no_cdp_src)
+  | `Cdp opts ->
+      let prog = Minicu.Parser.program spec.cdp_src in
+      let r = Dpopt.Pipeline.run ~opts prog in
+      Gpusim.Device.load_program dev r.prog
+        ~auto_params:(to_device_auto r.auto_params));
+  dev
+
+(** [run_variant ?cfg spec variant] — load, run, return
+    (fingerprint, simulated time, metrics). *)
+let run_variant ?cfg spec variant =
+  let dev = load_variant ?cfg spec variant in
+  let t0 = Gpusim.Device.time dev in
+  let fp = spec.run dev in
+  let t1 = Gpusim.Device.time dev in
+  (fp, t1 -. t0, Gpusim.Device.metrics dev)

@@ -1,0 +1,54 @@
+(** Shared machinery for the seven Table I benchmarks: each provides a
+    No-CDP and a CDP MiniCU translation unit, an OCaml host driver that
+    works against either, and a pure-OCaml reference used to validate every
+    transformed variant's output. *)
+
+type spec = {
+  name : string;  (** BFS, BT, MSTF, MSTV, SP, SSSP, TC. *)
+  dataset : string;  (** KRON, CNR, ROAD, T0032-C16, ... *)
+  cdp_src : string;
+  no_cdp_src : string;
+  parent_kernel : string;
+  max_child_threads : int;
+      (** Largest dynamic launch size; bounds threshold tuning
+          (Section VII). *)
+  run : Gpusim.Device.t -> int;
+      (** Drive the loaded program to completion; returns the output
+          fingerprint. *)
+  reference : unit -> int;  (** Pure-OCaml expected fingerprint. *)
+}
+
+(** Order-independent fingerprint (for set-like outputs). *)
+val mix_hash : int array -> int
+
+(** Position-sensitive fingerprint. *)
+val array_hash : int array -> int
+
+(** Quantize a float to a stable integer (×1024, rounded). *)
+val quantize : float -> int
+
+(** Upload a CSR graph; returns (row, col, weight) device pointers. *)
+val upload_graph :
+  Gpusim.Device.t ->
+  Workloads.Csr.t ->
+  Gpusim.Value.ptr * Gpusim.Value.ptr * Gpusim.Value.ptr
+
+(** Adapt the aggregation pass's buffer specs to the runtime's. *)
+val to_device_auto :
+  (string * Dpopt.Aggregation.auto_param list) list ->
+  (string * Gpusim.Device.auto_param list) list
+
+(** Compile the right source through the pipeline and load it onto a fresh
+    device. *)
+val load_variant :
+  ?cfg:Gpusim.Config.t ->
+  spec ->
+  [ `No_cdp | `Cdp of Dpopt.Pipeline.options ] ->
+  Gpusim.Device.t
+
+(** Load, run, return (fingerprint, simulated cycles, metrics). *)
+val run_variant :
+  ?cfg:Gpusim.Config.t ->
+  spec ->
+  [ `No_cdp | `Cdp of Dpopt.Pipeline.options ] ->
+  int * float * Gpusim.Metrics.t

@@ -1,0 +1,14 @@
+(** Breadth-First Search (SHOC-style frontier BFS, Table I). The per-vertex
+    neighbor loop is the nested parallelism; the CDP version launches one
+    child grid per frontier vertex. *)
+
+val child_block : int
+val cdp_src : string
+val no_cdp_src : string
+val source_vertex : int
+
+(** BFS levels from {!source_vertex}, hashed. *)
+val reference : Workloads.Csr.t -> unit -> int
+
+val run : Workloads.Csr.t -> Gpusim.Device.t -> int
+val spec : dataset:Workloads.Graph_gen.named -> Bench_common.spec

@@ -1,0 +1,72 @@
+(** The benchmark × dataset matrix of Table I, with the scaled-down dataset
+    sizes this reproduction uses by default (MiniCU is interpreted; see
+    DESIGN.md). [Size] scales every dataset together so the harness can
+    trade fidelity for wall-clock time. *)
+
+type size = Small | Medium
+
+(** Datasets, memoized per size so repeated spec lookups share graphs. *)
+let datasets =
+  let cache = Hashtbl.create 8 in
+  fun (size : size) ->
+    match Hashtbl.find_opt cache size with
+    | Some d -> d
+    | None ->
+        let scale, cnr_n, road, lines1, lines2, sat_scale =
+          match size with
+          | Small -> (9, 900, 28, 300, 120, 0.6)
+          | Medium -> (10, 1500, 36, 600, 200, 1.0)
+        in
+        let d =
+          ( Workloads.Graph_gen.kron_dataset ~scale (),
+            Workloads.Graph_gen.cnr_dataset ~n:cnr_n (),
+            Workloads.Graph_gen.road_dataset ~rows:road ~cols:road (),
+            Workloads.Bezier.t0032_c16 ~n_lines:lines1 (),
+            Workloads.Bezier.t2048_c64 ~n_lines:lines2 (),
+            Workloads.Sat.rand3
+              ~n_vars:(int_of_float (700.0 *. sat_scale))
+              ~n_clauses:(int_of_float (2940.0 *. sat_scale))
+              (),
+            Workloads.Sat.sat5
+              ~n_vars:(int_of_float (800.0 *. sat_scale))
+              ~n_clauses:(int_of_float (6000.0 *. sat_scale))
+              () )
+        in
+        Hashtbl.add cache size d;
+        d
+
+(** All (benchmark, dataset) pairs of Fig. 9 / Table I. *)
+let all ?(size = Small) () : Bench_common.spec list =
+  let kron, cnr, _road, t0032, t2048, rand3, sat5 = datasets size in
+  let tc_cap = match size with Small -> 3000 | Medium -> 6000 in
+  [
+    Bfs.spec ~dataset:kron;
+    Bfs.spec ~dataset:cnr;
+    Bt.spec ~dataset:t0032;
+    Bt.spec ~dataset:t2048;
+    Mst.mstf_spec ~dataset:kron;
+    Mst.mstf_spec ~dataset:cnr;
+    Mst.mstv_spec ~dataset:kron;
+    Mst.mstv_spec ~dataset:cnr;
+    Sp.spec ~formula:rand3;
+    Sp.spec ~formula:sat5;
+    Sssp.spec ~dataset:kron;
+    Sssp.spec ~dataset:cnr;
+    Tc.spec ~cap:tc_cap ~dataset:kron ();
+    Tc.spec ~cap:tc_cap ~dataset:cnr ();
+  ]
+
+(** The graph benchmarks on the road network (Fig. 12, Section VIII-D). *)
+let road ?(size = Small) () : Bench_common.spec list =
+  let _, _, road, _, _, _, _ = datasets size in
+  [
+    Bfs.spec ~dataset:road;
+    Mst.mstf_spec ~dataset:road;
+    Mst.mstv_spec ~dataset:road;
+    Sssp.spec ~dataset:road;
+  ]
+
+let find ?size ~name ~dataset () =
+  List.find_opt
+    (fun (s : Bench_common.spec) -> s.name = name && s.dataset = dataset)
+    (all ?size () @ road ?size ())

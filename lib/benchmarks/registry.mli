@@ -1,0 +1,26 @@
+(** The benchmark × dataset matrix of Table I, at scaled-down sizes
+    (MiniCU is interpreted; see DESIGN.md). *)
+
+type size = Small | Medium
+
+(** Datasets for a size, memoized:
+    (KRON, CNR, ROAD, T0032-C16, T2048-C64, RAND-3, 5-SAT). *)
+val datasets :
+  size ->
+  Workloads.Graph_gen.named
+  * Workloads.Graph_gen.named
+  * Workloads.Graph_gen.named
+  * Workloads.Bezier.t
+  * Workloads.Bezier.t
+  * Workloads.Sat.t
+  * Workloads.Sat.t
+
+(** All 14 (benchmark, dataset) pairs of Fig. 9 / Table I. *)
+val all : ?size:size -> unit -> Bench_common.spec list
+
+(** The graph benchmarks on the road network (Fig. 12). *)
+val road : ?size:size -> unit -> Bench_common.spec list
+
+val find :
+  ?size:size -> name:string -> dataset:string -> unit ->
+  Bench_common.spec option

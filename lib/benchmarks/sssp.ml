@@ -1,0 +1,148 @@
+(** Single-Source Shortest Path (worklist Bellman-Ford, LonestarGPU-style;
+    Table I).
+
+    Each iteration relaxes the out-edges of every vertex in the worklist;
+    any vertex whose distance improves is enqueued for the next round
+    (deduplicated with an in-queue flag). The per-vertex edge loop is the
+    nested parallelism. Distances converge to the same fixpoint no matter
+    how the atomics interleave, so all variants produce identical output. *)
+
+let child_block = 64
+
+let relax_body =
+  {|
+      int u = col[start + e];
+      int alt = dv + w[start + e];
+      int old = atomicMin(&dist[u], alt);
+      if (alt < old) {
+        if (atomicExch(&inq[u], 1) == 0) {
+          int idx = atomicAdd(&next_count[0], 1);
+          next_frontier[idx] = u;
+        }
+      }
+|}
+
+let cdp_src =
+  Fmt.str
+    {|
+__global__ void sssp_child(int* col, int* w, int* dist, int* inq, int* next_frontier, int* next_count, int start, int deg, int dv) {
+  int e = blockIdx.x * blockDim.x + threadIdx.x;
+  if (e < deg) {
+%s
+  }
+}
+
+__global__ void sssp_parent(int* row, int* col, int* w, int* dist, int* inq, int* frontier, int n_frontier, int* next_frontier, int* next_count) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n_frontier) {
+    int v = frontier[i];
+    inq[v] = 0;
+    int start = row[v];
+    int deg = row[v + 1] - start;
+    int dv = dist[v];
+    if (deg > 0) {
+      sssp_child<<<(deg + %d) / %d, %d>>>(col, w, dist, inq, next_frontier, next_count, start, deg, dv);
+    }
+  }
+}
+|}
+    relax_body (child_block - 1) child_block child_block
+
+let no_cdp_src =
+  Fmt.str
+    {|
+__global__ void sssp_parent(int* row, int* col, int* w, int* dist, int* inq, int* frontier, int n_frontier, int* next_frontier, int* next_count) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n_frontier) {
+    int v = frontier[i];
+    inq[v] = 0;
+    int start = row[v];
+    int deg = row[v + 1] - start;
+    int dv = dist[v];
+    for (int e = 0; e < deg; e = e + 1) {
+%s
+    }
+  }
+}
+|}
+    relax_body
+
+let source_vertex = 0
+let inf = 1 lsl 40
+
+(** Dijkstra reference. *)
+let reference (g : Workloads.Csr.t) () =
+  let dist = Array.make g.n inf in
+  dist.(source_vertex) <- 0;
+  let module PQ = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let pq = ref (PQ.singleton (0, source_vertex)) in
+  while not (PQ.is_empty !pq) do
+    let ((d, v) as el) = PQ.min_elt !pq in
+    pq := PQ.remove el !pq;
+    if d = dist.(v) then
+      for e = g.row.(v) to g.row.(v + 1) - 1 do
+        let u = g.col.(e) in
+        let alt = d + g.weight.(e) in
+        if alt < dist.(u) then begin
+          dist.(u) <- alt;
+          pq := PQ.add (alt, u) !pq
+        end
+      done
+  done;
+  Bench_common.array_hash dist
+
+let run (g : Workloads.Csr.t) dev =
+  let open Gpusim in
+  let d_row, d_col, d_w = Bench_common.upload_graph dev g in
+  let dist = Array.make g.n inf in
+  dist.(source_vertex) <- 0;
+  let d_dist = Device.alloc_ints dev dist in
+  let d_inq = Device.alloc_int_zeros dev g.n in
+  let d_frontier = Device.alloc_int_zeros dev g.n in
+  let d_next = Device.alloc_int_zeros dev g.n in
+  let d_next_count = Device.alloc_int_zeros dev 1 in
+  Device.write_ints dev d_frontier [| source_vertex |];
+  let frontier = ref d_frontier and next = ref d_next in
+  let n_frontier = ref 1 in
+  let rounds = ref 0 in
+  while !n_frontier > 0 && !rounds < 4 * g.n do
+    incr rounds;
+    Device.write_ints dev d_next_count [| 0 |];
+    Device.launch dev ~kernel:"sssp_parent"
+      ~grid:((!n_frontier + 127) / 128, 1, 1)
+      ~block:(128, 1, 1)
+      ~args:
+        [
+          Ptr d_row;
+          Ptr d_col;
+          Ptr d_w;
+          Ptr d_dist;
+          Ptr d_inq;
+          Ptr !frontier;
+          Int !n_frontier;
+          Ptr !next;
+          Ptr d_next_count;
+        ];
+    ignore (Device.sync dev);
+    n_frontier := (Device.read_ints dev d_next_count 1).(0);
+    let tmp = !frontier in
+    frontier := !next;
+    next := tmp
+  done;
+  Bench_common.array_hash (Device.read_ints dev d_dist g.n)
+
+let spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
+  {
+    name = "SSSP";
+    dataset = dataset.name;
+    cdp_src;
+    no_cdp_src;
+    parent_kernel = "sssp_parent";
+    max_child_threads = Workloads.Csr.max_degree dataset.graph;
+    run = run dataset.graph;
+    reference = reference dataset.graph;
+  }

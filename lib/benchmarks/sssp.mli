@@ -1,0 +1,15 @@
+(** Single-Source Shortest Path (worklist Bellman-Ford, Table I). Converges
+    to the Dijkstra fixpoint under any atomic interleaving, so all variants
+    produce identical distances. *)
+
+val child_block : int
+val cdp_src : string
+val no_cdp_src : string
+val source_vertex : int
+val inf : int
+
+(** Dijkstra distances, hashed. *)
+val reference : Workloads.Csr.t -> unit -> int
+
+val run : Workloads.Csr.t -> Gpusim.Device.t -> int
+val spec : dataset:Workloads.Graph_gen.named -> Bench_common.spec

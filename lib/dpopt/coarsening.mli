@@ -1,0 +1,20 @@
+(** The coarsening transformation in the context of dynamic parallelism
+    (paper Section IV, Fig. 6): each coarsened child block executes the
+    work of [cfactor] original blocks via a grid-stride loop; launch sites
+    ceiling-divide the x grid dimension by the factor and pass the original
+    grid dimension as a trailing [dim3] argument. *)
+
+type options = { cfactor : int  (** The [_CFACTOR] knob of Fig. 6. *) }
+
+type site_report = {
+  sr_parent : string;
+  sr_child : string;
+  sr_transformed : bool;
+  sr_reason : string;
+}
+
+type result = { prog : Minicu.Ast.program; reports : site_report list }
+
+(** [transform ?opts prog] coarsens every dynamically-launched kernel and
+    rewrites all of its launch sites. Default factor is 8. *)
+val transform : ?opts:options -> Minicu.Ast.program -> result

@@ -1,0 +1,25 @@
+(** Eligibility analysis: which kernels and launch sites each optimization
+    can legally transform (paper Section III-C plus the structural
+    requirements of the aggregation codegen). *)
+
+type verdict = Eligible | Ineligible of string
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Can the child's threads be serialized in the parent? Rejects barrier
+    synchronization (block or warp scope, including warp collectives) and
+    shared memory, transitively through called device functions
+    (Section III-C). *)
+val thresholding_child : Minicu.Ast.program -> Minicu.Ast.func -> verdict
+
+(** Every MiniCU kernel's body can be extracted and coarsened. *)
+val coarsening_child : Minicu.Ast.program -> Minicu.Ast.func -> verdict
+
+(** Can the launch of [child] inside [parent] be aggregated? The generated
+    epilogue needs a block-uniform join point every thread reaches exactly
+    once, so launches inside loops and parents with early returns are
+    rejected. *)
+val aggregation_site : Minicu.Ast.func -> child:string -> verdict
+
+(** Is the (any) launch of [kernel] nested inside a loop in [body]? *)
+val launch_in_loop : kernel:string -> Minicu.Ast.stmt list -> bool

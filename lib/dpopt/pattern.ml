@@ -1,0 +1,184 @@
+(** Ceiling-division pattern analysis (paper Section III-D, Fig. 4).
+
+    The thresholding transformation must compare the {e desired number of
+    child threads} against the threshold, but the programmer only writes the
+    grid dimension. Multiplying grid by block dimension overestimates badly
+    (a 2-thread child in a 1024-thread block would read as 1024), so —
+    following the paper — we recover [N] from the ceiling-division idioms
+    programmers use to compute grid dimensions:
+
+    {v
+    (a) (N-1)/b + 1
+    (b) (N+b-1)/b
+    (c) N/b + ((N%b == 0) ? 0 : 1)
+    (d) ceil((float)N/b)
+    (e) ceil(N/(float)b)
+    (f) dim3(e, e, e) where each component may be one of (a)-(e)
+    v}
+
+    The expression may also be split across intermediate variables, so the
+    analysis resolves local single-assignment definitions before matching.
+    The heuristic (per the paper): find the division, take its left-hand
+    subexpression, strip additions/subtractions of constants (integer
+    literals and the block-dimension expression), and treat what remains as
+    [N]. A wrong guess only mis-tunes the serialize-vs-launch choice; it
+    never affects correctness. *)
+
+open Minicu
+open Minicu.Ast
+
+type result =
+  | Exact of expr
+      (** The recovered desired-thread-count expression, [N]. For
+          multi-dimensional grids this is the product of the per-dimension
+          counts. *)
+  | Fallback_total
+      (** No ceiling-division pattern found: the caller should fall back to
+          grid × block (the conservative overestimate the paper warns
+          about). *)
+
+(** Collect single-assignment local definitions of a statement list:
+    [name -> rhs] for [Decl] with initializer and [Assign] to a plain
+    variable. Names assigned more than once map to [None]. *)
+let local_defs (ss : stmt list) : (string, expr option) Hashtbl.t =
+  let defs = Hashtbl.create 16 in
+  let record x e =
+    match Hashtbl.find_opt defs x with
+    | None -> Hashtbl.add defs x (Some e)
+    | Some _ -> Hashtbl.replace defs x None
+  in
+  ignore
+    (Ast_util.fold_stmts
+       (fun () s ->
+         match s.sdesc with
+         | Decl (_, x, Some e) -> record x e
+         | Decl (_, x, None) -> Hashtbl.replace defs x None
+         | Assign (Var x, e) -> record x e
+         | Assign (Member (Var x, _), _) -> Hashtbl.replace defs x None
+         | _ -> ())
+       () ss);
+  defs
+
+let rec resolve ?(depth = 8) defs (e : expr) : expr =
+  if depth = 0 then e
+  else
+    match e with
+    | Var x -> (
+        match Hashtbl.find_opt defs x with
+        | Some (Some rhs) -> resolve ~depth:(depth - 1) defs rhs
+        | _ -> e)
+    | Cast (_, a) -> resolve ~depth defs a
+    | _ -> e
+
+(* Is [e] a "constant" for the purpose of stripping: an integer literal, the
+   block-dimension expression itself, or arithmetic over such. *)
+let rec is_const_wrt ~block_dim e =
+  equal_expr e block_dim
+  ||
+  match e with
+  | Int_lit _ -> true
+  | Cast (_, a) | Unop (_, a) -> is_const_wrt ~block_dim a
+  | Binop ((Add | Sub | Mul | Div), a, b) ->
+      is_const_wrt ~block_dim a && is_const_wrt ~block_dim b
+  | _ -> false
+
+(* Strip additions and subtractions of constants from the dividend. *)
+let rec strip_consts ~block_dim e =
+  match e with
+  | Cast (_, a) -> strip_consts ~block_dim a
+  | Binop (Add, a, b) when is_const_wrt ~block_dim b ->
+      strip_consts ~block_dim a
+  | Binop (Add, a, b) when is_const_wrt ~block_dim a ->
+      strip_consts ~block_dim b
+  | Binop (Sub, a, b) when is_const_wrt ~block_dim b ->
+      strip_consts ~block_dim a
+  | e -> e
+
+(* Does [e] contain a division? (Used to pick the summand holding the
+   ceiling-division in patterns (a) and (c).) *)
+let rec contains_div = function
+  | Binop (Div, _, _) -> true
+  | Binop (_, a, b) -> contains_div a || contains_div b
+  | Unop (_, a) | Cast (_, a) | Member (a, _) -> contains_div a
+  | Ternary (c, a, b) -> contains_div c || contains_div a || contains_div b
+  | Call (_, args) -> List.exists contains_div args
+  | Index (a, b) -> contains_div a || contains_div b
+  | Dim3_ctor (x, y, z) ->
+      contains_div x || contains_div y || contains_div z
+  | Addr_of a -> contains_div a
+  | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> false
+
+(* Extract N from a single-dimension grid expression. *)
+let rec extract_dim defs ~block_dim (e : expr) : expr option =
+  let e = resolve defs e in
+  match e with
+  | Binop (Div, lhs, _) ->
+      let lhs = resolve defs lhs in
+      Some (strip_consts ~block_dim lhs)
+  | Call ("ceil", [ inner ]) -> extract_dim defs ~block_dim (resolve defs inner)
+  | Binop ((Add | Sub), a, b) ->
+      (* patterns (a) and (c): the division lives in one summand *)
+      let a' = resolve defs a and b' = resolve defs b in
+      if contains_div a' then extract_dim defs ~block_dim a'
+      else if contains_div b' then extract_dim defs ~block_dim b'
+      else None
+  | Cast (_, a) -> extract_dim defs ~block_dim a
+  | _ -> None
+
+(* The block-dimension expression for dimension [i] of a possibly-dim3
+   block configuration. *)
+let block_component defs (block : expr) i =
+  match resolve defs block with
+  | Dim3_ctor (x, y, z) -> List.nth [ x; y; z ] i
+  | b -> if i = 0 then b else Int_lit 1
+
+(** [desired_threads ~parent_body ~grid ~block] recovers the
+    desired-child-thread-count expression from a launch configuration,
+    resolving intermediate variables defined in [parent_body]. *)
+let desired_threads ~(parent_body : stmt list) ~(grid : expr) ~(block : expr) :
+    result =
+  let defs = local_defs parent_body in
+  match resolve defs grid with
+  | Dim3_ctor (x, y, z) ->
+      (* pattern (f): per-component extraction; product of the Ns *)
+      let parts =
+        List.mapi
+          (fun i c ->
+            let bd = block_component defs block i in
+            match extract_dim defs ~block_dim:bd c with
+            | Some n -> Some n
+            | None -> (
+                (* a literal-1 component contributes nothing *)
+                match Ast_util.simplify_expr c with
+                | Int_lit 1 -> Some (Int_lit 1)
+                | _ -> None))
+          [ x; y; z ]
+      in
+      if List.exists (fun p -> p = None) parts then Fallback_total
+      else
+        let ns = List.filter_map Fun.id parts in
+        let product =
+          List.fold_left
+            (fun acc n -> Binop (Mul, acc, n))
+            (List.hd ns) (List.tl ns)
+        in
+        Exact (Ast_util.simplify_expr product)
+  | g -> (
+      let bd = block_component defs block 0 in
+      match extract_dim defs ~block_dim:bd g with
+      | Some n -> Exact (Ast_util.simplify_expr n)
+      | None -> Fallback_total)
+
+(** [threads_expr ~parent_body ~grid ~block] always returns an expression:
+    the recovered [N], or grid × block as the fallback (1-D launch
+    configurations only in the fallback). *)
+let threads_expr ~parent_body ~grid ~block : expr * [ `Exact | `Fallback ] =
+  match desired_threads ~parent_body ~grid ~block with
+  | Exact n -> (n, `Exact)
+  | Fallback_total ->
+      let total e =
+        match e with
+        | Dim3_ctor (x, y, z) -> Binop (Mul, Binop (Mul, x, y), z)
+        | e -> e
+      in
+      (Ast_util.simplify_expr (Binop (Mul, total grid, total block)), `Fallback)

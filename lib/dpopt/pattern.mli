@@ -1,0 +1,38 @@
+(** Ceiling-division pattern analysis (paper Section III-D, Fig. 4).
+
+    Recovers the {e desired number of child threads} [N] from a launch's
+    grid-dimension expression, which programmers typically compute as a
+    ceiling-division of [N] by the block dimension:
+
+    {v
+    (a) (N-1)/b + 1        (d) ceil((float)N/b)
+    (b) (N+b-1)/b          (e) ceil(N/(float)b)
+    (c) N/b + ((N%b==0)?0:1)   (f) dim3(...) of the above
+    v}
+
+    Intermediate variables with a unique local definition are resolved
+    before matching. The heuristic takes the dividend and strips
+    additions/subtractions of constants (integer literals and the
+    block-dimension expression). A wrong guess only mis-tunes the
+    serialize-vs-launch decision; it never affects correctness. *)
+
+type result =
+  | Exact of Minicu.Ast.expr
+      (** The recovered [N] (for multi-dimensional grids, the product of
+          per-dimension counts). Valid in the scope of the launch site. *)
+  | Fallback_total
+      (** No pattern found; callers fall back to grid × block. *)
+
+val desired_threads :
+  parent_body:Minicu.Ast.stmt list ->
+  grid:Minicu.Ast.expr ->
+  block:Minicu.Ast.expr ->
+  result
+
+(** Like {!desired_threads} but always produces an expression, using
+    grid × block as the fallback; reports which case applied. *)
+val threads_expr :
+  parent_body:Minicu.Ast.stmt list ->
+  grid:Minicu.Ast.expr ->
+  block:Minicu.Ast.expr ->
+  Minicu.Ast.expr * [ `Exact | `Fallback ]

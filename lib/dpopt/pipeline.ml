@@ -1,0 +1,95 @@
+(** The combined compiler framework (paper Section VI, Fig. 8).
+
+    Each optimization is an independent source-to-source pass; this module
+    applies any requested combination in the canonical order
+
+    {v thresholding -> coarsening -> aggregation v}
+
+    for the reasons the paper gives: thresholding must extract the desired
+    thread count before coarsening rewrites the grid dimension; thresholding
+    before aggregation keeps small grids out of the aggregated launch; and
+    coarsening before aggregation places the disaggregation logic outside
+    the coarsening loop so it is amortized over several original blocks. *)
+
+open Minicu
+
+type options = {
+  thresholding : Thresholding.options option;
+  coarsening : Coarsening.options option;
+  aggregation : Aggregation.options option;
+}
+
+let none = { thresholding = None; coarsening = None; aggregation = None }
+
+(** Convenience constructor mirroring the paper's CDP+T+C+A notation. *)
+let make ?threshold ?cfactor ?granularity ?agg_threshold () =
+  {
+    thresholding =
+      Option.map (fun threshold -> { Thresholding.threshold }) threshold;
+    coarsening = Option.map (fun cfactor -> { Coarsening.cfactor }) cfactor;
+    aggregation =
+      Option.map
+        (fun granularity -> { Aggregation.granularity; agg_threshold })
+        granularity;
+  }
+
+(** Short tag such as ["CDP+T+C+A"] describing the enabled passes. *)
+let label opts =
+  let parts =
+    List.filter_map Fun.id
+      [
+        Option.map (fun _ -> "T") opts.thresholding;
+        Option.map (fun _ -> "C") opts.coarsening;
+        Option.map (fun _ -> "A") opts.aggregation;
+      ]
+  in
+  if parts = [] then "CDP" else "CDP+" ^ String.concat "+" parts
+
+type result = {
+  prog : Ast.program;
+  auto_params : (string * Aggregation.auto_param list) list;
+      (** Runtime-allocated trailing parameters per transformed parent
+          kernel (empty unless aggregation ran). *)
+  threshold_reports : Thresholding.site_report list;
+  coarsen_reports : Coarsening.site_report list;
+  agg_reports : Aggregation.site_report list;
+}
+
+(** [run ?opts prog] applies the enabled passes in canonical order. The
+    input and output programs both typecheck; intermediate results are
+    checked too, so a pass that produces ill-formed code fails loudly here
+    rather than at simulation time. *)
+let run ?(opts = none) (prog : Ast.program) : result =
+  Typecheck.check prog;
+  let prog, threshold_reports =
+    match opts.thresholding with
+    | None -> (prog, [])
+    | Some o ->
+        let r = Thresholding.transform ~opts:o prog in
+        Typecheck.check r.prog;
+        (r.prog, r.reports)
+  in
+  let prog, coarsen_reports =
+    match opts.coarsening with
+    | None -> (prog, [])
+    | Some o ->
+        let r = Coarsening.transform ~opts:o prog in
+        Typecheck.check r.prog;
+        (r.prog, r.reports)
+  in
+  let prog, auto_params, agg_reports =
+    match opts.aggregation with
+    | None -> (prog, [], [])
+    | Some o ->
+        let r = Aggregation.transform ~opts:o prog in
+        Typecheck.check r.prog;
+        (r.prog, r.auto_params, r.reports)
+  in
+  { prog; auto_params; threshold_reports; coarsen_reports; agg_reports }
+
+(** [run_source ?opts src] — parse, transform, and print back to source.
+    The CLI entry point ({e dpoptc}) wraps this. *)
+let run_source ?opts src =
+  let prog = Parser.program src in
+  let r = run ?opts prog in
+  (Pretty.program r.prog, r)

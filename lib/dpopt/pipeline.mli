@@ -1,0 +1,46 @@
+(** The combined compiler framework (paper Section VI, Fig. 8): apply any
+    subset of \{thresholding, coarsening, aggregation\} in the canonical
+    order T → C → A. Thresholding runs before coarsening so the
+    desired-thread-count extraction sees the unmangled grid expression;
+    before aggregation so small grids never enter the aggregated launch;
+    and coarsening runs before aggregation so the disaggregation logic sits
+    outside the coarsening loop and is amortized. *)
+
+type options = {
+  thresholding : Thresholding.options option;
+  coarsening : Coarsening.options option;
+  aggregation : Aggregation.options option;
+}
+
+(** No passes: the plain CDP version. *)
+val none : options
+
+(** [make ?threshold ?cfactor ?granularity ?agg_threshold ()] enables each
+    pass iff its parameter is given. *)
+val make :
+  ?threshold:int ->
+  ?cfactor:int ->
+  ?granularity:Aggregation.granularity ->
+  ?agg_threshold:int ->
+  unit ->
+  options
+
+(** ["CDP"], ["CDP+T"], ..., ["CDP+T+C+A"] — the paper's notation. *)
+val label : options -> string
+
+type result = {
+  prog : Minicu.Ast.program;
+  auto_params : (string * Aggregation.auto_param list) list;
+  threshold_reports : Thresholding.site_report list;
+  coarsen_reports : Coarsening.site_report list;
+  agg_reports : Aggregation.site_report list;
+}
+
+(** [run ?opts prog] applies the enabled passes in canonical order,
+    typechecking the input, every intermediate program, and the output.
+    @raise Minicu.Typecheck.Type_error if any stage produces ill-formed
+    code. *)
+val run : ?opts:options -> Minicu.Ast.program -> result
+
+(** Parse, transform, print: the [dpoptc] CLI entry point. *)
+val run_source : ?opts:options -> string -> string * result

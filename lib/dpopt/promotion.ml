@@ -1,0 +1,199 @@
+(** KLAP's kernel-launch {e promotion} (El Hajj et al., MICRO 2016,
+    Section: promotion) — the other optimization of the baseline framework
+    this paper builds on.
+
+    Promotion targets the pattern the paper's Section IX notes its own
+    optimizations cannot help: a {e single-block} kernel that relaunches
+    itself recursively ([k<<<1, b>>>(args')] inside [k]). Thresholding does
+    not apply (all child grids have the same size), coarsening does not
+    apply (one block), aggregation does not apply (one launching thread).
+    Promotion replaces the launch chain with a loop in one persistent
+    kernel:
+
+    {v
+    __device__ void k_body(params, int* _pr_flag, ty* _pr_arg_i...) {
+      ...original body, with the self-launch replaced by writing the next
+         iteration's arguments into shared memory and setting the flag...
+    }
+    __global__ void k(params) {
+      __shared__ int _pr_flag[1];
+      __shared__ ty _pr_arg_i[1];     // one cell per parameter
+      while (true) {
+        if (threadIdx.x == 0) { _pr_flag[0] = 0; }
+        __syncthreads();
+        k_body(params..., _pr_flag, _pr_args...);
+        __syncthreads();
+        if (_pr_flag[0] == 0) { return; }
+        param_i = _pr_arg_i[0];       // adopt the next launch's arguments
+      }
+    }
+    v}
+
+    Extracting the body into a device function keeps [return] statements
+    meaning "this thread is done with the current recursion level", exactly
+    as kernel exit would under a real relaunch.
+
+    Eligibility: the kernel launches only itself, exactly once, not inside
+    a loop, with a static single-block grid ([1] or [dim3(1,1,1)]) and a
+    block dimension that is provably the same across levels ([blockDim.x]
+    or an integer literal). *)
+
+open Minicu
+open Minicu.Ast
+
+type site_report = {
+  sr_kernel : string;
+  sr_transformed : bool;
+  sr_reason : string;
+}
+
+type result = { prog : program; reports : site_report list }
+
+let is_one_grid = function
+  | Int_lit 1 -> true
+  | Dim3_ctor (Int_lit 1, Int_lit 1, Int_lit 1) -> true
+  | _ -> false
+
+let is_stable_block = function
+  | Member (Var "blockDim", "x") -> true
+  | Int_lit _ -> true
+  | _ -> false
+
+(* Does [f] qualify for promotion? Returns the self-launch on success. *)
+let eligible (f : func) : (launch, string) Result.t =
+  if f.f_kind <> Global then Error "not a kernel"
+  else
+    match Ast_util.launches_of f.f_body with
+    | [] -> Error "no launch"
+    | _ :: _ :: _ -> Error "more than one launch site"
+    | [ l ] ->
+        if l.l_kernel <> f.f_name then
+          Error
+            (Fmt.str "launch targets %S, not the kernel itself" l.l_kernel)
+        else if Eligibility.launch_in_loop ~kernel:l.l_kernel f.f_body then
+          Error "self-launch is inside a loop"
+        else if not (is_one_grid l.l_grid) then
+          Error "self-launch grid dimension is not statically 1"
+        else if not (is_stable_block l.l_block) then
+          Error
+            "self-launch block dimension is not provably stable across \
+             recursion levels (need blockDim.x or a literal)"
+        else Ok l
+
+let promote_kernel (f : func) (l : launch) ~taken : func list =
+  let fresh base = Ast_util.fresh_name ~base taken in
+  let body_name = fresh (f.f_name ^ "_level_body") in
+  let flag = fresh "_pr_flag" in
+  let arg_cells =
+    List.map (fun p -> (p, fresh ("_pr_next_" ^ p.p_name))) f.f_params
+  in
+  (* the body function: original body with the self-launch replaced by the
+     capture of next-level arguments *)
+  let capture =
+    List.map2
+      (fun ((_ : param), cell) arg ->
+        stmt (Assign (Index (Var cell, Int_lit 0), arg)))
+      arg_cells l.l_args
+    @ [ stmt (Assign (Index (Var flag, Int_lit 0), Int_lit 1)) ]
+  in
+  let new_body =
+    Ast_util.map_stmts
+      ~stmt:(fun s ->
+        match s.sdesc with
+        | Launch l' when l'.l_kernel = f.f_name -> capture
+        | _ -> [ s ])
+      f.f_body
+  in
+  let body_fn =
+    {
+      f_name = body_name;
+      f_kind = Device;
+      f_ret = TVoid;
+      f_params =
+        f.f_params
+        @ ({ p_ty = TPtr TInt; p_name = flag }
+          :: List.map
+               (fun ((p : param), cell) -> { p_ty = TPtr p.p_ty; p_name = cell })
+               arg_cells);
+      f_body = new_body;
+      f_host_followup = None;
+    }
+  in
+  (* the persistent kernel: the promotion loop *)
+  let tid0 = Binop (Eq, Member (Var "threadIdx", "x"), Int_lit 0) in
+  let shared_decls =
+    stmt (Decl_shared (TInt, flag, Int_lit 1))
+    :: List.map
+         (fun ((p : param), cell) -> stmt (Decl_shared (p.p_ty, cell, Int_lit 1)))
+         arg_cells
+  in
+  let loop_body =
+    [
+      stmt
+        (If (tid0, [ stmt (Assign (Index (Var flag, Int_lit 0), Int_lit 0)) ], []));
+      stmt Sync;
+      stmt
+        (Expr_stmt
+           (Call
+              ( body_name,
+                List.map (fun p -> Var p.p_name) f.f_params
+                @ (Var flag :: List.map (fun (_, cell) -> Var cell) arg_cells)
+              )));
+      stmt Sync;
+      stmt
+        (If
+           ( Binop (Eq, Index (Var flag, Int_lit 0), Int_lit 0),
+             [ stmt (Return None) ],
+             [] ));
+    ]
+    @ List.map
+        (fun ((p : param), cell) ->
+          stmt (Assign (Var p.p_name, Index (Var cell, Int_lit 0))))
+        arg_cells
+    (* third barrier of the persistent-kernel pattern: every thread must
+       have read the flag and adopted the next arguments before thread 0
+       resets the flag at the top of the next iteration *)
+    @ [ stmt Sync ]
+  in
+  let promoted =
+    {
+      f with
+      f_body = shared_decls @ [ stmt (While (Bool_lit true, loop_body)) ];
+    }
+  in
+  [ body_fn; promoted ]
+
+(** [transform prog] promotes every eligible self-recursive single-block
+    kernel. *)
+let transform (prog : program) : result =
+  let taken = ref (List.concat_map Ast_util.all_names prog) in
+  let reports = ref [] in
+  let prog' =
+    List.concat_map
+      (fun (f : func) ->
+        if f.f_kind <> Global || not (Ast_util.contains_launch f.f_body) then
+          [ f ]
+        else
+          match eligible f with
+          | Error reason ->
+              if
+                List.exists
+                  (fun (l : launch) -> l.l_kernel = f.f_name)
+                  (Ast_util.launches_of f.f_body)
+              then
+                reports :=
+                  { sr_kernel = f.f_name; sr_transformed = false;
+                    sr_reason = reason }
+                  :: !reports;
+              [ f ]
+          | Ok l ->
+              reports :=
+                { sr_kernel = f.f_name; sr_transformed = true;
+                  sr_reason = "promoted self-recursion to a loop" }
+                :: !reports;
+              let fns = promote_kernel f l ~taken:!taken in
+              taken := List.concat_map Ast_util.all_names fns @ !taken;
+              fns)
+      prog
+  in
+  { prog = prog'; reports = List.rev !reports }

@@ -1,0 +1,19 @@
+(** KLAP's kernel-launch {e promotion} — the baseline optimization for the
+    pattern this paper's T/C/A cannot help (Section IX): a single-block
+    kernel relaunching itself recursively. The recursion becomes a loop in
+    one persistent kernel; next-level arguments travel through shared
+    memory and a relaunch flag, separated by block barriers.
+
+    Eligibility: the kernel launches only itself, exactly once, outside
+    loops, with a static 1-block grid and a stable block dimension
+    ([blockDim.x] or an integer literal). *)
+
+type site_report = {
+  sr_kernel : string;
+  sr_transformed : bool;
+  sr_reason : string;
+}
+
+type result = { prog : Minicu.Ast.program; reports : site_report list }
+
+val transform : Minicu.Ast.program -> result

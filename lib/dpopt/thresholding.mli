@@ -1,0 +1,27 @@
+(** The thresholding transformation (paper Section III, Fig. 3): launch a
+    child grid only when the desired child-thread count reaches a
+    threshold; otherwise call a generated serial version of the child in
+    the parent thread.
+
+    The serial version is a pair of device functions —
+    [<child>_serial_thread] (the child body with reserved variables
+    substituted by parameters) and [<child>_serial] (the Fig. 3
+    serialization loops over grid and block dimensions). Extracting the
+    per-thread body keeps [return] statements correct without a
+    goto-elimination pass. *)
+
+type options = { threshold : int  (** The [_THRESHOLD] knob of Fig. 3. *) }
+
+type site_report = {
+  sr_parent : string;
+  sr_child : string;
+  sr_transformed : bool;
+  sr_reason : string;
+}
+
+type result = { prog : Minicu.Ast.program; reports : site_report list }
+
+(** [transform ?opts prog] rewrites every launch site whose child is
+    eligible (see {!Eligibility.thresholding_child}); ineligible sites are
+    reported and left unchanged. The default threshold is 32. *)
+val transform : ?opts:options -> Minicu.Ast.program -> result

@@ -1,0 +1,86 @@
+(** Closure-compiling interpreter for MiniCU device code.
+
+    Each function compiles once into OCaml closures over a per-thread
+    context; variable references resolve to frame slots at compile time, and
+    each statement charges its cost (from {!Config}) to its tag as it
+    executes. Threads suspend at barriers and warp collectives by performing
+    the {!E_sync} / {!E_warp} effects, handled by {!Exec}. *)
+
+type warp_op = W_scan_excl | W_sum | W_max | W_bcast of int | W_sync
+
+type warp_req = { wop : warp_op; warg : Value.t }
+
+type _ Effect.t += E_sync : unit Effect.t
+type _ Effect.t += E_warp : warp_req -> Value.t Effect.t
+
+(** A launch issued during block execution, to be scheduled by {!Sched}. *)
+type launch_req = {
+  lr_kernel : string;
+  lr_grid : int * int * int;
+  lr_block : int * int * int;
+  lr_args : Value.t list;
+  lr_issue_cost : float;
+      (** The launching thread's accumulated cost at issue; the scheduler
+          turns it into an issue-time offset within the block. *)
+  lr_from_host : bool;
+}
+
+(** Per-block execution context. *)
+type bctx = {
+  mem : Memory.t;
+  cfg : Config.t;
+  metrics : Metrics.t;
+  bidx : int * int * int;
+  bdim : int * int * int;
+  gdim : int * int * int;
+  shared : (int, Value.ptr) Hashtbl.t;
+  mutable launches : launch_req list;
+  is_host_ctx : bool;
+}
+
+(** Per-thread execution context. *)
+type tctx = {
+  mutable frame : Value.t array;
+  costs : float array;
+  mutable total : float;
+  mutable default_idx : int;
+  tidx : int * int * int;
+  blk : bctx;
+}
+
+val charge_tag : tctx -> int -> float -> unit
+
+exception Ret of Value.t
+
+type cexpr = tctx -> Value.t
+type cstmt = tctx -> unit
+
+type cfunc = {
+  cf_name : string;
+  cf_kind : Minicu.Ast.func_kind;
+  mutable cf_nslots : int;
+  cf_nparams : int;
+  cf_contains_launch : bool;
+      (** Drives the per-thread launch-existence cost
+          ({!Config.cdp_entry_cost}, the paper's Section VIII-D effect). *)
+  cf_is_serial : bool;
+      (** Generated thresholding serial entry points (names ending in
+          ["_serial"]); calls count into
+          {!Metrics.t.serialized_launches}. *)
+  mutable cf_body : cstmt;
+  mutable cf_followup : cstmt option;
+}
+
+type cprog = {
+  cp_funcs : (string, cfunc) Hashtbl.t;
+  cp_ast : Minicu.Ast.program;
+}
+
+val find_func_exn : cprog -> string -> cfunc
+
+(** Static cost (cycles) of evaluating [e] once, assuming full evaluation. *)
+val expr_cost : Config.t -> Minicu.Ast.expr -> int
+
+(** [compile cfg prog] typechecks and compiles a whole program; functions
+    may reference each other in any order. *)
+val compile : Config.t -> Minicu.Ast.program -> cprog

@@ -1,0 +1,43 @@
+(** Device model parameters for the GPU simulator.
+
+    The defaults sketch a Volta-class device scaled to interpreted dataset
+    sizes: the {e ratios} between launch cost, memory cost and ALU
+    throughput drive the paper's effects (launch congestion, hardware
+    underutilization, divergence), not the absolute values. All times are
+    cycles of a nominal SM clock. *)
+
+type t = {
+  (* machine shape *)
+  num_sms : int;
+  warp_size : int;
+  sm_warp_parallelism : int;
+      (** Warp instructions retired per cycle per SM. *)
+  max_threads_per_block : int;
+  (* instruction costs (cycles per warp-instruction) *)
+  arith_cost : int;
+  mem_cost : int;
+  atomic_cost : int;
+  branch_cost : int;
+  sync_cost : int;
+  fence_cost : int;
+  warp_collective_cost : int;
+  alloc_cost : int;
+  call_cost : int;
+  (* dynamic-parallelism costs *)
+  launch_issue_cost : int;
+      (** Instructions the launching thread runs to issue a device launch. *)
+  cdp_entry_cost : int;
+      (** Per-thread cost at entry to any kernel whose body contains a
+          launch, even if never executed — the Section VIII-D effect. *)
+  device_launch_latency : int;
+  host_launch_latency : int;
+  launch_service_interval : int;
+      (** The grid-management unit serves one pending launch per this many
+          cycles; queueing here is the paper's launch congestion. *)
+  block_sched_overhead : int;
+}
+
+val default : t
+
+(** Small machine, cheap launches: for unit tests. *)
+val test_config : t

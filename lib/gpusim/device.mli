@@ -1,0 +1,85 @@
+(** Host-side device API — the MiniCU analogue of the CUDA runtime.
+
+    {[
+      let dev = Device.create () in
+      Device.load_program dev prog;
+      let d_data = Device.alloc_ints dev data in
+      Device.launch dev ~kernel:"parent" ~grid:(blocks, 1, 1)
+        ~block:(256, 1, 1) ~args:[ Ptr d_data; Int n ];
+      let elapsed_cycles = Device.sync dev in
+      let result = Device.read_ints dev d_data n in
+      ...
+    ]} *)
+
+type dim3 = int * int * int
+
+(** Runtime-allocated trailing parameter of a transformed kernel: the
+    aggregation pass appends buffer parameters to parent kernels (the
+    "pre-allocated memory buffer" of the paper's Fig. 7); the runtime
+    allocates each one, zero-filled, sized by [ap_elems] from the actual
+    launch configuration, and appends the pointers — so host drivers keep
+    launching with the original arguments. *)
+type auto_param = {
+  ap_name : string;
+  ap_elems : grid:dim3 -> block:dim3 -> int;
+}
+
+type t
+
+val create : ?cfg:Config.t -> unit -> t
+val metrics : t -> Metrics.t
+val memory : t -> Memory.t
+val config : t -> Config.t
+
+(** [load_program t prog ~auto_params] typechecks and compiles [prog] onto
+    the device. *)
+val load_program :
+  ?auto_params:(string * auto_param list) list ->
+  t ->
+  Minicu.Ast.program ->
+  unit
+
+(** {1 Memory management} *)
+
+val alloc : t -> int -> init:Value.t -> Value.ptr
+val alloc_ints : t -> int array -> Value.ptr
+val alloc_int_zeros : t -> int -> Value.ptr
+val alloc_floats : t -> float array -> Value.ptr
+val alloc_float_zeros : t -> int -> Value.ptr
+val read_ints : t -> Value.ptr -> int -> int array
+val read_floats : t -> Value.ptr -> int -> float array
+val write_ints : t -> Value.ptr -> int array -> unit
+val write_floats : t -> Value.ptr -> float array -> unit
+val free : t -> Value.ptr -> unit
+
+(** {1 Kernel launch} *)
+
+(** [launch t ~kernel ~grid ~block ~args] issues a host-side launch,
+    asynchronously (work runs at the next {!sync}). [role] selects how
+    untagged kernel time is attributed: [`Parent] (default) or [`Child].
+    @raise Value.Runtime_error on unknown kernels, argument-count mismatch,
+    or invalid configurations. *)
+val launch :
+  ?role:[ `Parent | `Child ] ->
+  t ->
+  kernel:string ->
+  grid:dim3 ->
+  block:dim3 ->
+  args:Value.t list ->
+  unit
+
+(** Drain all pending work; returns the simulated clock (cycles). *)
+val sync : t -> float
+
+(** Current simulated time. Monotonic across launches and syncs. *)
+val time : t -> float
+
+(** {1 Execution tracing} (off by default; see {!Gpusim.Trace}) *)
+
+val enable_trace : t -> unit
+val trace_events : t -> Trace.event list
+val clear_trace : t -> unit
+
+(** [elapsed t f] runs [f ()] followed by a {!sync}; returns the simulated
+    cycles taken. *)
+val elapsed : t -> (unit -> unit) -> float

@@ -1,0 +1,16 @@
+(** A binary min-heap keyed by (time, insertion sequence): pops are
+    deterministic — ties resolve in insertion order — which the simulator
+    relies on for reproducible runs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop t] removes and returns the earliest event.
+    @raise Invalid_argument when empty. *)
+val pop : 'a t -> float * 'a
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,302 @@
+(** Block executor: runs all threads of one thread block to completion.
+
+    Each simulated thread is an OCaml-5 fiber. Threads run until they finish
+    or suspend on a barrier ({!Compile.E_sync}) or a warp collective
+    ({!Compile.E_warp}). The executor advances a block warp by warp:
+
+    - within a warp, threads run in lane order until all live lanes have
+      either reached the same warp collective (which is then evaluated and
+      all lanes resumed) or reached the block barrier / finished;
+    - when every warp has reached the barrier, all waiting threads are
+      released and the next barrier epoch begins.
+
+    Threads that return before a barrier are treated as having arrived at
+    every subsequent barrier — the common CUDA idiom of early-exit guard
+    threads; truly divergent barriers (some lanes at a warp collective while
+    others sit at [__syncthreads]) are reported as errors.
+
+    Cost accounting: each thread accumulates per-tag cycle counts; the warp
+    cost for a tag is the maximum over its lanes (lockstep execution makes
+    the straggler lane the warp's critical path — this is what penalizes the
+    serializing parent threads of over-aggressive thresholding); the block
+    cost is the sum over warps. *)
+
+open Compile
+
+type susp =
+  | S_done
+  | S_sync of (unit, susp) Effect.Deep.continuation
+  | S_warp of warp_req * (Value.t, susp) Effect.Deep.continuation
+
+type lane_state =
+  | Not_started of (unit -> unit)
+  | Suspended of susp
+
+let run_fiber (f : unit -> unit) : susp =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> S_done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_sync ->
+              Some (fun (k : (a, susp) Effect.Deep.continuation) -> S_sync k)
+          | E_warp req -> Some (fun k -> S_warp (req, k))
+          | _ -> None);
+    }
+
+(* Evaluate a warp collective over the suspended lanes. [reqs] holds
+   (lane_index_within_warp, request) pairs; returns the per-lane results. *)
+let eval_warp_op (reqs : (int * warp_req) list) : (int * Value.t) list =
+  match reqs with
+  | [] -> []
+  | (_, first) :: _ -> (
+      let same_op (r : warp_req) =
+        match (first.wop, r.wop) with
+        | W_scan_excl, W_scan_excl
+        | W_sum, W_sum
+        | W_max, W_max
+        | W_sync, W_sync ->
+            true
+        | W_bcast a, W_bcast b -> a = b
+        | _ -> false
+      in
+      if not (List.for_all (fun (_, r) -> same_op r) reqs) then
+        Value.error
+          "divergent warp collectives: all lanes must execute the same \
+           collective";
+      match first.wop with
+      | W_sync -> List.map (fun (i, _) -> (i, Value.Unit)) reqs
+      | W_sum ->
+          let s =
+            List.fold_left (fun acc (_, r) -> acc + Value.as_int r.warg) 0 reqs
+          in
+          List.map (fun (i, _) -> (i, Value.Int s)) reqs
+      | W_max ->
+          let m =
+            List.fold_left
+              (fun acc (_, r) -> max acc (Value.as_int r.warg))
+              min_int reqs
+          in
+          List.map (fun (i, _) -> (i, Value.Int m)) reqs
+      | W_scan_excl ->
+          (* lanes are in lane order; exclusive prefix sum over live lanes *)
+          let acc = ref 0 in
+          List.map
+            (fun (i, r) ->
+              let before = !acc in
+              acc := !acc + Value.as_int r.warg;
+              (i, Value.Int before))
+            reqs
+      | W_bcast lane ->
+          let v =
+            match List.assoc_opt lane (List.map (fun (i, r) -> (i, r.warg)) reqs) with
+            | Some v -> v
+            | None ->
+                Value.error "warp_bcast from lane %d, which is not live" lane
+          in
+          List.map (fun (i, _) -> (i, v)) reqs)
+
+type result = {
+  r_launches : launch_req list;  (** In issue order. *)
+  r_compute_cycles : float;
+      (** Parallelism-scaled compute cycles: block duration excluding
+          scheduling overhead. *)
+  r_tag_cycles : float array;  (** Parallelism-scaled cycles per tag index. *)
+}
+
+(** [run_block cprog kernel ~args ~gdim ~bdim ~bidx ~mem ~cfg ~metrics
+    ~default_idx] executes one block of [kernel] and returns its cost and
+    the launches it issued. Side effects on [mem] happen immediately. *)
+let run_block (cprog : cprog) (kernel : cfunc) ~(args : Value.t list)
+    ~(gdim : int * int * int) ~(bdim : int * int * int)
+    ~(bidx : int * int * int) ~(mem : Memory.t) ~(cfg : Config.t)
+    ~(metrics : Metrics.t) ~(default_idx : int) : result =
+  ignore cprog;
+  let bx, by, bz = bdim in
+  let nthreads = bx * by * bz in
+  if nthreads <= 0 then Value.error "empty block dimension";
+  let blk =
+    {
+      mem;
+      cfg;
+      metrics;
+      bidx;
+      bdim;
+      gdim;
+      shared = Hashtbl.create 4;
+      launches = [];
+      is_host_ctx = false;
+    }
+  in
+  let arg_values = Array.of_list args in
+  if Array.length arg_values <> kernel.cf_nparams then
+    Value.error "launch of %S: expected %d arguments, got %d" kernel.cf_name
+      kernel.cf_nparams (Array.length arg_values);
+  let entry_cost =
+    if kernel.cf_contains_launch then float_of_int cfg.cdp_entry_cost else 0.0
+  in
+  let threads =
+    Array.init nthreads (fun i ->
+        let tx = i mod bx and ty = i / bx mod by and tz = i / (bx * by) in
+        let frame = Array.make (max kernel.cf_nslots 1) Value.Unit in
+        Array.blit arg_values 0 frame 0 (Array.length arg_values);
+        {
+          frame;
+          costs = Array.make Metrics.num_tags 0.0;
+          total = 0.0;
+          default_idx;
+          tidx = (tx, ty, tz);
+          blk;
+        })
+  in
+  let states =
+    Array.map
+      (fun t ->
+        Not_started
+          (fun () ->
+            if entry_cost > 0.0 then charge_tag t Metrics.tag_default entry_cost;
+            try kernel.cf_body t with Ret _ -> ()))
+      threads
+  in
+  let ws = cfg.warp_size in
+  let nwarps = (nthreads + ws - 1) / ws in
+  (* Advance one warp until every lane is S_done or S_sync. *)
+  let rec advance_warp w =
+    let lo = w * ws and hi = min ((w + 1) * ws) nthreads in
+    for i = lo to hi - 1 do
+      match states.(i) with
+      | Not_started f -> states.(i) <- Suspended (run_fiber f)
+      | Suspended _ -> ()
+    done;
+    (* collect warp-collective suspensions *)
+    let warp_reqs = ref [] in
+    for i = hi - 1 downto lo do
+      match states.(i) with
+      | Suspended (S_warp (req, _)) -> warp_reqs := (i, req) :: !warp_reqs
+      | _ -> ()
+    done;
+    match !warp_reqs with
+    | [] -> ()
+    | reqs ->
+        (* every live lane must be at the collective *)
+        for i = lo to hi - 1 do
+          match states.(i) with
+          | Suspended (S_warp _) | Suspended S_done -> ()
+          | Suspended (S_sync _) ->
+              Value.error
+                "lane %d reached __syncthreads while its warp executes a \
+                 warp collective"
+                (i - lo)
+          | Not_started _ -> assert false
+        done;
+        let results = eval_warp_op reqs in
+        List.iter
+          (fun (i, v) ->
+            match states.(i) with
+            | Suspended (S_warp (_, k)) ->
+                states.(i) <- Suspended (Effect.Deep.continue k v)
+            | _ -> assert false)
+          results;
+        advance_warp w
+  in
+  let all_done () =
+    Array.for_all
+      (function Suspended S_done -> true | _ -> false)
+      states
+  in
+  let epochs = ref 0 in
+  let rec block_loop () =
+    incr epochs;
+    if !epochs > 1_000_000 then
+      Value.error "block executor: too many barrier epochs (livelock?)";
+    for w = 0 to nwarps - 1 do
+      advance_warp w
+    done;
+    if not (all_done ()) then begin
+      (* all remaining threads are at the barrier: release them *)
+      let waiting = ref 0 in
+      Array.iteri
+        (fun i st ->
+          match st with
+          | Suspended (S_sync k) ->
+              incr waiting;
+              states.(i) <- Suspended (Effect.Deep.continue k ())
+          | _ -> ())
+        states;
+      if !waiting = 0 then
+        Value.error "block executor: threads neither done nor at a barrier";
+      block_loop ()
+    end
+  in
+  block_loop ();
+  (* free shared-memory buffers *)
+  Hashtbl.iter (fun _ p -> Memory.free mem p) blk.shared;
+  (* cost aggregation: per-warp, per-tag maxima *)
+  let tag_cycles = Array.make Metrics.num_tags 0.0 in
+  for w = 0 to nwarps - 1 do
+    let lo = w * ws and hi = min ((w + 1) * ws) nthreads in
+    for tag = 0 to Metrics.num_tags - 1 do
+      let m = ref 0.0 in
+      for i = lo to hi - 1 do
+        let c = threads.(i).costs.(tag) in
+        if c > !m then m := c
+      done;
+      tag_cycles.(tag) <- tag_cycles.(tag) +. !m
+    done
+  done;
+  (* resolve the default tag into parent/child *)
+  tag_cycles.(default_idx) <-
+    tag_cycles.(default_idx) +. tag_cycles.(Metrics.tag_default);
+  tag_cycles.(Metrics.tag_default) <- 0.0;
+  let par = float_of_int cfg.sm_warp_parallelism in
+  let scaled = Array.map (fun c -> c /. par) tag_cycles in
+  let compute = Array.fold_left ( +. ) 0.0 scaled in
+  for tag = 1 to Metrics.num_tags - 1 do
+    if scaled.(tag) > 0.0 then Metrics.charge metrics tag scaled.(tag)
+  done;
+  metrics.blocks_executed <- metrics.blocks_executed + 1;
+  metrics.threads_executed <- metrics.threads_executed + nthreads;
+  {
+    r_launches = List.rev blk.launches;
+    r_compute_cycles = compute;
+    r_tag_cycles = scaled;
+  }
+
+(** [run_host_stmts] executes host-followup statements (grid-granularity
+    aggregation) in a single pseudo-thread with host launch semantics.
+    Returns the launches issued. No cost is charged: the host CPU is not the
+    simulated device (the paper's point is precisely that grid-granularity
+    aggregation spends host time; we account for it via
+    {!Config.host_launch_latency} in the scheduler). *)
+let run_host_stmts (kernel : cfunc) (followup : cstmt) ~(args : Value.t list)
+    ~(grid : int * int * int) ~(block : int * int * int) ~(mem : Memory.t)
+    ~(cfg : Config.t) ~(metrics : Metrics.t) : launch_req list =
+  let blk =
+    {
+      mem;
+      cfg;
+      metrics;
+      bidx = (0, 0, 0);
+      bdim = block;
+      gdim = grid;
+      shared = Hashtbl.create 1;
+      launches = [];
+      is_host_ctx = true;
+    }
+  in
+  let frame = Array.make (max kernel.cf_nslots 1) Value.Unit in
+  List.iteri (fun i v -> if i < Array.length frame then frame.(i) <- v) args;
+  let t =
+    {
+      frame;
+      costs = Array.make Metrics.num_tags 0.0;
+      total = 0.0;
+      default_idx = Metrics.tag_parent;
+      tidx = (0, 0, 0);
+      blk;
+    }
+  in
+  (try followup t with Ret _ -> ());
+  List.rev blk.launches

@@ -1,0 +1,47 @@
+(** Block executor: runs all threads of one thread block to completion.
+
+    Threads are OCaml-5 fibers advancing warp by warp; warp collectives
+    evaluate over the live lanes of a warp, [__syncthreads] is a block-wide
+    epoch barrier, and threads that returned early count as arrived.
+    Cost model: a warp's cost per tag is the maximum over its lanes
+    (lockstep execution makes the straggler the critical path); a block's
+    cost is the sum over warps, scaled by {!Config.sm_warp_parallelism}. *)
+
+type result = {
+  r_launches : Compile.launch_req list;  (** In issue order. *)
+  r_compute_cycles : float;
+      (** Parallelism-scaled compute cycles (block duration minus the
+          scheduling overhead). *)
+  r_tag_cycles : float array;  (** Per-tag scaled cycles. *)
+}
+
+(** Execute one block; memory side effects happen immediately.
+    @raise Value.Runtime_error on memory faults, divergent warp
+    collectives, or blocks that neither finish nor reach a barrier. *)
+val run_block :
+  Compile.cprog ->
+  Compile.cfunc ->
+  args:Value.t list ->
+  gdim:int * int * int ->
+  bdim:int * int * int ->
+  bidx:int * int * int ->
+  mem:Memory.t ->
+  cfg:Config.t ->
+  metrics:Metrics.t ->
+  default_idx:int ->
+  result
+
+(** Execute host-followup statements (grid-granularity aggregation) in a
+    single pseudo-thread with host-launch semantics; returns the launches
+    issued. No device cost is charged — the host is not the simulated
+    device. *)
+val run_host_stmts :
+  Compile.cfunc ->
+  Compile.cstmt ->
+  args:Value.t list ->
+  grid:int * int * int ->
+  block:int * int * int ->
+  mem:Memory.t ->
+  cfg:Config.t ->
+  metrics:Metrics.t ->
+  Compile.launch_req list

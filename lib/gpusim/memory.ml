@@ -1,0 +1,94 @@
+(** Simulated device global memory.
+
+    Memory is a table of buffers; each buffer is an array of {!Value.t}
+    elements. Pointers ({!Value.ptr}) are a buffer id plus an element offset,
+    and pointer arithmetic moves the offset within a buffer. Out-of-bounds
+    and use-after-free accesses raise {!Value.Runtime_error} with a precise
+    description — the simulator doubles as a memory checker for transformed
+    code. *)
+
+type buffer = { data : Value.t array; mutable live : bool }
+
+type t = {
+  mutable buffers : buffer list;
+      (** Reverse-indexed: buffer [i] lives at position [count - 1 - i]. We
+          keep an array-backed table instead for O(1); see below. *)
+  mutable table : buffer option array;
+  mutable count : int;
+  mutable allocated_elems : int;  (** Total elements ever allocated. *)
+}
+
+let create () =
+  { buffers = []; table = Array.make 64 None; count = 0; allocated_elems = 0 }
+
+let grow t =
+  if t.count >= Array.length t.table then begin
+    let bigger = Array.make (2 * Array.length t.table) None in
+    Array.blit t.table 0 bigger 0 t.count;
+    t.table <- bigger
+  end
+
+(** [alloc t n ~init] allocates a buffer of [n] elements initialized to
+    [init], returning a pointer to its first element. *)
+let alloc t n ~init : Value.ptr =
+  if n < 0 then Value.error "negative allocation size %d" n;
+  grow t;
+  let id = t.count in
+  t.table.(id) <- Some { data = Array.make n init; live = true };
+  t.count <- t.count + 1;
+  t.allocated_elems <- t.allocated_elems + n;
+  { buf = id; off = 0 }
+
+let buffer_exn t id =
+  if id < 0 || id >= t.count then Value.error "invalid buffer id %d" id;
+  match t.table.(id) with
+  | Some b -> b
+  | None -> Value.error "invalid buffer id %d" id
+
+(** [free t p] releases the buffer [p] points into. Subsequent accesses
+    raise. Freeing a non-base pointer or a dead buffer raises. *)
+let free t (p : Value.ptr) =
+  let b = buffer_exn t p.buf in
+  if not b.live then Value.error "double free of buffer %d" p.buf;
+  if p.off <> 0 then Value.error "free of interior pointer (offset %d)" p.off;
+  b.live <- false
+
+let check_access t (p : Value.ptr) =
+  let b = buffer_exn t p.buf in
+  if not b.live then Value.error "use after free (buffer %d)" p.buf;
+  if p.off < 0 || p.off >= Array.length b.data then
+    Value.error "out-of-bounds access: offset %d in buffer %d of size %d"
+      p.off p.buf (Array.length b.data);
+  b
+
+let load t (p : Value.ptr) : Value.t =
+  let b = check_access t p in
+  b.data.(p.off)
+
+let store t (p : Value.ptr) (v : Value.t) =
+  let b = check_access t p in
+  b.data.(p.off) <- v
+
+let allocated_elems t = t.allocated_elems
+
+let size t (p : Value.ptr) =
+  let b = buffer_exn t p.buf in
+  Array.length b.data
+
+(** Bulk host-side accessors (no cost accounting; drivers use these). *)
+
+let write_array t (p : Value.ptr) (vs : Value.t array) =
+  Array.iteri (fun i v -> store t { p with off = p.off + i } v) vs
+
+let read_array t (p : Value.ptr) n : Value.t array =
+  Array.init n (fun i -> load t { p with off = p.off + i })
+
+let write_ints t p (vs : int array) =
+  write_array t p (Array.map (fun n -> Value.Int n) vs)
+
+let read_ints t p n = Array.map Value.as_int (read_array t p n)
+
+let write_floats t p (vs : float array) =
+  write_array t p (Array.map (fun f -> Value.Float f) vs)
+
+let read_floats t p n = Array.map Value.as_float (read_array t p n)

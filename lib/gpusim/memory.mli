@@ -1,0 +1,34 @@
+(** Simulated device global memory: a table of buffers of {!Value.t}
+    elements. Out-of-bounds and use-after-free accesses raise
+    {!Value.Runtime_error}, so the simulator doubles as a memory checker for
+    transformed code. *)
+
+type t
+
+val create : unit -> t
+
+(** [alloc t n ~init] allocates [n] elements initialized to [init].
+    @raise Value.Runtime_error if [n < 0]. *)
+val alloc : t -> int -> init:Value.t -> Value.ptr
+
+(** [free t p] releases [p]'s buffer. [p] must be the base pointer of a
+    live buffer. *)
+val free : t -> Value.ptr -> unit
+
+val load : t -> Value.ptr -> Value.t
+val store : t -> Value.ptr -> Value.t -> unit
+
+(** Element count of the buffer [p] points into. *)
+val size : t -> Value.ptr -> int
+
+(** Total elements ever allocated (high-water accounting for stats). *)
+val allocated_elems : t -> int
+
+(** {1 Bulk host-side accessors} (no cost accounting; drivers use these) *)
+
+val write_array : t -> Value.ptr -> Value.t array -> unit
+val read_array : t -> Value.ptr -> int -> Value.t array
+val write_ints : t -> Value.ptr -> int array -> unit
+val read_ints : t -> Value.ptr -> int -> int array
+val write_floats : t -> Value.ptr -> float array -> unit
+val read_floats : t -> Value.ptr -> int -> float array

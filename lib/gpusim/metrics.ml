@@ -1,0 +1,99 @@
+(** Execution metrics collected by the simulator.
+
+    Compute time is attributed to the categories of the paper's Figure 10
+    breakdown via the statement tags that the transformation passes attach
+    (see {!Minicu.Ast.tag}); launch overhead is measured by the launch
+    subsystem in {!Sched}. *)
+
+(* Tag indices used by the compiled code; index 0 is "default" and is
+   resolved per-grid to parent or child at execution time. *)
+let tag_default = 0
+let tag_parent = 1
+let tag_child = 2
+let tag_agg = 3
+let tag_disagg = 4
+let num_tags = 5
+
+let index_of_tag : Minicu.Ast.tag -> int = function
+  | Tag_none -> tag_default
+  | Tag_parent -> tag_parent
+  | Tag_child -> tag_child
+  | Tag_agg -> tag_agg
+  | Tag_disagg -> tag_disagg
+
+type breakdown = {
+  mutable parent_cycles : float;  (** Parent work (per-warp, parallelism-scaled). *)
+  mutable child_cycles : float;  (** Child work. *)
+  mutable agg_cycles : float;  (** Aggregation logic (Fig. 7, parent side). *)
+  mutable disagg_cycles : float;  (** Disaggregation logic (Fig. 7, child side). *)
+  mutable launch_cycles : float;
+      (** Launch-subsystem busy time: queueing plus service for every grid
+          launch (the congestion component). *)
+}
+
+type t = {
+  breakdown : breakdown;
+  mutable makespan : float;  (** Simulated wall-clock: device-idle time. *)
+  mutable grids_launched : int;
+  mutable device_launches : int;
+  mutable host_launches : int;
+  mutable blocks_executed : int;
+  mutable threads_executed : int;
+  mutable max_pending_launches : int;
+  mutable serialized_launches : int;
+      (** Child grids serialized in their parent thread by thresholding.
+          Incremented by the [child_serial] device functions via a counter
+          builtin; 0 when thresholding is off. *)
+}
+
+let create () =
+  {
+    breakdown =
+      {
+        parent_cycles = 0.0;
+        child_cycles = 0.0;
+        agg_cycles = 0.0;
+        disagg_cycles = 0.0;
+        launch_cycles = 0.0;
+      };
+    makespan = 0.0;
+    grids_launched = 0;
+    device_launches = 0;
+    host_launches = 0;
+    blocks_executed = 0;
+    threads_executed = 0;
+    max_pending_launches = 0;
+    serialized_launches = 0;
+  }
+
+(** [charge m idx cycles] adds parallelism-scaled compute cycles to the
+    breakdown category [idx] (one of the [tag_*] indices; never
+    [tag_default], which callers must resolve first). *)
+let charge m idx cycles =
+  let b = m.breakdown in
+  if idx = tag_parent then b.parent_cycles <- b.parent_cycles +. cycles
+  else if idx = tag_child then b.child_cycles <- b.child_cycles +. cycles
+  else if idx = tag_agg then b.agg_cycles <- b.agg_cycles +. cycles
+  else if idx = tag_disagg then b.disagg_cycles <- b.disagg_cycles +. cycles
+  else invalid_arg "Metrics.charge: unresolved default tag"
+
+let total_compute m =
+  let b = m.breakdown in
+  b.parent_cycles +. b.child_cycles +. b.agg_cycles +. b.disagg_cycles
+
+let pp ppf m =
+  let b = m.breakdown in
+  Fmt.pf ppf
+    "@[<v>makespan        %12.0f cycles@,\
+     parent work     %12.0f@,\
+     child work      %12.0f@,\
+     aggregation     %12.0f@,\
+     disaggregation  %12.0f@,\
+     launch busy     %12.0f@,\
+     grids launched  %8d (device %d, host %d)@,\
+     blocks          %8d  threads %d@,\
+     max pending     %8d  serialized launches %d@]"
+    m.makespan b.parent_cycles b.child_cycles b.agg_cycles b.disagg_cycles
+    b.launch_cycles m.grids_launched m.device_launches m.host_launches
+    m.blocks_executed m.threads_executed m.max_pending_launches
+    m.serialized_launches

@@ -1,0 +1,44 @@
+(** Execution metrics collected by the simulator, including the per-category
+    compute-time attribution behind the paper's Fig. 10 breakdown. *)
+
+(** {1 Tag indices} (dense encoding of {!Minicu.Ast.tag}) *)
+
+val tag_default : int
+val tag_parent : int
+val tag_child : int
+val tag_agg : int
+val tag_disagg : int
+val num_tags : int
+val index_of_tag : Minicu.Ast.tag -> int
+
+type breakdown = {
+  mutable parent_cycles : float;
+  mutable child_cycles : float;
+  mutable agg_cycles : float;
+  mutable disagg_cycles : float;
+  mutable launch_cycles : float;
+      (** Launch-subsystem time: queueing plus service plus latency summed
+          over every grid launch. *)
+}
+
+type t = {
+  breakdown : breakdown;
+  mutable makespan : float;
+  mutable grids_launched : int;
+  mutable device_launches : int;
+  mutable host_launches : int;
+  mutable blocks_executed : int;
+  mutable threads_executed : int;
+  mutable max_pending_launches : int;
+  mutable serialized_launches : int;
+      (** Child grids serialized in their parent thread by thresholding. *)
+}
+
+val create : unit -> t
+
+(** [charge m idx cycles] adds parallelism-scaled compute cycles to category
+    [idx]. @raise Invalid_argument on [tag_default] (resolve it first). *)
+val charge : t -> int -> float -> unit
+
+val total_compute : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,208 @@
+(** Discrete-event grid/block scheduler.
+
+    The device model:
+
+    - a fixed pool of SMs; each SM serves one block at a time with
+      {!Config.sm_warp_parallelism} warp-instructions per cycle (blocks queue
+      on the earliest-free SM, approximating the FIFO hardware block
+      scheduler);
+    - a single grid-management unit: every device-side launch must be
+      serviced by it, one launch per {!Config.launch_service_interval}
+      cycles. When thousands of small grids are launched at once they queue
+      here — this is the launch congestion the paper identifies as the first
+      cost of naive dynamic parallelism;
+    - host-side launches pay {!Config.host_launch_latency} but do not
+      contend with the device launch queue.
+
+    Block side effects on memory happen when the block is dispatched, in
+    deterministic event order, so programs whose cross-block communication
+    is commutative (atomics) behave as on real hardware. *)
+
+type dim3 = int * int * int
+
+type grid = {
+  g_id : int;
+  g_kernel : Compile.cfunc;
+  g_grid : dim3;
+  g_block : dim3;
+  g_args : Value.t list;
+  g_default_idx : int;
+  mutable g_blocks_left : int;
+  mutable g_last_finish : float;
+}
+
+type event = Block_ready of grid * dim3
+
+type t = {
+  cfg : Config.t;
+  mem : Memory.t;
+  metrics : Metrics.t;
+  mutable cprog : Compile.cprog option;
+  events : event Event_queue.t;
+  sms : float array;  (** Per-SM earliest-free time. *)
+  mutable launch_q_free : float;  (** Grid-management unit earliest-free. *)
+  mutable clock : float;
+  mutable next_grid_id : int;
+  trace : Trace.t;
+}
+
+let create (cfg : Config.t) (mem : Memory.t) (metrics : Metrics.t) =
+  {
+    cfg;
+    mem;
+    metrics;
+    cprog = None;
+    events = Event_queue.create ();
+    sms = Array.make cfg.num_sms 0.0;
+    launch_q_free = 0.0;
+    clock = 0.0;
+    next_grid_id = 0;
+    trace = Trace.create ();
+  }
+
+let cprog_exn t =
+  match t.cprog with
+  | Some p -> p
+  | None -> Value.error "no program loaded on the device"
+
+(** Enqueue all blocks of a grid, schedulable from [ready]. [issue] is when
+    the launch was issued (for tracing queue waits); defaults to [ready]. *)
+let launch_grid ?issue ?(from_host = false) t ~(kernel : Compile.cfunc)
+    ~(grid : dim3) ~(block : dim3) ~(args : Value.t list) ~(ready : float)
+    ~(default_idx : int) =
+  let gx, gy, gz = grid in
+  let nblocks = gx * gy * gz in
+  if nblocks <= 0 then Value.error "launch of %S with empty grid" kernel.cf_name;
+  if Value.dim3_total block > t.cfg.max_threads_per_block then
+    Value.error "launch of %S with %d threads per block (max %d)"
+      kernel.cf_name (Value.dim3_total block) t.cfg.max_threads_per_block;
+  let g =
+    {
+      g_id = t.next_grid_id;
+      g_kernel = kernel;
+      g_grid = grid;
+      g_block = block;
+      g_args = args;
+      g_default_idx = default_idx;
+      g_blocks_left = nblocks;
+      g_last_finish = ready;
+    }
+  in
+  t.next_grid_id <- t.next_grid_id + 1;
+  t.metrics.grids_launched <- t.metrics.grids_launched + 1;
+  Trace.record t.trace
+    (Trace.Grid_launched
+       {
+         t_grid_id = g.g_id;
+         t_kernel = kernel.cf_name;
+         t_blocks = nblocks;
+         t_from_host = from_host;
+         t_issue = Option.value issue ~default:ready;
+         t_ready = ready;
+       });
+  for bz = 0 to gz - 1 do
+    for by = 0 to gy - 1 do
+      for bx = 0 to gx - 1 do
+        Event_queue.push t.events ready (Block_ready (g, (bx, by, bz)))
+      done
+    done
+  done
+
+(** Route a device-side launch through the grid-management unit. Returns the
+    time at which the child grid becomes schedulable. *)
+let process_device_launch t ~issue =
+  let cfg = t.cfg in
+  let start = Float.max issue t.launch_q_free in
+  t.launch_q_free <- start +. float_of_int cfg.launch_service_interval;
+  let ready = t.launch_q_free +. float_of_int cfg.device_launch_latency in
+  t.metrics.device_launches <- t.metrics.device_launches + 1;
+  t.metrics.breakdown.launch_cycles <-
+    t.metrics.breakdown.launch_cycles +. (ready -. issue);
+  let pending =
+    int_of_float
+      ((t.launch_q_free -. issue) /. float_of_int cfg.launch_service_interval)
+  in
+  if pending > t.metrics.max_pending_launches then
+    t.metrics.max_pending_launches <- pending;
+  ready
+
+let process_host_launch t ~issue =
+  let ready = issue +. float_of_int t.cfg.host_launch_latency in
+  t.metrics.host_launches <- t.metrics.host_launches + 1;
+  t.metrics.breakdown.launch_cycles <-
+    t.metrics.breakdown.launch_cycles +. (ready -. issue);
+  ready
+
+let resolve_kernel t name =
+  let cf = Compile.find_func_exn (cprog_exn t) name in
+  if cf.cf_kind <> Minicu.Ast.Global then
+    Value.error "%S is not a __global__ kernel" name;
+  cf
+
+let dispatch_launch_req t ~(base : float) (lr : Compile.launch_req) =
+  let kernel = resolve_kernel t lr.lr_kernel in
+  let ready =
+    if lr.lr_from_host then process_host_launch t ~issue:base
+    else process_device_launch t ~issue:base
+  in
+  launch_grid t ~issue:base ~from_host:lr.lr_from_host ~kernel
+    ~grid:lr.lr_grid ~block:lr.lr_block ~args:lr.lr_args ~ready
+    ~default_idx:Metrics.tag_child
+
+let grid_completed t (g : grid) =
+  match g.g_kernel.cf_followup with
+  | None -> ()
+  | Some followup ->
+      (* Grid-granularity aggregation: the host performs the aggregated
+         launch once the parent grid has drained (Section V-A). *)
+      let launches =
+        Exec.run_host_stmts g.g_kernel followup ~args:g.g_args ~grid:g.g_grid
+          ~block:g.g_block ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics
+      in
+      List.iter
+        (fun (lr : Compile.launch_req) ->
+          dispatch_launch_req t ~base:g.g_last_finish
+            { lr with lr_from_host = true })
+        launches
+
+let step t =
+  let te, Block_ready (g, bidx) = Event_queue.pop t.events in
+  (* earliest-free SM *)
+  let sm = ref 0 in
+  for i = 1 to Array.length t.sms - 1 do
+    if t.sms.(i) < t.sms.(!sm) then sm := i
+  done;
+  let start = Float.max te t.sms.(!sm) in
+  let r =
+    Exec.run_block (cprog_exn t) g.g_kernel ~args:g.g_args ~gdim:g.g_grid
+      ~bdim:g.g_block ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics
+      ~default_idx:g.g_default_idx
+  in
+  let sched = float_of_int t.cfg.block_sched_overhead in
+  let finish = start +. sched +. r.r_compute_cycles in
+  t.sms.(!sm) <- finish;
+  if finish > t.clock then t.clock <- finish;
+  Trace.record t.trace
+    (Trace.Block_dispatched
+       { b_grid_id = g.g_id; b_sm = !sm; b_start = start; b_finish = finish });
+  let par = float_of_int t.cfg.sm_warp_parallelism in
+  List.iter
+    (fun (lr : Compile.launch_req) ->
+      let offset = Float.min (lr.lr_issue_cost /. par) r.r_compute_cycles in
+      dispatch_launch_req t ~base:(start +. sched +. offset) lr)
+    r.r_launches;
+  g.g_blocks_left <- g.g_blocks_left - 1;
+  if finish > g.g_last_finish then g.g_last_finish <- finish;
+  if g.g_blocks_left = 0 then begin
+    Trace.record t.trace
+      (Trace.Grid_completed { c_grid_id = g.g_id; c_finish = g.g_last_finish });
+    grid_completed t g
+  end
+
+(** Drain all pending work; returns the simulated clock. *)
+let run_to_idle t =
+  while not (Event_queue.is_empty t.events) do
+    step t
+  done;
+  t.metrics.makespan <- t.clock;
+  t.clock

@@ -1,0 +1,62 @@
+(** Discrete-event grid/block scheduler.
+
+    Blocks queue onto the earliest-free SM (approximating the hardware FIFO
+    block scheduler). Every device-side launch is serviced by a single
+    grid-management unit at one launch per
+    {!Config.launch_service_interval} cycles — queueing behind it is the
+    launch congestion the paper identifies. Host launches pay
+    {!Config.host_launch_latency} and bypass that queue. *)
+
+type dim3 = int * int * int
+
+type grid = {
+  g_id : int;
+  g_kernel : Compile.cfunc;
+  g_grid : dim3;
+  g_block : dim3;
+  g_args : Value.t list;
+  g_default_idx : int;
+  mutable g_blocks_left : int;
+  mutable g_last_finish : float;
+}
+
+type event = Block_ready of grid * dim3
+
+type t = {
+  cfg : Config.t;
+  mem : Memory.t;
+  metrics : Metrics.t;
+  mutable cprog : Compile.cprog option;
+  events : event Event_queue.t;
+  sms : float array;
+  mutable launch_q_free : float;
+  mutable clock : float;
+  mutable next_grid_id : int;
+  trace : Trace.t;  (** Off by default; see {!Trace.enable}. *)
+}
+
+val create : Config.t -> Memory.t -> Metrics.t -> t
+
+(** Enqueue all blocks of a grid, schedulable from [ready]. [issue] (for
+    trace queue-wait accounting) defaults to [ready]. *)
+val launch_grid :
+  ?issue:float ->
+  ?from_host:bool ->
+  t ->
+  kernel:Compile.cfunc ->
+  grid:dim3 ->
+  block:dim3 ->
+  args:Value.t list ->
+  ready:float ->
+  default_idx:int ->
+  unit
+
+(** Route a host-side launch; returns when the grid becomes schedulable. *)
+val process_host_launch : t -> issue:float -> float
+
+(** Resolve a kernel by name. @raise Value.Runtime_error if it is missing
+    or not [__global__]. *)
+val resolve_kernel : t -> string -> Compile.cfunc
+
+(** Drain all pending work; returns (and records) the simulated clock. *)
+val run_to_idle : t -> float

@@ -1,0 +1,108 @@
+(** Optional execution tracing: a timeline of grid launches, block
+    dispatches, and grid completions, with launch-queue wait times made
+    explicit. Enable with {!Device.enable_trace}; render with
+    {!timeline}. *)
+
+type grid_info = {
+  t_grid_id : int;
+  t_kernel : string;
+  t_blocks : int;
+  t_from_host : bool;
+  t_issue : float;  (** When the launch was issued. *)
+  t_ready : float;  (** When the grid became schedulable. *)
+}
+
+type event =
+  | Grid_launched of grid_info
+  | Block_dispatched of { b_grid_id : int; b_sm : int; b_start : float; b_finish : float }
+  | Grid_completed of { c_grid_id : int; c_finish : float }
+
+type t = { mutable events : event list; mutable enabled : bool }
+
+let create () = { events = []; enabled = false }
+let enable t = t.enabled <- true
+let record t ev = if t.enabled then t.events <- ev :: t.events
+let events t = List.rev t.events
+let clear t = t.events <- []
+
+(* per-grid summary: (info, first block start, last finish, block count) *)
+type grid_summary = {
+  g_info : grid_info;
+  g_first_start : float;
+  g_finish : float;
+  g_blocks_seen : int;
+  g_sms_used : int;
+}
+
+let summarize (evs : event list) : grid_summary list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Grid_launched info ->
+          Hashtbl.replace tbl info.t_grid_id (info, infinity, 0.0, 0, [])
+      | Block_dispatched b -> (
+          match Hashtbl.find_opt tbl b.b_grid_id with
+          | Some (info, first, fin, n, sms) ->
+              Hashtbl.replace tbl b.b_grid_id
+                ( info,
+                  Float.min first b.b_start,
+                  Float.max fin b.b_finish,
+                  n + 1,
+                  b.b_sm :: sms )
+          | None -> ())
+      | Grid_completed c -> (
+          match Hashtbl.find_opt tbl c.c_grid_id with
+          | Some (info, first, fin, n, sms) ->
+              Hashtbl.replace tbl c.c_grid_id
+                (info, first, Float.max fin c.c_finish, n, sms)
+          | None -> ()))
+    evs;
+  Hashtbl.fold
+    (fun _ (info, first, fin, n, sms) acc ->
+      {
+        g_info = info;
+        g_first_start = first;
+        g_finish = fin;
+        g_blocks_seen = n;
+        g_sms_used = List.length (List.sort_uniq compare sms);
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.g_info.t_grid_id b.g_info.t_grid_id)
+
+(** Render a per-grid timeline: issue time, queue wait, execution span,
+    blocks, SM footprint. *)
+let timeline ppf (evs : event list) =
+  let gs = summarize evs in
+  Fmt.pf ppf
+    "%5s %-22s %5s %10s %9s %10s %10s %7s %4s@." "grid" "kernel" "src"
+    "issue" "q-wait" "start" "finish" "blocks" "SMs";
+  List.iter
+    (fun g ->
+      Fmt.pf ppf "%5d %-22s %5s %10.0f %9.0f %10.0f %10.0f %7d %4d@."
+        g.g_info.t_grid_id g.g_info.t_kernel
+        (if g.g_info.t_from_host then "host" else "dev")
+        g.g_info.t_issue
+        (g.g_info.t_ready -. g.g_info.t_issue)
+        (if g.g_first_start = infinity then g.g_info.t_ready
+         else g.g_first_start)
+        g.g_finish g.g_blocks_seen g.g_sms_used)
+    gs;
+  (* aggregate queue-wait statistics: the congestion signal *)
+  let dev_waits =
+    List.filter_map
+      (fun g ->
+        if g.g_info.t_from_host then None
+        else Some (g.g_info.t_ready -. g.g_info.t_issue))
+      gs
+  in
+  match dev_waits with
+  | [] -> ()
+  | ws ->
+      let n = float_of_int (List.length ws) in
+      Fmt.pf ppf
+        "device launches: %d, queue wait avg %.0f / max %.0f cycles@."
+        (List.length ws)
+        (List.fold_left ( +. ) 0.0 ws /. n)
+        (List.fold_left Float.max 0.0 ws)

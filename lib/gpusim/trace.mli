@@ -1,0 +1,47 @@
+(** Optional execution tracing: a per-grid timeline of launches, block
+    dispatches and completions, with launch-queue waits made explicit.
+    Disabled by default (zero overhead beyond a branch); enable via
+    {!Device.enable_trace}. *)
+
+type grid_info = {
+  t_grid_id : int;
+  t_kernel : string;
+  t_blocks : int;
+  t_from_host : bool;
+  t_issue : float;
+  t_ready : float;  (** [t_ready - t_issue] is the launch-path wait. *)
+}
+
+type event =
+  | Grid_launched of grid_info
+  | Block_dispatched of {
+      b_grid_id : int;
+      b_sm : int;
+      b_start : float;
+      b_finish : float;
+    }
+  | Grid_completed of { c_grid_id : int; c_finish : float }
+
+type t
+
+val create : unit -> t
+val enable : t -> unit
+val record : t -> event -> unit
+
+(** Events in chronological (recording) order. *)
+val events : t -> event list
+
+val clear : t -> unit
+
+type grid_summary = {
+  g_info : grid_info;
+  g_first_start : float;
+  g_finish : float;
+  g_blocks_seen : int;
+  g_sms_used : int;
+}
+
+val summarize : event list -> grid_summary list
+
+(** Render the per-grid table plus device-launch queue-wait statistics. *)
+val timeline : Format.formatter -> event list -> unit

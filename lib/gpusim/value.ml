@@ -1,0 +1,64 @@
+(** Runtime values of the MiniCU interpreter. *)
+
+type ptr = {
+  buf : int;  (** Buffer id in {!Memory}. *)
+  off : int;  (** Element offset. *)
+}
+
+type t =
+  | Unit
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Dim3 of (int * int * int)
+  | Ptr of ptr
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+let pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Int n -> Fmt.int ppf n
+  | Float f -> Fmt.float ppf f
+  | Bool b -> Fmt.bool ppf b
+  | Dim3 (x, y, z) -> Fmt.pf ppf "dim3(%d,%d,%d)" x y z
+  | Ptr p -> Fmt.pf ppf "ptr(%d+%d)" p.buf p.off
+
+let to_string v = Fmt.str "%a" pp v
+
+(** Coercions follow C semantics: bools are 0/1 integers, ints widen to
+    floats on demand. *)
+
+let as_int = function
+  | Int n -> n
+  | Bool b -> if b then 1 else 0
+  | Float f -> int_of_float f
+  | v -> error "expected an int, got %a" pp v
+
+let as_float = function
+  | Float f -> f
+  | Int n -> float_of_int n
+  | Bool b -> if b then 1.0 else 0.0
+  | v -> error "expected a float, got %a" pp v
+
+let as_bool = function
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Float f -> f <> 0.0
+  | v -> error "expected a bool, got %a" pp v
+
+let as_ptr = function Ptr p -> p | v -> error "expected a pointer, got %a" pp v
+
+(** [as_dim3 v] reads a launch-configuration value: a plain integer [n]
+    denotes [dim3(n, 1, 1)], as in CUDA. *)
+let as_dim3 = function
+  | Dim3 (x, y, z) -> (x, y, z)
+  | Int n -> (n, 1, 1)
+  | Bool b -> ((if b then 1 else 0), 1, 1)
+  | v -> error "expected a dim3 or int, got %a" pp v
+
+let dim3_total (x, y, z) = x * y * z
+
+(** Numeric binary operation dispatch: float if either side is float. *)
+let is_float = function Float _ -> true | _ -> false

@@ -1,0 +1,38 @@
+(** Runtime values of the MiniCU interpreter. *)
+
+type ptr = {
+  buf : int;  (** Buffer id in {!Memory}. *)
+  off : int;  (** Element offset. *)
+}
+
+type t =
+  | Unit
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Dim3 of (int * int * int)
+  | Ptr of ptr
+
+exception Runtime_error of string
+
+(** [error fmt ...] raises {!Runtime_error} with a formatted message. *)
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Coercions follow C semantics: bools are 0/1, ints widen to floats,
+    floats truncate toward zero to ints.
+    @raise Runtime_error on non-numeric input. *)
+
+val as_int : t -> int
+val as_float : t -> float
+val as_bool : t -> bool
+val as_ptr : t -> ptr
+
+(** A plain integer [n] converts to [dim3(n, 1, 1)], as in CUDA launch
+    configurations. *)
+val as_dim3 : t -> int * int * int
+
+val dim3_total : int * int * int -> int
+val is_float : t -> bool

@@ -1,0 +1,155 @@
+(** Ablation studies of the simulator's design choices (DESIGN.md §4).
+
+    The reproduction's validity rests on three modeled mechanisms producing
+    the paper's effects. Each ablation turns one knob and checks that the
+    corresponding effect appears/disappears, on one benchmark:
+
+    - {b launch congestion} ({!Gpusim.Config.launch_service_interval}): the
+      paper attributes CDP's collapse to launch-queue congestion. With the
+      service interval near zero, plain CDP should approach the aggregated
+      version; as it grows, the CDP/aggregated gap must widen.
+    - {b launch-existence overhead} ({!Gpusim.Config.cdp_entry_cost}): the
+      Section VIII-D effect — on road graphs, CDP+T tuned to serialize
+      everything still trails No CDP, and the residual gap must track this
+      knob (at 0 it should almost vanish).
+    - {b machine width} ({!Gpusim.Config.num_sms}): underutilization — the
+      benefit of parallelizing nested work over serializing it must grow
+      with the number of SMs. *)
+
+type row = { knob : float; values : (string * float) list }
+
+type study = {
+  study : string;
+  knob_name : string;
+  bench : string;
+  dataset : string;
+  rows : row list;
+}
+
+let run_spec ?cfg spec variant =
+  (Experiment.run ?cfg spec variant).Experiment.time
+
+(* -- 1: congestion -------------------------------------------------- *)
+
+let congestion ?(intervals = [ 0; 100; 500; 2000 ]) () : study =
+  let spec =
+    Benchmarks.Bfs.spec ~dataset:(Workloads.Graph_gen.kron_dataset ~scale:9 ())
+  in
+  let agg =
+    Variant.Cdp
+      (Dpopt.Pipeline.make ~granularity:(Dpopt.Aggregation.Multi_block 8) ())
+  in
+  let rows =
+    List.map
+      (fun interval ->
+        let cfg =
+          { Gpusim.Config.default with launch_service_interval = interval }
+        in
+        let t_cdp = run_spec ~cfg spec (Variant.Cdp Dpopt.Pipeline.none) in
+        let t_agg = run_spec ~cfg spec agg in
+        {
+          knob = float_of_int interval;
+          values =
+            [
+              ("CDP", t_cdp); ("CDP+A", t_agg); ("CDP/CDP+A", t_cdp /. t_agg);
+            ];
+        })
+      intervals
+  in
+  {
+    study = "launch congestion drives CDP's collapse";
+    knob_name = "launch_service_interval";
+    bench = spec.name;
+    dataset = spec.dataset;
+    rows;
+  }
+
+(* -- 2: launch-existence overhead ----------------------------------- *)
+
+let launch_existence ?(costs = [ 0; 8; 16; 64 ]) () : study =
+  let spec =
+    Benchmarks.Bfs.spec
+      ~dataset:(Workloads.Graph_gen.road_dataset ~rows:24 ~cols:24 ())
+  in
+  (* threshold beyond the largest launch: CDP+T degenerates to No CDP's
+     behavior, modulo the existence overhead (Section VIII-D) *)
+  let t_all =
+    Variant.Cdp (Dpopt.Pipeline.make ~threshold:(4 * spec.max_child_threads) ())
+  in
+  let rows =
+    List.map
+      (fun cost ->
+        let cfg = { Gpusim.Config.default with cdp_entry_cost = cost } in
+        let t_nocdp = run_spec ~cfg spec Variant.No_cdp in
+        let t_cdpt = run_spec ~cfg spec t_all in
+        {
+          knob = float_of_int cost;
+          values =
+            [
+              ("No CDP", t_nocdp);
+              ("CDP+T(all serialized)", t_cdpt);
+              ("residual gap", t_cdpt /. t_nocdp);
+            ];
+        })
+      costs
+  in
+  {
+    study = "launch-existence overhead explains the road-graph residual";
+    knob_name = "cdp_entry_cost";
+    bench = spec.name;
+    dataset = spec.dataset;
+    rows;
+  }
+
+(* -- 3: machine width ------------------------------------------------ *)
+
+let machine_width ?(sms = [ 4; 16; 64 ]) () : study =
+  let spec =
+    Benchmarks.Bfs.spec ~dataset:(Workloads.Graph_gen.kron_dataset ~scale:9 ())
+  in
+  let tca =
+    Variant.Cdp
+      (Dpopt.Pipeline.make ~threshold:32 ~cfactor:8
+         ~granularity:(Dpopt.Aggregation.Multi_block 8) ())
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let cfg = { Gpusim.Config.default with num_sms = n } in
+        let t_nocdp = run_spec ~cfg spec Variant.No_cdp in
+        let t_tca = run_spec ~cfg spec tca in
+        {
+          knob = float_of_int n;
+          values =
+            [
+              ("No CDP", t_nocdp);
+              ("CDP+T+C+A", t_tca);
+              ("NoCDP/TCA", t_nocdp /. t_tca);
+            ];
+        })
+      sms
+  in
+  {
+    study = "wider machines reward parallelized nested work";
+    knob_name = "num_sms";
+    bench = spec.name;
+    dataset = spec.dataset;
+    rows;
+  }
+
+let all () = [ congestion (); launch_existence (); machine_width () ]
+
+let print (s : study) =
+  Fmt.pr "@.--- ablation: %s (%s/%s) ---@." s.study s.bench s.dataset;
+  (match s.rows with
+  | { values; _ } :: _ ->
+      Fmt.pr "%22s" s.knob_name;
+      List.iter (fun (label, _) -> Fmt.pr " %22s" label) values;
+      Fmt.pr "@."
+  | [] -> ());
+  List.iter
+    (fun r ->
+      Fmt.pr "%22.0f" r.knob;
+      List.iter (fun (_, v) -> Fmt.pr " %22.1f" v) r.values;
+      Fmt.pr "@.")
+    s.rows

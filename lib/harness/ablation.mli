@@ -1,0 +1,28 @@
+(** Ablation studies of the simulator's design choices (DESIGN.md §4):
+    each turns one {!Gpusim.Config} knob and measures whether the paper
+    effect it models appears/disappears. Run via
+    [bench/main.exe ablation]. *)
+
+type row = { knob : float; values : (string * float) list }
+
+type study = {
+  study : string;
+  knob_name : string;
+  bench : string;
+  dataset : string;
+  rows : row list;
+}
+
+(** Launch-queue service interval vs the CDP/CDP+A gap: congestion is what
+    collapses plain CDP. *)
+val congestion : ?intervals:int list -> unit -> study
+
+(** [cdp_entry_cost] vs the road-graph residual of fully-serialized CDP+T
+    over No CDP (the Section VIII-D launch-existence overhead). *)
+val launch_existence : ?costs:int list -> unit -> study
+
+(** SM count vs the No-CDP / CDP+T+C+A balance (underutilization). *)
+val machine_width : ?sms:int list -> unit -> study
+
+val all : unit -> study list
+val print : study -> unit

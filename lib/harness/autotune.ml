@@ -1,0 +1,119 @@
+(** A small derivative-free autotuner for the optimization parameters.
+
+    Section VIII-C notes the framework "exposes these parameters in a
+    configurable manner to make it easy for users to leverage off-the-shelf
+    autotuners" (they cite OpenTuner). This module is a self-contained
+    stand-in: random sampling over the parameter space followed by greedy
+    neighborhood descent, with a run budget. It typically lands within a
+    few percent of the exhaustive search at a fraction of the runs —
+    matching the paper's observation that "users can typically find a
+    combination of parameters that is very close to the best with less
+    than ten runs". *)
+
+type space = {
+  thresholds : int list;
+  cfactors : int list;
+  granularities : Dpopt.Aggregation.granularity list;
+}
+
+let default_space (spec : Benchmarks.Bench_common.spec) =
+  {
+    thresholds = Tuning.threshold_grid spec;
+    cfactors = [ 1; 2; 4; 8; 16; 32 ];
+    granularities = Tuning.all_granularities;
+  }
+
+type outcome = {
+  best_params : Variant.params;
+  best_time : float;
+  runs_used : int;
+  trace : (Variant.params * float) list;  (** Evaluation order. *)
+}
+
+(* index-based point in the space *)
+type point = { ti : int; ci : int; gi : int }
+
+let params_of_point space p : Variant.params =
+  {
+    Variant.threshold = List.nth space.thresholds p.ti;
+    cfactor = List.nth space.cfactors p.ci;
+    granularity = List.nth space.granularities p.gi;
+    agg_threshold = None;
+  }
+
+let neighbors space p =
+  let clamp hi v = max 0 (min (hi - 1) v) in
+  let t_hi = List.length space.thresholds
+  and c_hi = List.length space.cfactors
+  and g_hi = List.length space.granularities in
+  List.sort_uniq compare
+    [
+      { p with ti = clamp t_hi (p.ti - 1) };
+      { p with ti = clamp t_hi (p.ti + 1) };
+      { p with ci = clamp c_hi (p.ci - 1) };
+      { p with ci = clamp c_hi (p.ci + 1) };
+      { p with gi = clamp g_hi (p.gi - 1) };
+      { p with gi = clamp g_hi (p.gi + 1) };
+    ]
+  |> List.filter (fun q -> q <> p)
+
+(** [search ?budget ?seed ?space spec combo] tunes the enabled passes of
+    [combo] with at most [budget] simulator runs (default 12). Runs are
+    memoized, deterministic, and each validates the benchmark output. *)
+let search ?(budget = 12) ?(seed = 1) ?space
+    (spec : Benchmarks.Bench_common.spec) (combo : Variant.combo) : outcome =
+  let space = Option.value space ~default:(default_space spec) in
+  let rng = Workloads.Rng.create ~seed in
+  let cache = Hashtbl.create 16 in
+  let trace = ref [] in
+  let runs = ref 0 in
+  let eval p =
+    match Hashtbl.find_opt cache p with
+    | Some t -> t
+    | None ->
+        incr runs;
+        let params = params_of_point space p in
+        let m = Experiment.run spec (Variant.instantiate combo params) in
+        Hashtbl.add cache p m.Experiment.time;
+        trace := (params, m.Experiment.time) :: !trace;
+        m.Experiment.time
+  in
+  let random_point () =
+    {
+      ti = Workloads.Rng.int rng (List.length space.thresholds);
+      ci = Workloads.Rng.int rng (List.length space.cfactors);
+      gi = Workloads.Rng.int rng (List.length space.granularities);
+    }
+  in
+  (* phase 1: random sampling for half the budget *)
+  let best = ref (random_point ()) in
+  let best_t = ref (eval !best) in
+  while !runs < (budget + 1) / 2 do
+    let p = random_point () in
+    let t = eval p in
+    if t < !best_t then begin
+      best := p;
+      best_t := t
+    end
+  done;
+  (* phase 2: greedy neighborhood descent with the remaining budget *)
+  let improved = ref true in
+  while !improved && !runs < budget do
+    improved := false;
+    List.iter
+      (fun q ->
+        if !runs < budget then
+          let t = eval q in
+          if t < !best_t then begin
+            best := q;
+            best_t := t;
+            improved := true
+          end)
+      (neighbors space !best)
+  done;
+  {
+    best_params = params_of_point space !best;
+    best_time = !best_t;
+    runs_used = !runs;
+    trace = List.rev !trace;
+  }

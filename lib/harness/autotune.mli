@@ -1,0 +1,28 @@
+(** A small derivative-free autotuner over the optimization parameters
+    (the paper cites OpenTuner in Section VIII-C; this is a self-contained
+    stand-in): random sampling, then greedy neighborhood descent, under a
+    simulator-run budget. Deterministic given [seed]; every evaluation
+    validates the benchmark output. *)
+
+type space = {
+  thresholds : int list;
+  cfactors : int list;
+  granularities : Dpopt.Aggregation.granularity list;
+}
+
+val default_space : Benchmarks.Bench_common.spec -> space
+
+type outcome = {
+  best_params : Variant.params;
+  best_time : float;
+  runs_used : int;
+  trace : (Variant.params * float) list;  (** Evaluation order. *)
+}
+
+val search :
+  ?budget:int ->
+  ?seed:int ->
+  ?space:space ->
+  Benchmarks.Bench_common.spec ->
+  Variant.combo ->
+  outcome

@@ -1,0 +1,100 @@
+(** CSV export of experiment results — the paper's artifact scripts emit
+    CSVs of execution times per benchmark/dataset/configuration, and so do
+    we ([bench/main.exe --csv=DIR]). *)
+
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let write_rows path ~header rows =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (String.concat "," (List.map escape header));
+      Out_channel.output_char oc '\n';
+      List.iter
+        (fun row ->
+          Out_channel.output_string oc
+            (String.concat "," (List.map escape row));
+          Out_channel.output_char oc '\n')
+        rows)
+
+(** Fig. 9 rows: one line per (bench, dataset) with absolute simulated
+    times per code version. *)
+let fig9 path (rows : Figures.fig9_row list) =
+  let header =
+    [ "bench"; "dataset"; "CDP"; "NoCDP" ]
+    @ List.concat_map
+        (fun (label, _, _) -> [ label; label ^ "_params" ])
+        (match rows with r :: _ -> r.combos | [] -> [])
+  in
+  write_rows path ~header
+    (List.map
+       (fun (r : Figures.fig9_row) ->
+         [ r.bench; r.dataset;
+           Printf.sprintf "%.0f" r.cdp_time;
+           Printf.sprintf "%.0f" r.no_cdp_time ]
+         @ List.concat_map
+             (fun (_, time, params) ->
+               [
+                 Printf.sprintf "%.0f" time;
+                 Fmt.str "%a" Variant.pp_params params;
+               ])
+             r.combos)
+       rows)
+
+(** Fig. 11 sweep: long format, one line per cell. *)
+let fig11 path
+    (data :
+      (string * string * float
+      * (int * (Dpopt.Aggregation.granularity option * float) list) list)
+      list) =
+  let rows =
+    List.concat_map
+      (fun (bench, dataset, cdp_time, table) ->
+        List.concat_map
+          (fun (threshold, cells) ->
+            List.map
+              (fun (gran, time) ->
+                [
+                  bench;
+                  dataset;
+                  string_of_int threshold;
+                  (match gran with
+                  | None -> "none"
+                  | Some g -> Fmt.str "%a" Dpopt.Aggregation.pp_granularity g);
+                  Printf.sprintf "%.0f" time;
+                  Printf.sprintf "%.3f" (cdp_time /. time);
+                ])
+              cells)
+          table)
+      data
+  in
+  write_rows path
+    ~header:
+      [ "bench"; "dataset"; "threshold"; "granularity"; "time_cycles";
+        "speedup_vs_cdp" ]
+    rows
+
+(** Fig. 10 breakdown: long format. *)
+let fig10 path (data : (string * string * Figures.fig10_cell list) list) =
+  let rows =
+    List.concat_map
+      (fun (bench, dataset, cells) ->
+        List.map
+          (fun (c : Figures.fig10_cell) ->
+            [
+              bench; dataset; c.variant;
+              Printf.sprintf "%.0f" c.parent;
+              Printf.sprintf "%.0f" c.child;
+              Printf.sprintf "%.0f" c.agg;
+              Printf.sprintf "%.0f" c.launch;
+              Printf.sprintf "%.0f" c.disagg;
+            ])
+          cells)
+      data
+  in
+  write_rows path
+    ~header:
+      [ "bench"; "dataset"; "variant"; "parent"; "child"; "aggregation";
+        "launch"; "disaggregation" ]
+    rows

@@ -1,0 +1,23 @@
+(** CSV export of experiment results (the paper's artifact scripts emit
+    CSVs of execution times per benchmark/dataset/configuration). Enabled
+    via [bench/main.exe -- fig9 --csv=DIR]. *)
+
+val escape : string -> string
+val write_rows : string -> header:string list -> string list list -> unit
+
+(** One line per (bench, dataset): absolute times per code version plus the
+    winning parameters. *)
+val fig9 : string -> Figures.fig9_row list -> unit
+
+(** Long format: bench, dataset, threshold, granularity, time, speedup. *)
+val fig11 :
+  string ->
+  (string
+  * string
+  * float
+  * (int * (Dpopt.Aggregation.granularity option * float) list) list)
+  list ->
+  unit
+
+(** Long format: bench, dataset, variant, five breakdown categories. *)
+val fig10 : string -> (string * string * Figures.fig10_cell list) list -> unit

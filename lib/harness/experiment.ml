@@ -1,0 +1,66 @@
+(** Run one (benchmark, dataset, variant) cell and snapshot its results. *)
+
+type snapshot = {
+  parent_cycles : float;
+  child_cycles : float;
+  agg_cycles : float;
+  disagg_cycles : float;
+  launch_cycles : float;
+  grids_launched : int;
+  device_launches : int;
+  host_launches : int;
+  blocks_executed : int;
+  threads_executed : int;
+  serialized_launches : int;
+  max_pending_launches : int;
+}
+
+let snapshot_of_metrics (m : Gpusim.Metrics.t) : snapshot =
+  {
+    parent_cycles = m.breakdown.parent_cycles;
+    child_cycles = m.breakdown.child_cycles;
+    agg_cycles = m.breakdown.agg_cycles;
+    disagg_cycles = m.breakdown.disagg_cycles;
+    launch_cycles = m.breakdown.launch_cycles;
+    grids_launched = m.grids_launched;
+    device_launches = m.device_launches;
+    host_launches = m.host_launches;
+    blocks_executed = m.blocks_executed;
+    threads_executed = m.threads_executed;
+    serialized_launches = m.serialized_launches;
+    max_pending_launches = m.max_pending_launches;
+  }
+
+type measurement = {
+  bench : string;
+  dataset : string;
+  variant : string;
+  time : float;  (** Simulated cycles for the whole application run. *)
+  fingerprint : int;
+  snap : snapshot;
+}
+
+exception Validation_failure of string
+
+(** [run ?cfg ?validate spec variant] executes the benchmark under the
+    variant. With [~validate:true] (default) the output fingerprint is
+    checked against the pure-OCaml reference and a mismatch raises
+    {!Validation_failure} — transformed code must be {e correct}, not just
+    fast. *)
+let run ?cfg ?(validate = true) (spec : Benchmarks.Bench_common.spec)
+    (variant : Variant.t) : measurement =
+  let v = match variant with Variant.No_cdp -> `No_cdp | Variant.Cdp o -> `Cdp o in
+  let fp, time, metrics = Benchmarks.Bench_common.run_variant ?cfg spec v in
+  if validate && fp <> spec.reference () then
+    raise
+      (Validation_failure
+         (Fmt.str "%s/%s under %s: fingerprint %d, reference %d" spec.name
+            spec.dataset (Variant.label variant) fp (spec.reference ())));
+  {
+    bench = spec.name;
+    dataset = spec.dataset;
+    variant = Variant.label variant;
+    time;
+    fingerprint = fp;
+    snap = snapshot_of_metrics metrics;
+  }

@@ -1,0 +1,41 @@
+(** Run one (benchmark, dataset, variant) cell and snapshot its results. *)
+
+type snapshot = {
+  parent_cycles : float;
+  child_cycles : float;
+  agg_cycles : float;
+  disagg_cycles : float;
+  launch_cycles : float;
+  grids_launched : int;
+  device_launches : int;
+  host_launches : int;
+  blocks_executed : int;
+  threads_executed : int;
+  serialized_launches : int;
+  max_pending_launches : int;
+}
+
+val snapshot_of_metrics : Gpusim.Metrics.t -> snapshot
+
+type measurement = {
+  bench : string;
+  dataset : string;
+  variant : string;
+  time : float;  (** Simulated cycles for the whole application run. *)
+  fingerprint : int;
+  snap : snapshot;
+}
+
+exception Validation_failure of string
+
+(** [run ?cfg ?validate spec variant] executes the benchmark. With
+    [~validate:true] (default) the output fingerprint is checked against
+    the pure-OCaml reference.
+    @raise Validation_failure on mismatch — transformed code must be
+    correct, not just fast. *)
+val run :
+  ?cfg:Gpusim.Config.t ->
+  ?validate:bool ->
+  Benchmarks.Bench_common.spec ->
+  Variant.t ->
+  measurement

@@ -1,0 +1,23 @@
+(** Small statistics helpers for the experiment tables. *)
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let minimum xs = List.fold_left Float.min infinity xs
+let maximum xs = List.fold_left Float.max neg_infinity xs
+
+(** Render a speedup: "43.0x", or "0.08x" for slowdowns. *)
+let speedup_to_string s =
+  if Float.is_nan s then "-"
+  else if s >= 100.0 then Fmt.str "%.0fx" s
+  else if s >= 10.0 then Fmt.str "%.1fx" s
+  else Fmt.str "%.2fx" s

@@ -1,0 +1,11 @@
+(** Statistics helpers for the experiment tables. *)
+
+(** Geometric mean; [nan] on the empty list. *)
+val geomean : float list -> float
+
+val mean : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+(** Render a speedup: ["43.0x"], ["120x"], ["0.08x"]. *)
+val speedup_to_string : float -> string

@@ -1,0 +1,123 @@
+(** Parameter tuning (paper Section VII: "for each combination of
+    optimizations, we tune the relevant parameters and report results for
+    the best configuration").
+
+    The default grids follow the paper's own Section VIII-C advice — the
+    coarsening factor only needs to be "sufficiently large (>8)", warp
+    granularity is never favorable, and fewer than ten runs typically reach
+    near-best — so the quick search is small; {!sweep} is the exhaustive
+    search behind Fig. 11. *)
+
+(** Threshold candidates: powers of two up to the benchmark's largest
+    dynamic launch, so at least one launch still happens (Section VII). *)
+let threshold_grid ?(beyond_max = false) (spec : Benchmarks.Bench_common.spec)
+    =
+  let rec gen t acc =
+    if t > spec.max_child_threads then List.rev acc else gen (t * 2) (t :: acc)
+  in
+  let ts = gen 4 [] in
+  let ts = if ts = [] then [ 4 ] else ts in
+  if beyond_max then ts @ [ 4 * spec.max_child_threads ] else ts
+
+let quick_thresholds ?beyond_max spec =
+  (* three spread points of the full grid *)
+  let all = threshold_grid ?beyond_max spec in
+  let n = List.length all in
+  if n <= 3 then all
+  else [ List.nth all 0; List.nth all (n / 2); List.nth all (n - 1) ]
+
+let quick_cfactors = [ 2; 8 ]
+
+let quick_granularities =
+  [
+    Dpopt.Aggregation.Block;
+    Dpopt.Aggregation.Multi_block 8;
+    Dpopt.Aggregation.Grid;
+  ]
+
+let all_granularities =
+  [
+    Dpopt.Aggregation.Warp;
+    Dpopt.Aggregation.Block;
+    Dpopt.Aggregation.Multi_block 4;
+    Dpopt.Aggregation.Multi_block 16;
+    Dpopt.Aggregation.Grid;
+  ]
+
+(** Parameter grid for one T/C/A combination: only the enabled passes'
+    parameters vary. *)
+let param_grid ?(quick = true) ?beyond_max (combo : Variant.combo)
+    (spec : Benchmarks.Bench_common.spec) : Variant.params list =
+  let thresholds =
+    if combo.t then
+      if quick then quick_thresholds ?beyond_max spec
+      else threshold_grid ?beyond_max spec
+    else [ Variant.default_params.threshold ]
+  in
+  let cfactors =
+    if combo.c then (if quick then quick_cfactors else [ 2; 8; 32 ])
+    else [ Variant.default_params.cfactor ]
+  in
+  let grans =
+    if combo.a then
+      if quick then quick_granularities else all_granularities
+    else [ Variant.default_params.granularity ]
+  in
+  List.concat_map
+    (fun threshold ->
+      List.concat_map
+        (fun cfactor ->
+          List.map
+            (fun granularity ->
+              { Variant.threshold; cfactor; granularity; agg_threshold = None })
+            grans)
+        cfactors)
+    thresholds
+
+type tuned = {
+  best : Experiment.measurement;
+  best_params : Variant.params;
+  all_runs : (Variant.params * Experiment.measurement) list;
+}
+
+(** [tune ?quick ?cfg spec combo] runs the parameter grid and returns the
+    best (lowest simulated time) configuration, validating every run. *)
+let tune ?(quick = true) ?beyond_max ?cfg
+    (spec : Benchmarks.Bench_common.spec) (combo : Variant.combo) : tuned =
+  let grid = param_grid ~quick ?beyond_max combo spec in
+  let runs =
+    List.map
+      (fun p -> (p, Experiment.run ?cfg spec (Variant.instantiate combo p)))
+      grid
+  in
+  let best_p, best =
+    List.fold_left
+      (fun ((_, b) as acc) ((_, m) as cand) ->
+        if m.Experiment.time < b.Experiment.time then cand else acc)
+      (List.hd runs) (List.tl runs)
+  in
+  { best; best_params = best_p; all_runs = runs }
+
+(** Exhaustive threshold × granularity sweep at fixed coarsening factor —
+    the data behind Fig. 11. Returns
+    [(threshold, (granularity option, time) list) list]; [None] granularity
+    means thresholding-only (no aggregation). *)
+let sweep ?cfg ?(cfactor = 8) ?(granularities = all_granularities)
+    (spec : Benchmarks.Bench_common.spec) :
+    (int * (Dpopt.Aggregation.granularity option * float) list) list =
+  let thresholds = threshold_grid spec in
+  List.map
+    (fun threshold ->
+      let cell gran =
+        let params =
+          { Variant.threshold; cfactor; granularity =
+              Option.value gran ~default:Variant.default_params.granularity;
+            agg_threshold = None }
+        in
+        let combo = { Variant.t = true; c = true; a = gran <> None } in
+        let m = Experiment.run ?cfg spec (Variant.instantiate combo params) in
+        (gran, m.Experiment.time)
+      in
+      ( threshold,
+        List.map cell (None :: List.map Option.some granularities) ))
+    thresholds

@@ -1,0 +1,50 @@
+(** Parameter tuning (paper Section VII): per optimization combination,
+    search the relevant parameters and report the best configuration. The
+    quick grids follow the paper's Section VIII-C advice; {!sweep} is the
+    exhaustive search behind Fig. 11. *)
+
+(** Powers of two up to the benchmark's largest dynamic launch (so at least
+    one launch survives); [~beyond_max:true] appends one over-max point
+    (the Fig. 12 methodology). *)
+val threshold_grid :
+  ?beyond_max:bool -> Benchmarks.Bench_common.spec -> int list
+
+val quick_thresholds :
+  ?beyond_max:bool -> Benchmarks.Bench_common.spec -> int list
+
+val quick_cfactors : int list
+val quick_granularities : Dpopt.Aggregation.granularity list
+val all_granularities : Dpopt.Aggregation.granularity list
+
+(** Parameter grid for one combination: only enabled passes vary. *)
+val param_grid :
+  ?quick:bool ->
+  ?beyond_max:bool ->
+  Variant.combo ->
+  Benchmarks.Bench_common.spec ->
+  Variant.params list
+
+type tuned = {
+  best : Experiment.measurement;
+  best_params : Variant.params;
+  all_runs : (Variant.params * Experiment.measurement) list;
+}
+
+(** Run the grid; return the configuration with the lowest simulated time.
+    Every run validates the benchmark output. *)
+val tune :
+  ?quick:bool ->
+  ?beyond_max:bool ->
+  ?cfg:Gpusim.Config.t ->
+  Benchmarks.Bench_common.spec ->
+  Variant.combo ->
+  tuned
+
+(** Exhaustive threshold × granularity sweep at a fixed coarsening factor
+    (Fig. 11). [None] granularity = thresholding only. *)
+val sweep :
+  ?cfg:Gpusim.Config.t ->
+  ?cfactor:int ->
+  ?granularities:Dpopt.Aggregation.granularity list ->
+  Benchmarks.Bench_common.spec ->
+  (int * (Dpopt.Aggregation.granularity option * float) list) list

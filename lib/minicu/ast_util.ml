@@ -1,0 +1,243 @@
+(** AST traversal and rewriting utilities shared by the analysis and
+    transformation passes. *)
+
+open Ast
+
+(** {1 Expression traversal} *)
+
+(** [map_expr f e] rebuilds [e] bottom-up, applying [f] to every node after
+    its children have been rewritten. *)
+let rec map_expr f e =
+  let e' =
+    match e with
+    | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> e
+    | Unop (op, a) -> Unop (op, map_expr f a)
+    | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
+    | Ternary (c, a, b) -> Ternary (map_expr f c, map_expr f a, map_expr f b)
+    | Index (a, i) -> Index (map_expr f a, map_expr f i)
+    | Member (a, fl) -> Member (map_expr f a, fl)
+    | Call (g, args) -> Call (g, List.map (map_expr f) args)
+    | Cast (ty, a) -> Cast (ty, map_expr f a)
+    | Dim3_ctor (x, y, z) -> Dim3_ctor (map_expr f x, map_expr f y, map_expr f z)
+    | Addr_of a -> Addr_of (map_expr f a)
+  in
+  f e'
+
+(** [fold_expr f acc e] folds [f] over every node of [e] (pre-order). *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> acc
+  | Unop (_, a) | Member (a, _) | Cast (_, a) | Addr_of a -> fold_expr f acc a
+  | Binop (_, a, b) | Index (a, b) -> fold_expr f (fold_expr f acc a) b
+  | Ternary (c, a, b) -> fold_expr f (fold_expr f (fold_expr f acc c) a) b
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+  | Dim3_ctor (x, y, z) ->
+      fold_expr f (fold_expr f (fold_expr f acc x) y) z
+
+(** {1 Statement traversal} *)
+
+(** [map_stmts ~expr ~stmt ss] rewrites a statement list. [expr] is applied
+    to every expression (bottom-up); [stmt] is applied to every statement
+    after its children have been rewritten and may expand a statement into
+    several. *)
+let rec map_stmts ?(expr = fun e -> e) ?(stmt = fun s -> [ s ]) ss =
+  List.concat_map (map_stmt ~expr ~stmt) ss
+
+and map_stmt ~expr ~stmt s =
+  let me = map_expr expr in
+  let ms = map_stmts ~expr ~stmt in
+  let sdesc =
+    match s.sdesc with
+    | Decl (ty, x, init) -> Decl (ty, x, Option.map me init)
+    | Decl_shared (ty, x, size) -> Decl_shared (ty, x, me size)
+    | Assign (lv, e) -> Assign (me lv, me e)
+    | If (c, a, b) -> If (me c, ms a, ms b)
+    | For (init, cond, step, body) ->
+        let sub1 o =
+          Option.map
+            (fun st ->
+              match map_stmt ~expr ~stmt st with
+              | [ s1 ] -> s1
+              | _ ->
+                  invalid_arg
+                    "Ast_util.map_stmt: for-header rewrite must be 1-to-1")
+            o
+        in
+        For (sub1 init, Option.map me cond, sub1 step, ms body)
+    | While (c, body) -> While (me c, ms body)
+    | Return e -> Return (Option.map me e)
+    | Expr_stmt e -> Expr_stmt (me e)
+    | Launch l ->
+        Launch
+          {
+            l with
+            l_grid = me l.l_grid;
+            l_block = me l.l_block;
+            l_args = List.map me l.l_args;
+          }
+    | (Sync | Syncwarp | Threadfence | Break | Continue) as d -> d
+  in
+  stmt { s with sdesc }
+
+(** [fold_stmts f acc ss] folds [f] over every statement (pre-order,
+    including nested bodies and for-headers). *)
+let rec fold_stmts f acc ss = List.fold_left (fold_stmt f) acc ss
+
+and fold_stmt f acc s =
+  let acc = f acc s in
+  match s.sdesc with
+  | If (_, a, b) -> fold_stmts f (fold_stmts f acc a) b
+  | For (init, _, step, body) ->
+      let acc = match init with Some s -> fold_stmt f acc s | None -> acc in
+      let acc = match step with Some s -> fold_stmt f acc s | None -> acc in
+      fold_stmts f acc body
+  | While (_, body) -> fold_stmts f acc body
+  | _ -> acc
+
+(** [fold_exprs_in_stmts f acc ss] folds over every expression appearing in
+    the statements. *)
+let fold_exprs_in_stmts f acc ss =
+  fold_stmts
+    (fun acc s ->
+      let on = fold_expr f in
+      match s.sdesc with
+      | Decl (_, _, Some e)
+      | Decl_shared (_, _, e)
+      | Expr_stmt e
+      | Return (Some e) ->
+          on acc e
+      | Assign (lv, e) -> on (on acc lv) e
+      | If (c, _, _) | While (c, _) -> on acc c
+      | For (_, cond, _, _) -> (
+          match cond with Some c -> on acc c | None -> acc)
+      | Launch l ->
+          List.fold_left on (on (on acc l.l_grid) l.l_block) l.l_args
+      | _ -> acc)
+    acc ss
+
+(** {1 Queries} *)
+
+(** [uses_var x ss] — does any expression in [ss] mention variable [x]? *)
+let uses_var x ss =
+  fold_exprs_in_stmts
+    (fun found e -> found || match e with Var y -> y = x | _ -> false)
+    false ss
+
+let expr_uses_var x e =
+  fold_expr (fun found e -> found || match e with Var y -> y = x | _ -> false)
+    false e
+
+(** [contains_launch ss] — does [ss] contain a dynamic launch statement? *)
+let contains_launch ss =
+  fold_stmts
+    (fun found s -> found || match s.sdesc with Launch _ -> true | _ -> false)
+    false ss
+
+(** [contains_sync ss] — does [ss] use a block-wide or warp-wide barrier? *)
+let contains_sync ss =
+  fold_stmts
+    (fun found s ->
+      found || match s.sdesc with Sync | Syncwarp -> true | _ -> false)
+    false ss
+
+(** [contains_shared ss] — does [ss] declare shared memory? *)
+let contains_shared ss =
+  fold_stmts
+    (fun found s ->
+      found || match s.sdesc with Decl_shared _ -> true | _ -> false)
+    false ss
+
+(** [launches_of ss] — every launch in [ss], outermost-first. *)
+let launches_of ss =
+  List.rev
+    (fold_stmts
+       (fun acc s -> match s.sdesc with Launch l -> l :: acc | _ -> acc)
+       [] ss)
+
+(** [declared_names ss] — every name bound by a declaration in [ss]. *)
+let declared_names ss =
+  List.rev
+    (fold_stmts
+       (fun acc s ->
+         match s.sdesc with
+         | Decl (_, x, _) | Decl_shared (_, x, _) -> x :: acc
+         | _ -> acc)
+       [] ss)
+
+(** [all_names f] — every identifier occurring anywhere in [f] (params,
+    declarations, uses). Used to generate fresh names. *)
+let all_names (f : func) =
+  let acc = List.map (fun p -> p.p_name) f.f_params in
+  let acc = declared_names f.f_body @ acc in
+  fold_exprs_in_stmts
+    (fun acc e -> match e with Var x -> x :: acc | Call (g, _) -> g :: acc | _ -> acc)
+    acc f.f_body
+
+(** [fresh_name ~base taken] returns [base] if unused, otherwise
+    [base_2], [base_3], ... *)
+let fresh_name ~base taken =
+  if not (List.mem base taken) then base
+  else
+    let rec go i =
+      let cand = Fmt.str "%s_%d" base i in
+      if List.mem cand taken then go (i + 1) else cand
+    in
+    go 2
+
+(** {1 Substitution} *)
+
+(** [subst_var map e] replaces every [Var x] in [e] with [map x] when bound. *)
+let subst_var map e =
+  map_expr
+    (function
+      | Var x as v -> ( match List.assoc_opt x map with Some e' -> e' | None -> v)
+      | e -> e)
+    e
+
+(** [subst_var_stmts map ss] applies {!subst_var} over a statement list. *)
+let subst_var_stmts map ss = map_stmts ~expr:(fun e ->
+    match e with
+    | Var x -> ( match List.assoc_opt x map with Some e' -> e' | None -> e)
+    | _ -> e)
+    ss
+
+(** [rename_calls map ss] renames function calls and launch targets. *)
+let rename_calls map ss =
+  map_stmts
+    ~expr:(fun e ->
+      match e with
+      | Call (g, args) -> (
+          match List.assoc_opt g map with
+          | Some g' -> Call (g', args)
+          | None -> e)
+      | _ -> e)
+    ~stmt:(fun s ->
+      match s.sdesc with
+      | Launch l -> (
+          match List.assoc_opt l.l_kernel map with
+          | Some k' -> [ { s with sdesc = Launch { l with l_kernel = k' } } ]
+          | None -> [ s ])
+      | _ -> [ s ])
+    ss
+
+(** {1 Simplification} *)
+
+(** [simplify_expr e] performs conservative constant folding, used to keep
+    generated launch-configuration arithmetic readable. *)
+let simplify_expr e =
+  map_expr
+    (function
+      | Binop (Add, a, Int_lit 0) | Binop (Add, Int_lit 0, a) -> a
+      | Binop (Sub, a, Int_lit 0) -> a
+      | Binop (Mul, a, Int_lit 1) | Binop (Mul, Int_lit 1, a) -> a
+      | Binop (Div, a, Int_lit 1) -> a
+      | Binop (Add, Int_lit a, Int_lit b) -> Int_lit (a + b)
+      | Binop (Sub, Int_lit a, Int_lit b) -> Int_lit (a - b)
+      | Binop (Mul, Int_lit a, Int_lit b) -> Int_lit (a * b)
+      | Binop (Div, Int_lit a, Int_lit b) when b <> 0 -> Int_lit (a / b)
+      | Member (Dim3_ctor (x, _, _), "x") -> x
+      | Member (Dim3_ctor (_, y, _), "y") -> y
+      | Member (Dim3_ctor (_, _, z), "z") -> z
+      | e -> e)
+    e

@@ -1,0 +1,73 @@
+(** AST traversal and rewriting utilities shared by the analysis and
+    transformation passes. *)
+
+(** {1 Expression traversal} *)
+
+(** [map_expr f e] rebuilds [e] bottom-up, applying [f] after children. *)
+val map_expr : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+
+(** [fold_expr f acc e] folds pre-order over every node. *)
+val fold_expr : ('a -> Ast.expr -> 'a) -> 'a -> Ast.expr -> 'a
+
+(** {1 Statement traversal} *)
+
+(** [map_stmts ~expr ~stmt ss] rewrites a statement list bottom-up. [expr]
+    rewrites every expression; [stmt] may expand one statement into several
+    (for-header statements must stay 1-to-1). *)
+val map_stmts :
+  ?expr:(Ast.expr -> Ast.expr) ->
+  ?stmt:(Ast.stmt -> Ast.stmt list) ->
+  Ast.stmt list ->
+  Ast.stmt list
+
+(** Pre-order fold over statements, including nested bodies and
+    for-headers. *)
+val fold_stmts : ('a -> Ast.stmt -> 'a) -> 'a -> Ast.stmt list -> 'a
+
+val fold_stmt : ('a -> Ast.stmt -> 'a) -> 'a -> Ast.stmt -> 'a
+
+(** Fold over every expression occurring in the statements. *)
+val fold_exprs_in_stmts :
+  ('a -> Ast.expr -> 'a) -> 'a -> Ast.stmt list -> 'a
+
+(** {1 Queries} *)
+
+val uses_var : string -> Ast.stmt list -> bool
+val expr_uses_var : string -> Ast.expr -> bool
+val contains_launch : Ast.stmt list -> bool
+
+(** Block-wide or warp-wide barriers ([__syncthreads]/[__syncwarp]). *)
+val contains_sync : Ast.stmt list -> bool
+
+val contains_shared : Ast.stmt list -> bool
+
+(** Every launch, in program order. *)
+val launches_of : Ast.stmt list -> Ast.launch list
+
+(** Every declared name, in program order. *)
+val declared_names : Ast.stmt list -> string list
+
+(** Every identifier occurring anywhere in the function (params, locals,
+    uses, callees) — the "taken" set for {!fresh_name}. *)
+val all_names : Ast.func -> string list
+
+(** [fresh_name ~base taken] is [base], or [base_2], [base_3], ... *)
+val fresh_name : base:string -> string list -> string
+
+(** {1 Substitution} *)
+
+(** Capture-unaware variable substitution (callers substitute reserved
+    variables, which cannot be rebound). *)
+val subst_var : (string * Ast.expr) list -> Ast.expr -> Ast.expr
+
+val subst_var_stmts :
+  (string * Ast.expr) list -> Ast.stmt list -> Ast.stmt list
+
+(** Rename function calls and launch targets. *)
+val rename_calls : (string * string) list -> Ast.stmt list -> Ast.stmt list
+
+(** {1 Simplification} *)
+
+(** Conservative constant folding ([e + 0], [1 * e], literal arithmetic,
+    [dim3(x,y,z).x]); keeps generated launch arithmetic readable. *)
+val simplify_expr : Ast.expr -> Ast.expr

@@ -1,0 +1,117 @@
+(** Table of MiniCU builtin device functions.
+
+    Shared between the typechecker (arity and result types), the simulator's
+    interpreter (semantics), and the simulator's cost model (cost class). *)
+
+type cost_class =
+  | Arith  (** ALU work: charged as plain instructions. *)
+  | Mem  (** Touches global memory once. *)
+  | Atomic  (** Global-memory atomic read-modify-write. *)
+  | Warp_collective  (** Warp-scope collective (scan/reduce/broadcast). *)
+  | Alloc  (** Device-side heap allocation. *)
+
+type t = {
+  b_name : string;
+  b_arity : int;
+  b_cost : cost_class;
+  (* Result type given argument types; types are loose, see Typecheck. *)
+  b_result : Ast.ty list -> Ast.ty;
+}
+
+let ret ty = fun _ -> ty
+
+(* min/max/abs follow their first argument's numeric type. *)
+let follow_first = function Ast.TFloat :: _ -> Ast.TFloat | _ -> Ast.TInt
+
+(* Atomics return the old value: the pointee type of their first argument. *)
+let pointee = function Ast.TPtr t :: _ -> t | _ -> Ast.TInt
+
+let table : t list =
+  [
+    { b_name = "min"; b_arity = 2; b_cost = Arith; b_result = follow_first };
+    { b_name = "max"; b_arity = 2; b_cost = Arith; b_result = follow_first };
+    { b_name = "abs"; b_arity = 1; b_cost = Arith; b_result = follow_first };
+    { b_name = "fabs"; b_arity = 1; b_cost = Arith; b_result = ret Ast.TFloat };
+    { b_name = "ceil"; b_arity = 1; b_cost = Arith; b_result = ret Ast.TFloat };
+    { b_name = "floor"; b_arity = 1; b_cost = Arith; b_result = ret Ast.TFloat };
+    { b_name = "sqrt"; b_arity = 1; b_cost = Arith; b_result = ret Ast.TFloat };
+    { b_name = "exp"; b_arity = 1; b_cost = Arith; b_result = ret Ast.TFloat };
+    { b_name = "log"; b_arity = 1; b_cost = Arith; b_result = ret Ast.TFloat };
+    { b_name = "pow"; b_arity = 2; b_cost = Arith; b_result = ret Ast.TFloat };
+    {
+      b_name = "atomicAdd";
+      b_arity = 2;
+      b_cost = Atomic;
+      b_result = pointee;
+    };
+    {
+      b_name = "atomicSub";
+      b_arity = 2;
+      b_cost = Atomic;
+      b_result = pointee;
+    };
+    {
+      b_name = "atomicMin";
+      b_arity = 2;
+      b_cost = Atomic;
+      b_result = pointee;
+    };
+    {
+      b_name = "atomicMax";
+      b_arity = 2;
+      b_cost = Atomic;
+      b_result = pointee;
+    };
+    {
+      b_name = "atomicExch";
+      b_arity = 2;
+      b_cost = Atomic;
+      b_result = pointee;
+    };
+    {
+      b_name = "atomicCAS";
+      b_arity = 3;
+      b_cost = Atomic;
+      b_result = pointee;
+    };
+    (* Device-side heap allocation (used by BT's parent kernel). The unit is
+       elements, not bytes: MiniCU memory is an array of values. *)
+    {
+      b_name = "malloc";
+      b_arity = 1;
+      b_cost = Alloc;
+      b_result = ret (Ast.TPtr Ast.TInt);
+    };
+    (* Warp-scope collectives; MiniCU's abstraction of CUDA's
+       __ballot_sync/__shfl_sync-based idioms, used by warp-granularity
+       aggregation (Section V). All 32 lanes of a warp must execute the
+       same collective. *)
+    {
+      b_name = "warp_scan_excl";
+      b_arity = 1;
+      b_cost = Warp_collective;
+      b_result = ret Ast.TInt;
+    };
+    {
+      b_name = "warp_sum";
+      b_arity = 1;
+      b_cost = Warp_collective;
+      b_result = ret Ast.TInt;
+    };
+    {
+      b_name = "warp_max";
+      b_arity = 1;
+      b_cost = Warp_collective;
+      b_result = ret Ast.TInt;
+    };
+    {
+      b_name = "warp_bcast";
+      b_arity = 2;
+      b_cost = Warp_collective;
+      b_result = follow_first;
+    };
+  ]
+
+let find name = List.find_opt (fun b -> b.b_name = name) table
+
+let is_builtin name = find name <> None

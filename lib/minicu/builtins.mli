@@ -1,0 +1,26 @@
+(** Table of MiniCU builtin device functions, shared between the
+    typechecker (arity, result type), the simulator's interpreter
+    (semantics), and the cost model (cost class). *)
+
+type cost_class =
+  | Arith  (** ALU work: charged as plain instructions. *)
+  | Mem  (** Touches global memory once. *)
+  | Atomic  (** Global-memory atomic read-modify-write. *)
+  | Warp_collective  (** Warp-scope collective (scan/reduce/broadcast). *)
+  | Alloc  (** Device-side heap allocation. *)
+
+type t = {
+  b_name : string;
+  b_arity : int;
+  b_cost : cost_class;
+  b_result : Ast.ty list -> Ast.ty;
+      (** Result type given (loosely-typed) argument types. *)
+}
+
+(** All builtins: [min]/[max]/[abs]/math, [atomicAdd] and friends,
+    device-side [malloc], and the warp collectives ([warp_scan_excl],
+    [warp_sum], [warp_max], [warp_bcast]). *)
+val table : t list
+
+val find : string -> t option
+val is_builtin : string -> bool

@@ -1,0 +1,374 @@
+(** Hand-written lexer for MiniCU source text.
+
+    The token set covers the CUDA-C subset that MiniCU supports, including
+    the triple-chevron launch syntax ([<<<] / [>>>]). Because [>>>] is
+    ambiguous with shift-right followed by greater-than, the lexer resolves
+    chevrons greedily: [<<<] and [>>>] are single tokens; MiniCU does not
+    support nested template syntax, so this is unambiguous in practice. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  (* keywords *)
+  | KW_GLOBAL  (** [__global__] *)
+  | KW_DEVICE  (** [__device__] *)
+  | KW_SHARED  (** [__shared__] *)
+  | KW_VOID
+  | KW_INT
+  | KW_FLOAT
+  | KW_BOOL
+  | KW_DIM3
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_WHILE
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_TRUE
+  | KW_FALSE
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | DOT
+  | QUESTION
+  | COLON
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | ASSIGN
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | PLUSPLUS
+  | MINUSMINUS
+  | SHL  (** [<<] *)
+  | SHR  (** [>>] *)
+  | LAUNCH_OPEN  (** [<<<] *)
+  | LAUNCH_CLOSE  (** [>>>] *)
+  | EOF
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW_GLOBAL -> "__global__"
+  | KW_DEVICE -> "__device__"
+  | KW_SHARED -> "__shared__"
+  | KW_VOID -> "void"
+  | KW_INT -> "int"
+  | KW_FLOAT -> "float"
+  | KW_BOOL -> "bool"
+  | KW_DIM3 -> "dim3"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_FOR -> "for"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | ASSIGN -> "="
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | LAUNCH_OPEN -> "<<<"
+  | LAUNCH_CLOSE -> ">>>"
+  | EOF -> "<eof>"
+
+let keywords =
+  [
+    ("__global__", KW_GLOBAL);
+    ("__device__", KW_DEVICE);
+    ("__shared__", KW_SHARED);
+    ("void", KW_VOID);
+    ("int", KW_INT);
+    ("unsigned", KW_INT);
+    ("float", KW_FLOAT);
+    ("double", KW_FLOAT);
+    ("bool", KW_BOOL);
+    ("dim3", KW_DIM3);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("for", KW_FOR);
+    ("while", KW_WHILE);
+    ("return", KW_RETURN);
+    ("break", KW_BREAK);
+    ("continue", KW_CONTINUE);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE);
+  ]
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;  (** Byte offset of the next unread character. *)
+  mutable line : int;
+  mutable bol : int;  (** Byte offset of the beginning of the current line. *)
+}
+
+let create ?(file = "<string>") src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let loc t = Loc.make ~file:t.file ~line:t.line ~col:(t.pos - t.bol + 1)
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let peek_char2 t =
+  if t.pos + 1 < String.length t.src then Some t.src.[t.pos + 1] else None
+
+let advance t =
+  (match peek_char t with
+  | Some '\n' ->
+      t.line <- t.line + 1;
+      t.bol <- t.pos + 1
+  | _ -> ());
+  t.pos <- t.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Skip whitespace, line comments and block comments. *)
+let rec skip_trivia t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance t;
+      skip_trivia t
+  | Some '/' when peek_char2 t = Some '/' ->
+      while peek_char t <> None && peek_char t <> Some '\n' do
+        advance t
+      done;
+      skip_trivia t
+  | Some '/' when peek_char2 t = Some '*' ->
+      let start = loc t in
+      advance t;
+      advance t;
+      let rec close () =
+        match (peek_char t, peek_char2 t) with
+        | Some '*', Some '/' ->
+            advance t;
+            advance t
+        | Some _, _ ->
+            advance t;
+            close ()
+        | None, _ -> Loc.error start "unterminated block comment"
+      in
+      close ();
+      skip_trivia t
+  | _ -> ()
+
+let lex_number t =
+  let start = t.pos in
+  let startloc = loc t in
+  while (match peek_char t with Some c -> is_digit c | None -> false) do
+    advance t
+  done;
+  let is_float = ref false in
+  (match (peek_char t, peek_char2 t) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance t;
+      while (match peek_char t with Some c -> is_digit c | None -> false) do
+        advance t
+      done
+  | Some '.', (Some _ | None) when peek_char2 t <> Some '.' ->
+      (* "1." style literal, as long as it isn't member access on an int. *)
+      (match peek_char2 t with
+      | Some c when is_ident_start c -> ()
+      | _ ->
+          is_float := true;
+          advance t)
+  | _ -> ());
+  (match peek_char t with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance t;
+      (match peek_char t with
+      | Some ('+' | '-') -> advance t
+      | _ -> ());
+      while (match peek_char t with Some c -> is_digit c | None -> false) do
+        advance t
+      done
+  | _ -> ());
+  (* Swallow C suffixes: 1u, 1f, 1.0f, 1ull. *)
+  (match peek_char t with
+  | Some ('f' | 'F') when !is_float ->
+      advance t
+  | Some ('u' | 'U' | 'l' | 'L') ->
+      while
+        match peek_char t with
+        | Some ('u' | 'U' | 'l' | 'L') -> true
+        | _ -> false
+      do
+        advance t
+      done
+  | _ -> ());
+  let text = String.sub t.src start (t.pos - start) in
+  let text =
+    (* strip any suffix letters for conversion *)
+    let n = String.length text in
+    let rec core i =
+      if i > 0 && (match text.[i - 1] with
+                   | 'f' | 'F' | 'u' | 'U' | 'l' | 'L' -> true
+                   | _ -> false)
+      then core (i - 1)
+      else i
+    in
+    String.sub text 0 (core n)
+  in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> FLOAT f
+    | None -> Loc.error startloc "malformed float literal %S" text
+  else
+    match int_of_string_opt text with
+    | Some n -> INT n
+    | None -> Loc.error startloc "malformed int literal %S" text
+
+let lex_ident t =
+  let start = t.pos in
+  while (match peek_char t with Some c -> is_ident_char c | None -> false) do
+    advance t
+  done;
+  let text = String.sub t.src start (t.pos - start) in
+  match List.assoc_opt text keywords with Some kw -> kw | None -> IDENT text
+
+(** [next t] returns the next token and its start location. *)
+let next t : token * Loc.t =
+  skip_trivia t;
+  let l = loc t in
+  match peek_char t with
+  | None -> (EOF, l)
+  | Some c when is_digit c -> (lex_number t, l)
+  | Some c when is_ident_start c -> (lex_ident t, l)
+  | Some c ->
+      let two tok =
+        advance t;
+        advance t;
+        tok
+      in
+      let one tok =
+        advance t;
+        tok
+      in
+      let tok =
+        match (c, peek_char2 t) with
+        | '<', Some '<' ->
+            advance t;
+            advance t;
+            if peek_char t = Some '<' then (
+              advance t;
+              LAUNCH_OPEN)
+            else SHL
+        | '>', Some '>' ->
+            advance t;
+            advance t;
+            if peek_char t = Some '>' then (
+              advance t;
+              LAUNCH_CLOSE)
+            else SHR
+        | '<', Some '=' -> two LE
+        | '>', Some '=' -> two GE
+        | '=', Some '=' -> two EQEQ
+        | '!', Some '=' -> two NEQ
+        | '&', Some '&' -> two ANDAND
+        | '|', Some '|' -> two OROR
+        | '+', Some '=' -> two PLUSEQ
+        | '-', Some '=' -> two MINUSEQ
+        | '*', Some '=' -> two STAREQ
+        | '/', Some '=' -> two SLASHEQ
+        | '+', Some '+' -> two PLUSPLUS
+        | '-', Some '-' -> two MINUSMINUS
+        | '<', _ -> one LT
+        | '>', _ -> one GT
+        | '=', _ -> one ASSIGN
+        | '!', _ -> one BANG
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '*', _ -> one STAR
+        | '/', _ -> one SLASH
+        | '%', _ -> one PERCENT
+        | '&', _ -> one AMP
+        | '|', _ -> one PIPE
+        | '^', _ -> one CARET
+        | '(', _ -> one LPAREN
+        | ')', _ -> one RPAREN
+        | '{', _ -> one LBRACE
+        | '}', _ -> one RBRACE
+        | '[', _ -> one LBRACKET
+        | ']', _ -> one RBRACKET
+        | ',', _ -> one COMMA
+        | ';', _ -> one SEMI
+        | '.', _ -> one DOT
+        | '?', _ -> one QUESTION
+        | ':', _ -> one COLON
+        | _ -> Loc.error l "unexpected character %C" c
+      in
+      (tok, l)
+
+(** [tokenize ?file src] lexes the whole input, including the trailing
+    [EOF] token. *)
+let tokenize ?file src =
+  let t = create ?file src in
+  let rec go acc =
+    let tok, l = next t in
+    if tok = EOF then List.rev ((tok, l) :: acc) else go ((tok, l) :: acc)
+  in
+  go []

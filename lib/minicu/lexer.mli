@@ -1,0 +1,84 @@
+(** Hand-written lexer for MiniCU source text.
+
+    The triple-chevron launch tokens ([<<<]/[>>>]) are lexed greedily;
+    MiniCU has no template syntax, so this is unambiguous. C-style integer
+    and float suffixes ([1u], [1.0f], [1ull]) are accepted and dropped;
+    [unsigned] lexes as [int] and [double] as [float]. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_GLOBAL
+  | KW_DEVICE
+  | KW_SHARED
+  | KW_VOID
+  | KW_INT
+  | KW_FLOAT
+  | KW_BOOL
+  | KW_DIM3
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_WHILE
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | DOT
+  | QUESTION
+  | COLON
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | ASSIGN
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | PLUSPLUS
+  | MINUSMINUS
+  | SHL
+  | SHR
+  | LAUNCH_OPEN  (** [<<<] *)
+  | LAUNCH_CLOSE  (** [>>>] *)
+  | EOF
+
+val token_to_string : token -> string
+
+(** Incremental interface. *)
+
+type t
+
+val create : ?file:string -> string -> t
+
+(** [next t] returns the next token with its start location.
+    @raise Loc.Error on malformed input. *)
+val next : t -> token * Loc.t
+
+(** [tokenize ?file src] lexes the whole input; the result ends with
+    [EOF]. *)
+val tokenize : ?file:string -> string -> (token * Loc.t) list

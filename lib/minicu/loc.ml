@@ -1,0 +1,29 @@
+(** Source locations for MiniCU programs.
+
+    Positions are tracked by the lexer and threaded through parse errors and
+    typechecker diagnostics. Transformed (compiler-generated) code carries
+    {!dummy}. *)
+
+type t = {
+  file : string;  (** Source file name, or ["<generated>"]. *)
+  line : int;  (** 1-based line number. *)
+  col : int;  (** 1-based column number. *)
+}
+
+let make ~file ~line ~col = { file; line; col }
+
+let dummy = { file = "<generated>"; line = 0; col = 0 }
+
+let is_dummy l = l.line = 0 && l.col = 0
+
+let pp ppf l =
+  if is_dummy l then Fmt.string ppf "<generated>"
+  else Fmt.pf ppf "%s:%d:%d" l.file l.line l.col
+
+let to_string l = Fmt.str "%a" pp l
+
+(** Exception raised by the front end (lexer, parser, typechecker) on
+    malformed input. *)
+exception Error of t * string
+
+let error loc fmt = Fmt.kstr (fun s -> raise (Error (loc, s))) fmt

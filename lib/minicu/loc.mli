@@ -1,0 +1,22 @@
+(** Source locations for MiniCU programs. *)
+
+type t = {
+  file : string;  (** Source file name, or ["<generated>"]. *)
+  line : int;  (** 1-based line number; 0 in {!dummy}. *)
+  col : int;  (** 1-based column number. *)
+}
+
+val make : file:string -> line:int -> col:int -> t
+
+(** Location attached to compiler-generated code. *)
+val dummy : t
+
+val is_dummy : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Raised by the front end (lexer, parser) on malformed input. *)
+exception Error of t * string
+
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)
+val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a

@@ -1,0 +1,461 @@
+(** Recursive-descent parser for MiniCU.
+
+    The grammar is the C-like subset described in {!module:Ast}. Expressions
+    use standard C precedence. Menhir is not available in this environment,
+    so the parser is hand-written over the token stream from {!module:Lexer};
+    it is deliberately simple and produces located errors via {!Loc.Error}. *)
+
+open Ast
+
+type t = {
+  toks : (Lexer.token * Loc.t) array;
+  mutable cur : int;
+}
+
+let make_state toks = { toks = Array.of_list toks; cur = 0 }
+
+let peek st = fst st.toks.(st.cur)
+let peek_loc st = snd st.toks.(st.cur)
+
+let peek2 st =
+  if st.cur + 1 < Array.length st.toks then fst st.toks.(st.cur + 1)
+  else Lexer.EOF
+
+let peek3 st =
+  if st.cur + 2 < Array.length st.toks then fst st.toks.(st.cur + 2)
+  else Lexer.EOF
+
+let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+
+let err st fmt =
+  Fmt.kstr (fun s -> Loc.error (peek_loc st) "%s (at token %S)" s
+                       (Lexer.token_to_string (peek st))) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else err st "expected %S" (Lexer.token_to_string tok)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> err st "expected identifier"
+
+(* ---------- types ---------- *)
+
+let is_type_start = function
+  | Lexer.KW_VOID | Lexer.KW_INT | Lexer.KW_FLOAT | Lexer.KW_BOOL
+  | Lexer.KW_DIM3 ->
+      true
+  | _ -> false
+
+let parse_base_ty st =
+  let ty =
+    match peek st with
+    | Lexer.KW_VOID -> TVoid
+    | Lexer.KW_INT -> TInt
+    | Lexer.KW_FLOAT -> TFloat
+    | Lexer.KW_BOOL -> TBool
+    | Lexer.KW_DIM3 -> TDim3
+    | _ -> err st "expected type"
+  in
+  advance st;
+  ty
+
+let parse_ty st =
+  let base = parse_base_ty st in
+  let rec stars ty =
+    if peek st = Lexer.STAR then (
+      advance st;
+      stars (TPtr ty))
+    else ty
+  in
+  stars base
+
+(* ---------- expressions (Pratt / precedence climbing) ---------- *)
+
+(* Binding powers, higher binds tighter. *)
+let binop_of_token = function
+  | Lexer.OROR -> Some (LOr, 1)
+  | Lexer.ANDAND -> Some (LAnd, 2)
+  | Lexer.PIPE -> Some (BOr, 3)
+  | Lexer.CARET -> Some (BXor, 4)
+  | Lexer.AMP -> Some (BAnd, 5)
+  | Lexer.EQEQ -> Some (Eq, 6)
+  | Lexer.NEQ -> Some (Ne, 6)
+  | Lexer.LT -> Some (Lt, 7)
+  | Lexer.LE -> Some (Le, 7)
+  | Lexer.GT -> Some (Gt, 7)
+  | Lexer.GE -> Some (Ge, 7)
+  | Lexer.SHL -> Some (Shl, 8)
+  | Lexer.SHR -> Some (Shr, 8)
+  | Lexer.PLUS -> Some (Add, 9)
+  | Lexer.MINUS -> Some (Sub, 9)
+  | Lexer.STAR -> Some (Mul, 10)
+  | Lexer.SLASH -> Some (Div, 10)
+  | Lexer.PERCENT -> Some (Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_binary st 0 in
+  if peek st = Lexer.QUESTION then (
+    advance st;
+    let a = parse_expr st in
+    expect st Lexer.COLON;
+    let b = parse_ternary st in
+    Ternary (cond, a, b))
+  else cond
+
+and parse_binary st min_bp =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek st) with
+    | Some (op, bp) when bp >= min_bp ->
+        advance st;
+        let rhs = parse_binary st (bp + 1) in
+        lhs := Binop (op, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS ->
+      advance st;
+      Unop (Neg, parse_unary st)
+  | Lexer.BANG ->
+      advance st;
+      Unop (Not, parse_unary st)
+  | Lexer.AMP ->
+      advance st;
+      Addr_of (parse_unary st)
+  | Lexer.LPAREN when is_type_start (peek2 st) && peek2 st <> Lexer.KW_DIM3 ->
+      (* cast: "(" type ")" unary. dim3 in parens is only a cast if followed
+         by ")" or "*": [dim3(...)] in expression position is a constructor,
+         which never appears right after "(" with a ")" after it here. *)
+      advance st;
+      let ty = parse_ty st in
+      expect st Lexer.RPAREN;
+      Cast (ty, parse_unary st)
+  | Lexer.LPAREN
+    when peek2 st = Lexer.KW_DIM3 && (peek3 st = Lexer.RPAREN || peek3 st = Lexer.STAR) ->
+      advance st;
+      let ty = parse_ty st in
+      expect st Lexer.RPAREN;
+      Cast (ty, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.LBRACKET ->
+        advance st;
+        let i = parse_expr st in
+        expect st Lexer.RBRACKET;
+        e := Index (!e, i)
+    | Lexer.DOT ->
+        advance st;
+        let f = expect_ident st in
+        e := Member (!e, f)
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Int_lit n
+  | Lexer.FLOAT f ->
+      advance st;
+      Float_lit f
+  | Lexer.KW_TRUE ->
+      advance st;
+      Bool_lit true
+  | Lexer.KW_FALSE ->
+      advance st;
+      Bool_lit false
+  | Lexer.KW_DIM3 ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let args = parse_args st in
+      expect st Lexer.RPAREN;
+      (match args with
+      | [ x ] -> Dim3_ctor (x, Int_lit 1, Int_lit 1)
+      | [ x; y ] -> Dim3_ctor (x, y, Int_lit 1)
+      | [ x; y; z ] -> Dim3_ctor (x, y, z)
+      | _ -> err st "dim3 constructor takes 1-3 arguments")
+  | Lexer.IDENT name when peek2 st = Lexer.LPAREN ->
+      advance st;
+      advance st;
+      let args = parse_args st in
+      expect st Lexer.RPAREN;
+      Call (name, args)
+  | Lexer.IDENT name ->
+      advance st;
+      Var name
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | _ -> err st "expected expression"
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if peek st = Lexer.COMMA then (
+        advance st;
+        go (e :: acc))
+      else List.rev (e :: acc)
+    in
+    go []
+
+(* ---------- statements ---------- *)
+
+let is_lvalue = function Var _ | Index _ | Member _ -> true | _ -> false
+
+(* Parse the "simple statement" fragment used in for-headers and
+   expression-statement position: declaration, assignment, compound
+   assignment, increment/decrement, or a bare expression. *)
+let rec parse_simple st : stmt =
+  if is_type_start (peek st) && peek st <> Lexer.KW_DIM3 then parse_decl st
+  else if peek st = Lexer.KW_DIM3 && (match peek2 st with Lexer.IDENT _ -> true | Lexer.STAR -> true | _ -> false)
+  then parse_decl st
+  else
+    let lv = parse_expr st in
+    match peek st with
+    | Lexer.ASSIGN ->
+        if not (is_lvalue lv) then err st "left side of '=' is not an lvalue";
+        advance st;
+        let e = parse_expr st in
+        stmt (Assign (lv, e))
+    | Lexer.PLUSEQ | Lexer.MINUSEQ | Lexer.STAREQ | Lexer.SLASHEQ ->
+        if not (is_lvalue lv) then err st "left side of compound assignment is not an lvalue";
+        let op =
+          match peek st with
+          | Lexer.PLUSEQ -> Add
+          | Lexer.MINUSEQ -> Sub
+          | Lexer.STAREQ -> Mul
+          | _ -> Div
+        in
+        advance st;
+        let e = parse_expr st in
+        stmt (Assign (lv, Binop (op, lv, e)))
+    | Lexer.PLUSPLUS ->
+        if not (is_lvalue lv) then err st "operand of '++' is not an lvalue";
+        advance st;
+        stmt (Assign (lv, Binop (Add, lv, Int_lit 1)))
+    | Lexer.MINUSMINUS ->
+        if not (is_lvalue lv) then err st "operand of '--' is not an lvalue";
+        advance st;
+        stmt (Assign (lv, Binop (Sub, lv, Int_lit 1)))
+    | _ -> stmt (Expr_stmt lv)
+
+and parse_decl st : stmt =
+  let ty = parse_ty st in
+  let name = expect_ident st in
+  if peek st = Lexer.ASSIGN then (
+    advance st;
+    let e = parse_expr st in
+    stmt (Decl (ty, name, Some e)))
+  else stmt (Decl (ty, name, None))
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | Lexer.KW_SHARED ->
+      advance st;
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      expect st Lexer.LBRACKET;
+      let size = parse_expr st in
+      expect st Lexer.RBRACKET;
+      expect st Lexer.SEMI;
+      stmt (Decl_shared (ty, name, size))
+  | Lexer.KW_IF ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      let then_ = parse_block_or_stmt st in
+      let else_ =
+        if peek st = Lexer.KW_ELSE then (
+          advance st;
+          parse_block_or_stmt st)
+        else []
+      in
+      stmt (If (cond, then_, else_))
+  | Lexer.KW_FOR ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let init =
+        if peek st = Lexer.SEMI then None else Some (parse_simple st)
+      in
+      expect st Lexer.SEMI;
+      let cond = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+      expect st Lexer.SEMI;
+      let step =
+        if peek st = Lexer.RPAREN then None else Some (parse_simple st)
+      in
+      expect st Lexer.RPAREN;
+      let body = parse_block_or_stmt st in
+      stmt (For (init, cond, step, body))
+  | Lexer.KW_WHILE ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      let body = parse_block_or_stmt st in
+      stmt (While (cond, body))
+  | Lexer.KW_RETURN ->
+      advance st;
+      if peek st = Lexer.SEMI then (
+        advance st;
+        stmt (Return None))
+      else
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        stmt (Return (Some e))
+  | Lexer.KW_BREAK ->
+      advance st;
+      expect st Lexer.SEMI;
+      stmt Break
+  | Lexer.KW_CONTINUE ->
+      advance st;
+      expect st Lexer.SEMI;
+      stmt Continue
+  | Lexer.IDENT k when peek2 st = Lexer.LAUNCH_OPEN ->
+      advance st;
+      advance st;
+      let grid = parse_expr st in
+      expect st Lexer.COMMA;
+      let block = parse_expr st in
+      expect st Lexer.LAUNCH_CLOSE;
+      expect st Lexer.LPAREN;
+      let args = parse_args st in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      stmt (Launch { l_kernel = k; l_grid = grid; l_block = block; l_args = args })
+  | Lexer.IDENT "__syncthreads" when peek2 st = Lexer.LPAREN ->
+      advance st;
+      advance st;
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      stmt Sync
+  | Lexer.IDENT "__syncwarp" when peek2 st = Lexer.LPAREN ->
+      advance st;
+      advance st;
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      stmt Syncwarp
+  | Lexer.IDENT "__threadfence" when peek2 st = Lexer.LPAREN ->
+      advance st;
+      advance st;
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      stmt Threadfence
+  | Lexer.LBRACE ->
+      (* anonymous block: flatten into an If(true) so stmt lists stay flat *)
+      let body = parse_block st in
+      stmt (If (Bool_lit true, body, []))
+  | _ ->
+      let s = parse_simple st in
+      expect st Lexer.SEMI;
+      s
+
+and parse_block st : stmt list =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    if peek st = Lexer.RBRACE then (
+      advance st;
+      List.rev acc)
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_block_or_stmt st : stmt list =
+  if peek st = Lexer.LBRACE then parse_block st else [ parse_stmt st ]
+
+(* ---------- functions and programs ---------- *)
+
+let parse_params st =
+  expect st Lexer.LPAREN;
+  if peek st = Lexer.RPAREN then (
+    advance st;
+    [])
+  else
+    let rec go acc =
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      let p = { p_ty = ty; p_name = name } in
+      if peek st = Lexer.COMMA then (
+        advance st;
+        go (p :: acc))
+      else (
+        expect st Lexer.RPAREN;
+        List.rev (p :: acc))
+    in
+    go []
+
+let parse_func st : func =
+  let kind =
+    match peek st with
+    | Lexer.KW_GLOBAL ->
+        advance st;
+        Global
+    | Lexer.KW_DEVICE ->
+        advance st;
+        Device
+    | _ -> err st "expected __global__ or __device__"
+  in
+  let ret = parse_ty st in
+  if kind = Global && ret <> TVoid then
+    Loc.error (peek_loc st) "__global__ kernels must return void";
+  let name = expect_ident st in
+  let params = parse_params st in
+  let body = parse_block st in
+  {
+    f_name = name;
+    f_kind = kind;
+    f_ret = ret;
+    f_params = params;
+    f_body = body;
+    f_host_followup = None;
+  }
+
+let parse_program st : program =
+  let rec go acc =
+    if peek st = Lexer.EOF then List.rev acc else go (parse_func st :: acc)
+  in
+  go []
+
+(** [program ?file src] parses a full MiniCU translation unit.
+    @raise Loc.Error on lexical or syntax errors. *)
+let program ?file src =
+  let toks = Lexer.tokenize ?file src in
+  let st = make_state toks in
+  parse_program st
+
+(** [expr_of_string src] parses a single expression (useful in tests). *)
+let expr_of_string src =
+  let toks = Lexer.tokenize src in
+  let st = make_state toks in
+  let e = parse_expr st in
+  if peek st <> Lexer.EOF then err st "trailing tokens after expression";
+  e
+
+(** [stmt_of_string src] parses a single statement (useful in tests). *)
+let stmt_of_string src =
+  let toks = Lexer.tokenize src in
+  let st = make_state toks in
+  let s = parse_stmt st in
+  if peek st <> Lexer.EOF then err st "trailing tokens after statement";
+  s

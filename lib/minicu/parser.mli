@@ -1,0 +1,14 @@
+(** Recursive-descent parser for MiniCU (C-like grammar, standard C
+    operator precedence). *)
+
+(** [program ?file src] parses a full translation unit: a sequence of
+    [__global__]/[__device__] function definitions.
+    @raise Loc.Error on lexical or syntax errors, with position. *)
+val program : ?file:string -> string -> Ast.program
+
+(** [expr_of_string src] parses a single expression (for tests and tools).
+    @raise Loc.Error on errors or trailing tokens. *)
+val expr_of_string : string -> Ast.expr
+
+(** [stmt_of_string src] parses a single statement. *)
+val stmt_of_string : string -> Ast.stmt

@@ -1,0 +1,198 @@
+(** Pretty-printer: emits MiniCU ASTs back to CUDA-like source text.
+
+    The output parses back to an equal AST ([Parser.program (Pretty.program p)
+    = p] up to statement tags), which the test suite checks with qcheck
+    round-trip properties. Parenthesization is precedence-aware so the
+    printed text is minimal but unambiguous. *)
+
+open Ast
+
+let ty_to_string ty =
+  let rec go = function
+    | TVoid -> "void"
+    | TInt -> "int"
+    | TFloat -> "float"
+    | TBool -> "bool"
+    | TDim3 -> "dim3"
+    | TPtr t -> go t ^ "*"
+  in
+  go ty
+
+let unop_to_string = function Neg -> "-" | Not -> "!"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | LAnd -> "&&"
+  | LOr -> "||"
+  | BAnd -> "&"
+  | BOr -> "|"
+  | BXor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+(* Matches the binding powers in Parser.binop_of_token. *)
+let binop_prec = function
+  | LOr -> 1
+  | LAnd -> 2
+  | BOr -> 3
+  | BXor -> 4
+  | BAnd -> 5
+  | Eq | Ne -> 6
+  | Lt | Le | Gt | Ge -> 7
+  | Shl | Shr -> 8
+  | Add | Sub -> 9
+  | Mul | Div | Mod -> 10
+
+let prec_ternary = 0
+let prec_unary = 11
+let prec_postfix = 12
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Fmt.str "%.1f" f
+  else Fmt.str "%.17g" f
+
+let rec expr_prec = function
+  | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ | Call _ | Dim3_ctor _ ->
+      prec_postfix + 1
+  | Index _ | Member _ -> prec_postfix
+  | Unop _ | Cast _ | Addr_of _ -> prec_unary
+  | Binop (op, _, _) -> binop_prec op
+  | Ternary _ -> prec_ternary
+
+and pp_expr ppf e = pp_expr_prec ppf (prec_ternary, e)
+
+(* Print [e]; parenthesize if its precedence is below [min]. *)
+and pp_expr_prec ppf (min, e) =
+  let p = expr_prec e in
+  let body ppf () =
+    match e with
+    | Int_lit n -> Fmt.int ppf n
+    | Float_lit f -> Fmt.string ppf (float_lit f)
+    | Bool_lit b -> Fmt.bool ppf b
+    | Var x -> Fmt.string ppf x
+    | Unop (op, a) ->
+        (* parenthesize a same-operator operand so "- -a" does not lex as
+           the "--" token *)
+        let amin =
+          match a with
+          | Unop (op2, _) when op2 = op -> prec_unary + 1
+          | _ -> prec_unary
+        in
+        Fmt.pf ppf "%s%a" (unop_to_string op) pp_expr_prec (amin, a)
+    | Binop (op, a, b) ->
+        let bp = binop_prec op in
+        (* left-assoc: left child may be same precedence, right must bind
+           tighter *)
+        Fmt.pf ppf "%a %s %a" pp_expr_prec (bp, a) (binop_to_string op)
+          pp_expr_prec (bp + 1, b)
+    | Ternary (c, a, b) ->
+        Fmt.pf ppf "%a ? %a : %a" pp_expr_prec
+          (prec_ternary + 1, c)
+          pp_expr_prec
+          (prec_ternary + 1, a)
+          pp_expr_prec (prec_ternary, b)
+    | Index (a, i) ->
+        Fmt.pf ppf "%a[%a]" pp_expr_prec (prec_postfix, a) pp_expr i
+    | Member (a, f) -> Fmt.pf ppf "%a.%s" pp_expr_prec (prec_postfix, a) f
+    | Call (f, args) ->
+        Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+    | Cast (ty, a) ->
+        Fmt.pf ppf "(%s)%a" (ty_to_string ty) pp_expr_prec (prec_unary, a)
+    | Dim3_ctor (x, y, z) ->
+        Fmt.pf ppf "dim3(%a, %a, %a)" pp_expr x pp_expr y pp_expr z
+    | Addr_of a -> Fmt.pf ppf "&%a" pp_expr_prec (prec_unary, a)
+  in
+  if p < min then Fmt.pf ppf "(%a)" body () else body ppf ()
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+
+let rec pp_stmt ~indent ppf s =
+  let pad = String.make indent ' ' in
+  let pp_body = pp_stmts ~indent:(indent + 2) in
+  match s.sdesc with
+  | Decl (ty, x, None) -> Fmt.pf ppf "%s%s %s;" pad (ty_to_string ty) x
+  | Decl (ty, x, Some e) ->
+      Fmt.pf ppf "%s%s %s = %a;" pad (ty_to_string ty) x pp_expr e
+  | Decl_shared (ty, x, size) ->
+      Fmt.pf ppf "%s__shared__ %s %s[%a];" pad (ty_to_string ty) x pp_expr size
+  | Assign (lv, e) -> Fmt.pf ppf "%s%a = %a;" pad pp_expr lv pp_expr e
+  | If (Bool_lit true, body, []) ->
+      (* anonymous block *)
+      Fmt.pf ppf "%s{@\n%a@\n%s}" pad pp_body body pad
+  | If (c, then_, []) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr c pp_body then_ pad
+  | If (c, then_, else_) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr c
+        pp_body then_ pad pp_body else_ pad
+  | For (init, cond, step, body) ->
+      let pp_opt_simple ppf = function
+        | None -> ()
+        | Some s -> pp_simple ppf s
+      in
+      let pp_opt_expr ppf = function None -> () | Some e -> pp_expr ppf e in
+      Fmt.pf ppf "%sfor (%a; %a; %a) {@\n%a@\n%s}" pad pp_opt_simple init
+        pp_opt_expr cond pp_opt_simple step pp_body body pad
+  | While (c, body) ->
+      Fmt.pf ppf "%swhile (%a) {@\n%a@\n%s}" pad pp_expr c pp_body body pad
+  | Return None -> Fmt.pf ppf "%sreturn;" pad
+  | Return (Some e) -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | Expr_stmt e -> Fmt.pf ppf "%s%a;" pad pp_expr e
+  | Launch l ->
+      Fmt.pf ppf "%s%s<<<%a, %a>>>(%a);" pad l.l_kernel pp_expr l.l_grid
+        pp_expr l.l_block
+        Fmt.(list ~sep:(any ", ") pp_expr)
+        l.l_args
+  | Sync -> Fmt.pf ppf "%s__syncthreads();" pad
+  | Syncwarp -> Fmt.pf ppf "%s__syncwarp();" pad
+  | Threadfence -> Fmt.pf ppf "%s__threadfence();" pad
+  | Break -> Fmt.pf ppf "%sbreak;" pad
+  | Continue -> Fmt.pf ppf "%scontinue;" pad
+
+(* for-header fragments print without trailing ';' or padding *)
+and pp_simple ppf s =
+  match s.sdesc with
+  | Decl (ty, x, None) -> Fmt.pf ppf "%s %s" (ty_to_string ty) x
+  | Decl (ty, x, Some e) ->
+      Fmt.pf ppf "%s %s = %a" (ty_to_string ty) x pp_expr e
+  | Assign (lv, e) -> Fmt.pf ppf "%a = %a" pp_expr lv pp_expr e
+  | Expr_stmt e -> pp_expr ppf e
+  | _ -> invalid_arg "Pretty.pp_simple: not a simple statement"
+
+and pp_stmts ~indent ppf ss =
+  Fmt.(list ~sep:(any "@\n") (pp_stmt ~indent)) ppf ss
+
+let pp_param ppf p = Fmt.pf ppf "%s %s" (ty_to_string p.p_ty) p.p_name
+
+let pp_func ppf f =
+  let kind = match f.f_kind with Global -> "__global__" | Device -> "__device__" in
+  Fmt.pf ppf "%s %s %s(%a) {@\n%a@\n}" kind (ty_to_string f.f_ret) f.f_name
+    Fmt.(list ~sep:(any ", ") pp_param)
+    f.f_params
+    (pp_stmts ~indent:2)
+    f.f_body;
+  match f.f_host_followup with
+  | None -> ()
+  | Some ss ->
+      Fmt.pf ppf "@\n// host followup for %s (grid-granularity aggregation):@\n"
+        f.f_name;
+      Fmt.pf ppf "// {@\n%a@\n// }" (pp_stmts ~indent:2)
+        ss
+
+let pp_program ppf p = Fmt.(list ~sep:(any "@\n@\n") pp_func) ppf p
+
+let func_to_string f = Fmt.str "%a" pp_func f
+
+(** [program p] renders a full translation unit as source text. *)
+let program p = Fmt.str "%a@." pp_program p
+
+let stmt_to_string s = Fmt.str "%a" (pp_stmt ~indent:0) s

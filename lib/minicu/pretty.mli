@@ -1,0 +1,20 @@
+(** Pretty-printer: MiniCU ASTs back to CUDA-like source text.
+
+    Output re-parses to an equal AST (modulo statement tags, which have no
+    concrete syntax); parenthesization is precedence-aware and minimal. A
+    host followup (grid-granularity aggregation) prints as a trailing
+    comment block, since it has no kernel-language syntax. *)
+
+val ty_to_string : Ast.ty -> string
+val unop_to_string : Ast.unop -> string
+val binop_to_string : Ast.binop -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val expr_to_string : Ast.expr -> string
+val pp_stmt : indent:int -> Format.formatter -> Ast.stmt -> unit
+val stmt_to_string : Ast.stmt -> string
+val pp_func : Format.formatter -> Ast.func -> unit
+val func_to_string : Ast.func -> string
+val pp_program : Format.formatter -> Ast.program -> unit
+
+(** [program p] renders a full translation unit. *)
+val program : Ast.program -> string

@@ -1,0 +1,15 @@
+(** Static checks for MiniCU programs.
+
+    Enforced rules: all names resolve; call/launch arity matches; only
+    [__device__] functions are called and only [__global__] kernels are
+    launched; assignment targets are lvalues; reserved variables are
+    read-only and cannot be shadowed; [&] applies only to indexable
+    lvalues (locals are registers); [break]/[continue] only inside loops;
+    kernels return [void]. Value typing is deliberately loose, C-style. *)
+
+exception Type_error of string
+
+(** @raise Type_error describing the first violation. *)
+val check : Ast.program -> unit
+
+val check_result : Ast.program -> (unit, string) result

@@ -1,0 +1,63 @@
+(** Bezier-line datasets for the BT benchmark (CUDA samples'
+    cdpQuadtree-style Bezier tessellation, Table I datasets T0032-C16 and
+    T2048-C64).
+
+    Each line is a quadratic Bezier curve given by three control points. The
+    kernel computes a per-line curvature, derives a tessellation point count
+    [N = min(max_tess, curvature * k)], and tessellates with [N] child
+    threads. The distribution of [N] across lines is the nested-parallelism
+    distribution. *)
+
+type line = {
+  p0 : float * float;
+  p1 : float * float;
+  p2 : float * float;
+}
+
+type t = {
+  name : string;
+  lines : line array;
+  max_tessellation : int;  (** Upper bound on points per line. *)
+  curvature_scale : float;  (** Multiplier from curvature to point count. *)
+}
+
+(** Curvature proxy used by the CUDA sample: distance from the middle
+    control point to the chord. *)
+let curvature (l : line) =
+  let x0, y0 = l.p0 and x1, y1 = l.p1 and x2, y2 = l.p2 in
+  let dx = x2 -. x0 and dy = y2 -. y0 in
+  let len = Float.max 1e-9 (Float.sqrt ((dx *. dx) +. (dy *. dy))) in
+  Float.abs (((x1 -. x0) *. dy) -. ((y1 -. y0) *. dx)) /. len
+
+(** Tessellation point count for a line under this dataset's parameters. *)
+let tess_points (t : t) (l : line) =
+  let c = curvature l in
+  max 2 (min t.max_tessellation (int_of_float (c *. t.curvature_scale)))
+
+(** Evaluate the quadratic Bezier at parameter [u]. *)
+let eval (l : line) u =
+  let x0, y0 = l.p0 and x1, y1 = l.p1 and x2, y2 = l.p2 in
+  let v = 1.0 -. u in
+  let b0 = v *. v and b1 = 2.0 *. v *. u and b2 = u *. u in
+  ( (b0 *. x0) +. (b1 *. x1) +. (b2 *. x2),
+    (b0 *. y0) +. (b1 *. y1) +. (b2 *. y2) )
+
+let generate ?(seed = 2022) ~name ~n_lines ~max_tessellation ~curvature_scale
+    () : t =
+  let rng = Rng.create ~seed in
+  let lines =
+    Array.init n_lines (fun _ ->
+        let pt () = (Rng.float rng *. 100.0, Rng.float rng *. 100.0) in
+        { p0 = pt (); p1 = pt (); p2 = pt () })
+  in
+  { name; lines; max_tessellation; curvature_scale }
+
+(** Table I datasets (line counts scaled down from 20,000; see DESIGN.md). *)
+
+let t0032_c16 ?(n_lines = 600) () =
+  generate ~name:"T0032-C16" ~n_lines ~max_tessellation:32
+    ~curvature_scale:16.0 ()
+
+let t2048_c64 ?(n_lines = 600) () =
+  generate ~name:"T2048-C64" ~n_lines ~max_tessellation:2048
+    ~curvature_scale:64.0 ()

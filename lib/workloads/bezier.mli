@@ -1,0 +1,39 @@
+(** Bezier-line datasets for the BT benchmark (Table I: T0032-C16,
+    T2048-C64). Each line is a quadratic Bezier; the kernel derives a
+    curvature-driven tessellation point count, which is the per-line nested
+    parallelism. *)
+
+type line = {
+  p0 : float * float;
+  p1 : float * float;
+  p2 : float * float;
+}
+
+type t = {
+  name : string;
+  lines : line array;
+  max_tessellation : int;
+  curvature_scale : float;
+}
+
+(** Chord-distance curvature proxy (as in the CUDA sample). *)
+val curvature : line -> float
+
+(** Tessellation point count for a line under this dataset's parameters:
+    [max 2 (min max_tessellation (curvature * scale))]. *)
+val tess_points : t -> line -> int
+
+(** Evaluate the quadratic Bezier at parameter [u] in [0, 1]. *)
+val eval : line -> float -> float * float
+
+val generate :
+  ?seed:int ->
+  name:string ->
+  n_lines:int ->
+  max_tessellation:int ->
+  curvature_scale:float ->
+  unit ->
+  t
+
+val t0032_c16 : ?n_lines:int -> unit -> t
+val t2048_c64 : ?n_lines:int -> unit -> t

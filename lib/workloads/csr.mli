@@ -1,0 +1,30 @@
+(** Compressed sparse row graphs — the representation all graph benchmarks
+    consume. *)
+
+type t = {
+  n : int;
+  row : int array;  (** Length [n+1]; edges of [v] are [row.(v)..row.(v+1)-1]. *)
+  col : int array;
+  weight : int array;  (** Parallel to [col]. *)
+}
+
+val m : t -> int
+val degree : t -> int -> int
+val max_degree : t -> int
+val avg_degree : t -> float
+val neighbors : t -> int -> int array
+
+(** Build from [(src, dst, weight)] triples, bucketed by source with
+    insertion order preserved. @raise Invalid_argument on out-of-range
+    endpoints. *)
+val of_edges : n:int -> (int * int * int) list -> t
+
+(** Add the reverse of every edge, deduplicated; drops self-loops. *)
+val symmetrize : t -> t
+
+(** Sort each adjacency list ascending (weights follow). Required by the
+    triangle-counting benchmark's binary search. *)
+val sort_neighbors : t -> t
+
+(** Degree-distribution summary ("n=.. m=.. avg_deg=.. max_deg=.."). *)
+val stats : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+(** Synthetic graph generators standing in for the paper's datasets
+    (Table I). What matters for the evaluation is the {e degree
+    distribution} — it is the distribution of nested-parallelism amounts the
+    parent threads see:
+
+    - {!kron}: an RMAT/Kronecker generator matching the heavy-tailed shape
+      of [kron_g500-simple-logn16] (some vertices with thousands of
+      neighbors, many with few);
+    - {!webgraph}: a preferential-attachment web-crawl-like graph standing
+      in for [cnr-2000] (power-law, with locality);
+    - {!road}: a 2-D grid with diagonal shortcuts standing in for
+      [USA-road-d.NY]: average degree ≈ 3, maximum degree ≤ 8, so nested
+      parallelism is uniformly tiny (the Section VIII-D experiment). *)
+
+(** RMAT generator (Chakrabarti et al.), the generator behind the Graph500
+    Kronecker datasets. [scale] is log2 of the vertex count. *)
+let kron ?(seed = 42) ~scale ~edge_factor () : Csr.t =
+  let n = 1 lsl scale in
+  let m = n * edge_factor in
+  let rng = Rng.create ~seed in
+  (* Graph500 RMAT parameters *)
+  let a = 0.66 and b = 0.15 and c = 0.15 in
+  let edges = ref [] in
+  for _ = 1 to m do
+    let src = ref 0 and dst = ref 0 in
+    for bit = scale - 1 downto 0 do
+      let r = Rng.float rng in
+      if r < a then ()
+      else if r < a +. b then dst := !dst lor (1 lsl bit)
+      else if r < a +. b +. c then src := !src lor (1 lsl bit)
+      else begin
+        src := !src lor (1 lsl bit);
+        dst := !dst lor (1 lsl bit)
+      end
+    done;
+    let w = 1 + Rng.int rng 63 in
+    edges := (!src, !dst, w) :: !edges
+  done;
+  Csr.symmetrize (Csr.of_edges ~n (List.rev !edges))
+
+(** Preferential-attachment graph with a small attachment window,
+    approximating a web crawl's power-law in-degrees with locality. *)
+let webgraph ?(seed = 4242) ~n ~edges_per_vertex () : Csr.t =
+  let rng = Rng.create ~seed in
+  (* targets chosen preferentially from an endpoint pool *)
+  let pool = ref [ 0; 1 ] in
+  let pool_arr = ref (Array.of_list !pool) in
+  let pool_dirty = ref false in
+  let edges = ref [ (0, 1, 1); (1, 0, 1) ] in
+  for v = 2 to n - 1 do
+    if !pool_dirty then begin
+      pool_arr := Array.of_list !pool;
+      pool_dirty := false
+    end;
+    let k = 1 + Rng.int rng (2 * edges_per_vertex) in
+    for _ = 1 to k do
+      let target =
+        if Rng.bool rng 0.2 then Rng.int rng v (* uniform exploration *)
+        else
+          let p = !pool_arr in
+          p.(Rng.int rng (Array.length p))
+      in
+      if target <> v then begin
+        let w = 1 + Rng.int rng 63 in
+        edges := (v, target, w) :: !edges;
+        pool := v :: target :: !pool;
+        pool_dirty := true
+      end
+    done
+  done;
+  Csr.symmetrize (Csr.of_edges ~n (List.rev !edges))
+
+(** Grid road network: [rows * cols] intersections, 4-connected, with a few
+    removed streets and occasional diagonal shortcuts. Average degree ≈ 3,
+    max degree ≤ 8 — matching the USA-road-d.NY statistics the paper quotes
+    in Section VIII-D. *)
+let road ?(seed = 777) ~rows ~cols () : Csr.t =
+  let rng = Rng.create ~seed in
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let keep = Rng.bool rng 0.85 in
+      if c + 1 < cols && keep then begin
+        let w = 1 + Rng.int rng 9 in
+        edges := (id r c, id r (c + 1), w) :: !edges
+      end;
+      let keep2 = Rng.bool rng 0.85 in
+      if r + 1 < rows && keep2 then begin
+        let w = 1 + Rng.int rng 9 in
+        edges := (id r c, id (r + 1) c, w) :: !edges
+      end;
+      if r + 1 < rows && c + 1 < cols && Rng.bool rng 0.05 then begin
+        let w = 1 + Rng.int rng 9 in
+        edges := (id r c, id (r + 1) (c + 1), w) :: !edges
+      end
+    done
+  done;
+  Csr.symmetrize (Csr.of_edges ~n (List.rev !edges))
+
+type named = { name : string; graph : Csr.t; description : string }
+
+(** The graph datasets of Table I (scaled down: MiniCU is interpreted, the
+    paper ran natively on a V100 — see DESIGN.md). *)
+let kron_dataset ?(scale = 10) () =
+  {
+    name = "KRON";
+    graph = kron ~scale ~edge_factor:16 ();
+    description =
+      Fmt.str "RMAT scale-%d, heavy-tailed (stands in for kron_g500 logn16)"
+        scale;
+  }
+
+let cnr_dataset ?(n = 1500) () =
+  {
+    name = "CNR";
+    graph = webgraph ~n ~edges_per_vertex:8 ();
+    description =
+      Fmt.str "preferential attachment n=%d (stands in for cnr-2000)" n;
+  }
+
+let road_dataset ?(rows = 36) ?(cols = 36) () =
+  {
+    name = "ROAD";
+    graph = road ~rows ~cols ();
+    description =
+      Fmt.str "grid road network %dx%d (stands in for USA-road-d.NY)" rows cols;
+  }

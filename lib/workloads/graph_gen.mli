@@ -1,0 +1,22 @@
+(** Synthetic graph generators standing in for the paper's datasets
+    (Table I). The degree distribution — the distribution of
+    nested-parallelism amounts — is the property being matched; see
+    DESIGN.md for the substitution rationale. *)
+
+(** RMAT/Kronecker generator (the Graph500 family behind
+    [kron_g500-simple-logn16]), heavy-tailed. [scale] is log2(vertices). *)
+val kron : ?seed:int -> scale:int -> edge_factor:int -> unit -> Csr.t
+
+(** Preferential-attachment web-crawl-like graph (stands in for
+    [cnr-2000]): power-law degrees. *)
+val webgraph : ?seed:int -> n:int -> edges_per_vertex:int -> unit -> Csr.t
+
+(** Grid road network with removed streets and rare diagonals: average
+    degree ≈ 3, max ≤ 8, like USA-road-d.NY (Section VIII-D). *)
+val road : ?seed:int -> rows:int -> cols:int -> unit -> Csr.t
+
+type named = { name : string; graph : Csr.t; description : string }
+
+val kron_dataset : ?scale:int -> unit -> named
+val cnr_dataset : ?n:int -> unit -> named
+val road_dataset : ?rows:int -> ?cols:int -> unit -> named

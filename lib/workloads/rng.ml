@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All dataset generators seed their own generator, so every workload is
+    bit-reproducible across runs and machines — tests assert exact outputs
+    and the benchmark tables are stable. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64 step (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] — uniform in [\[0, bound)]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 t) Int64.max_int) (Int64.of_int bound))
+
+(** [float t] — uniform in [\[0, 1)]. *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+(** [bool t p] — true with probability [p]. *)
+let bool t p = float t < p
+
+(** [split t] — an independent generator (for parallel-structure datasets). *)
+let split t = { state = next_int64 t }
+
+(** [shuffle t a] — in-place Fisher-Yates. *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,22 @@
+(** Deterministic pseudo-random numbers (splitmix64). Every workload
+    generator seeds its own instance, so datasets are bit-reproducible. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** True with probability [p]. *)
+val bool : t -> float -> bool
+
+(** An independent generator split off [t]. *)
+val split : t -> t
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

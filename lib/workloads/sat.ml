@@ -1,0 +1,79 @@
+(** Random CNF formulas for the SP (survey propagation) benchmark.
+
+    SP runs message passing on the factor graph between clauses and
+    variables. The nested parallelism sits on the variable side: each
+    variable's parent thread updates the surveys of all clauses it occurs
+    in, so the occurrence-count distribution is the nested-parallelism
+    distribution.
+
+    - {!rand3}: uniform random 3-SAT in the style of
+      [random-42000-10000-3] — every variable occurs in ≈ [3m/n] clauses,
+      and the occurrence distribution is tightly concentrated (binomial), so
+      all child grids are small; the paper notes this dataset performs
+      poorly under CDP for exactly that reason.
+    - {!sat5}: a 5-SAT instance with a skewed variable-choice distribution,
+      standing in for the larger 5-SATISFIABLE competition instance, where
+      some variables occur in very many clauses. *)
+
+type t = {
+  name : string;
+  n_vars : int;
+  clauses : int array array;
+      (** Each clause is an array of literals: [±(v+1)] for variable [v]. *)
+}
+
+let n_clauses t = Array.length t.clauses
+
+(** [occurrences t] — for each variable, the clause indices it occurs in. *)
+let occurrences t : int array array =
+  let occ = Array.make t.n_vars [] in
+  Array.iteri
+    (fun ci lits ->
+      Array.iter
+        (fun lit ->
+          let v = abs lit - 1 in
+          occ.(v) <- ci :: occ.(v))
+        lits)
+    t.clauses;
+  Array.map (fun l -> Array.of_list (List.rev l)) occ
+
+let occurrence_stats t =
+  let occ = occurrences t in
+  let max_o = Array.fold_left (fun m a -> max m (Array.length a)) 0 occ in
+  let total = Array.fold_left (fun s a -> s + Array.length a) 0 occ in
+  (float_of_int total /. float_of_int t.n_vars, max_o)
+
+let uniform_var rng n = Rng.int rng n
+
+(* Power-law-ish variable choice: quadratically biased toward low ids. *)
+let skewed_var rng n =
+  let r = Rng.float rng in
+  let x = r *. r in
+  min (n - 1) (int_of_float (x *. float_of_int n))
+
+let generate ?(seed = 31337) ~name ~n_vars ~n_clauses ~k ~pick () : t =
+  let rng = Rng.create ~seed in
+  let clauses =
+    Array.init n_clauses (fun _ ->
+        let rec distinct acc need =
+          if need = 0 then acc
+          else
+            let v = pick rng n_vars in
+            if List.mem v acc then distinct acc need
+            else distinct (v :: acc) (need - 1)
+        in
+        let vars = distinct [] k in
+        Array.of_list
+          (List.map
+             (fun v -> if Rng.bool rng 0.5 then v + 1 else -(v + 1))
+             vars))
+  in
+  { name; n_vars; clauses }
+
+(** Table I datasets (scaled down; original: 10,000 vars / 42,000 clauses). *)
+
+let rand3 ?(n_vars = 700) ?(n_clauses = 2940) () =
+  generate ~name:"RAND-3" ~n_vars ~n_clauses ~k:3 ~pick:uniform_var ()
+
+let sat5 ?(n_vars = 800) ?(n_clauses = 6000) () =
+  generate ~name:"5-SAT" ~n_vars ~n_clauses ~k:5 ~pick:skewed_var ()

@@ -1,0 +1,35 @@
+(** Random CNF formulas for the SP (survey propagation) benchmark. The
+    per-variable clause-occurrence distribution is the nested-parallelism
+    distribution: tight and small for RAND-3 (the paper's
+    low-nested-parallelism case), skewed for 5-SAT. *)
+
+type t = {
+  name : string;
+  n_vars : int;
+  clauses : int array array;
+      (** Each clause: literals [±(v+1)] with distinct variables. *)
+}
+
+val n_clauses : t -> int
+
+(** Per-variable clause-occurrence lists. *)
+val occurrences : t -> int array array
+
+(** (average, maximum) occurrences per variable. *)
+val occurrence_stats : t -> float * int
+
+val generate :
+  ?seed:int ->
+  name:string ->
+  n_vars:int ->
+  n_clauses:int ->
+  k:int ->
+  pick:(Rng.t -> int -> int) ->
+  unit ->
+  t
+
+(** Uniform random 3-SAT (stands in for random-42000-10000-3). *)
+val rand3 : ?n_vars:int -> ?n_clauses:int -> unit -> t
+
+(** Skewed 5-SAT (stands in for the 5-SATISFIABLE competition instance). *)
+val sat5 : ?n_vars:int -> ?n_clauses:int -> unit -> t

@@ -1,0 +1,132 @@
+(* Tests for the AST traversal/rewriting utilities. *)
+
+open Minicu
+open Minicu.Ast
+
+let body src =
+  match Parser.program ("__global__ void k(int* p, int n) {" ^ src ^ "}") with
+  | [ f ] -> f.f_body
+  | _ -> assert false
+
+let func src =
+  match Parser.program src with [ f ] -> f | l -> List.nth l 0
+
+let t name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    t "contains_launch finds nested launches" (fun () ->
+        let ss = body "if (n > 0) { while (n > 1) { c<<<1, 1>>>(); } }" in
+        Alcotest.(check bool) "found" true (Ast_util.contains_launch ss);
+        Alcotest.(check bool) "not found" false
+          (Ast_util.contains_launch (body "p[0] = 1;")));
+    t "contains_sync finds barriers" (fun () ->
+        Alcotest.(check bool) "sync" true
+          (Ast_util.contains_sync (body "if (n) { __syncthreads(); }"));
+        Alcotest.(check bool) "syncwarp" true
+          (Ast_util.contains_sync (body "__syncwarp();"));
+        Alcotest.(check bool) "fence is not a barrier" false
+          (Ast_util.contains_sync (body "__threadfence();")));
+    t "contains_shared" (fun () ->
+        Alcotest.(check bool) "yes" true
+          (Ast_util.contains_shared (body "__shared__ int b[4]; p[0] = 1;"));
+        Alcotest.(check bool) "no" false (Ast_util.contains_shared (body "p[0] = 1;")));
+    t "launches_of collects in order" (fun () ->
+        let ss = body "a<<<1, 1>>>(); if (n) { b<<<2, 2>>>(); } c<<<3, 3>>>();" in
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ]
+          (List.map (fun l -> l.l_kernel) (Ast_util.launches_of ss)));
+    t "uses_var sees loop bounds" (fun () ->
+        let ss = body "for (int i = 0; i < n; i++) { p[i] = 0; }" in
+        Alcotest.(check bool) "n used" true (Ast_util.uses_var "n" ss);
+        Alcotest.(check bool) "m unused" false (Ast_util.uses_var "m" ss));
+    t "declared_names includes nested" (fun () ->
+        let ss = body "int a = 1; if (n) { int b = 2; } __shared__ int c[2];" in
+        Alcotest.(check (list string)) "names" [ "a"; "b"; "c" ]
+          (Ast_util.declared_names ss));
+    t "fresh_name avoids collisions" (fun () ->
+        Alcotest.(check string) "free" "_x" (Ast_util.fresh_name ~base:"_x" []);
+        Alcotest.(check string) "taken" "_x_2"
+          (Ast_util.fresh_name ~base:"_x" [ "_x" ]);
+        Alcotest.(check string) "taken twice" "_x_3"
+          (Ast_util.fresh_name ~base:"_x" [ "_x"; "_x_2" ]));
+    t "subst_var replaces only free occurrences by name" (fun () ->
+        let e = Parser.expr_of_string "a + b * a" in
+        let e' = Ast_util.subst_var [ ("a", Int_lit 7) ] e in
+        Alcotest.(check string) "subst" "7 + b * 7" (Pretty.expr_to_string e'));
+    t "subst_var_stmts rewrites reserved vars" (fun () ->
+        let ss = body "p[threadIdx.x] = blockIdx.x;" in
+        let ss' =
+          Ast_util.subst_var_stmts
+            [ ("threadIdx", Var "_t"); ("blockIdx", Var "_b") ]
+            ss
+        in
+        Alcotest.(check string) "rewritten" "p[_t.x] = _b.x;"
+          (Pretty.stmt_to_string (List.hd ss')));
+    t "rename_calls renames calls and launch targets" (fun () ->
+        let ss = body "f(n); g<<<1, 1>>>(p);" in
+        let ss' = Ast_util.rename_calls [ ("f", "f2"); ("g", "g2") ] ss in
+        Alcotest.(check bool) "call renamed" true
+          (Ast_util.fold_exprs_in_stmts
+             (fun acc e -> acc || match e with Call ("f2", _) -> true | _ -> false)
+             false ss');
+        Alcotest.(check (list string)) "launch renamed" [ "g2" ]
+          (List.map (fun l -> l.l_kernel) (Ast_util.launches_of ss')));
+    t "simplify_expr folds constants" (fun () ->
+        let check src expect =
+          Alcotest.(check string) src expect
+            (Pretty.expr_to_string
+               (Ast_util.simplify_expr (Parser.expr_of_string src)))
+        in
+        check "a + 0" "a";
+        check "1 * b" "b";
+        check "2 + 3" "5";
+        check "a / 1" "a";
+        check "dim3(n, 1, 1).x" "n";
+        check "dim3(n, m, 1).y" "m");
+    t "map_stmts can expand a statement" (fun () ->
+        let ss = body "p[0] = 1;" in
+        let ss' =
+          Ast_util.map_stmts
+            ~stmt:(fun s -> [ s; s ])
+            ss
+        in
+        Alcotest.(check int) "doubled" 2 (List.length ss'));
+    t "fold_stmts visits for-header statements" (fun () ->
+        let ss = body "for (int i = 0; i < n; i++) { p[i] = 0; }" in
+        let decls =
+          Ast_util.fold_stmts
+            (fun acc s -> match s.sdesc with Decl _ -> acc + 1 | _ -> acc)
+            0 ss
+        in
+        Alcotest.(check int) "decl in header" 1 decls);
+    t "all_names covers params, locals, calls" (fun () ->
+        let f =
+          func "__global__ void k(int* data) { int x = f(data[0]); }"
+        in
+        let names = Ast_util.all_names f in
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) n true (List.mem n names))
+          [ "data"; "x"; "f" ]);
+    t "retag_deep preserves existing tags" (fun () ->
+        let s = stmt ~tag:Tag_disagg (Expr_stmt (Int_lit 1)) in
+        let wrapped = stmt (If (Bool_lit true, [ s ], [])) in
+        match (retag_deep Tag_agg wrapped).sdesc with
+        | If (_, [ inner ], []) ->
+            Alcotest.(check bool) "inner kept" true (inner.stag = Tag_disagg)
+        | _ -> Alcotest.fail "shape");
+    t "replace_func and add_func_after" (fun () ->
+        let p =
+          Parser.program
+            "__global__ void a() { } __global__ void b() { }"
+        in
+        let a = List.hd p in
+        let p2 = Ast.replace_func p { a with f_ret = TVoid } in
+        Alcotest.(check int) "same length" 2 (List.length p2);
+        let extra =
+          { a with f_name = "mid"; f_kind = Device }
+        in
+        let p3 = Ast.add_func_after p ~anchor:"a" extra in
+        Alcotest.(check (list string)) "order" [ "a"; "mid"; "b" ]
+          (List.map (fun f -> f.f_name) p3));
+  ]

@@ -1,0 +1,76 @@
+(* Autotuner, CSV export, and ablation tests. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let tiny_spec () =
+  Benchmarks.Bfs.spec ~dataset:(Workloads.Graph_gen.kron_dataset ~scale:7 ())
+
+let tca = { Harness.Variant.t = true; c = true; a = true }
+
+let suite =
+  [
+    Alcotest.test_case "autotuner respects its budget" `Slow (fun () ->
+        let spec = tiny_spec () in
+        let o = Harness.Autotune.search ~budget:8 spec tca in
+        Alcotest.(check bool) "within budget" true (o.runs_used <= 8);
+        Alcotest.(check int) "trace length = runs" o.runs_used
+          (List.length o.trace));
+    Alcotest.test_case "autotuner best is the min of its trace" `Slow
+      (fun () ->
+        let spec = tiny_spec () in
+        let o = Harness.Autotune.search ~budget:10 spec tca in
+        List.iter
+          (fun (_, time) ->
+            Alcotest.(check bool) "best <= every run" true
+              (o.best_time <= time))
+          o.trace);
+    Alcotest.test_case "autotuner is deterministic for a seed" `Slow (fun () ->
+        let spec = tiny_spec () in
+        let a = Harness.Autotune.search ~budget:8 ~seed:5 spec tca in
+        let b = Harness.Autotune.search ~budget:8 ~seed:5 spec tca in
+        Alcotest.(check (float 0.0)) "same best" a.best_time b.best_time);
+    Alcotest.test_case "autotuner lands near the exhaustive best" `Slow
+      (fun () ->
+        (* Section VIII-C: 'users can typically find a combination very
+           close to the best with less than ten runs' *)
+        let spec = tiny_spec () in
+        let exhaustive = Harness.Tuning.tune ~quick:false spec tca in
+        let auto = Harness.Autotune.search ~budget:10 spec tca in
+        Alcotest.(check bool)
+          (Fmt.str "within 40%% of exhaustive (%.0f vs %.0f)" auto.best_time
+             exhaustive.best.time)
+          true
+          (auto.best_time <= exhaustive.best.Harness.Experiment.time *. 1.4));
+    t "csv escaping" (fun () ->
+        Alcotest.(check string) "plain" "abc" (Harness.Csv.escape "abc");
+        Alcotest.(check string) "comma" "\"a,b\"" (Harness.Csv.escape "a,b");
+        Alcotest.(check string) "quote" "\"a\"\"b\"" (Harness.Csv.escape "a\"b"));
+    t "csv files have the right shape" (fun () ->
+        let path = Filename.temp_file "dpopt" ".csv" in
+        Harness.Csv.write_rows path ~header:[ "a"; "b" ]
+          [ [ "1"; "x,y" ]; [ "2"; "z" ] ];
+        let lines =
+          In_channel.with_open_text path In_channel.input_lines
+        in
+        Sys.remove path;
+        Alcotest.(check (list string)) "contents"
+          [ "a,b"; "1,\"x,y\""; "2,z" ]
+          lines);
+    Alcotest.test_case "ablation: congestion knob widens the CDP gap" `Slow
+      (fun () ->
+        let s = Harness.Ablation.congestion ~intervals:[ 0; 1000 ] () in
+        match s.rows with
+        | [ low; high ] ->
+            let ratio r = List.assoc "CDP/CDP+A" r.Harness.Ablation.values in
+            Alcotest.(check bool) "gap grows" true (ratio high > ratio low *. 2.0)
+        | _ -> Alcotest.fail "expected two rows");
+    Alcotest.test_case "ablation: launch-existence knob moves the residual"
+      `Slow (fun () ->
+        let s = Harness.Ablation.launch_existence ~costs:[ 0; 256 ] () in
+        match s.rows with
+        | [ low; high ] ->
+            let gap r = List.assoc "residual gap" r.Harness.Ablation.values in
+            Alcotest.(check bool) "residual tracks the knob" true
+              (gap high > gap low)
+        | _ -> Alcotest.fail "expected two rows");
+  ]

@@ -1,0 +1,139 @@
+(* Coarsening transformation tests (paper Section IV). *)
+
+open Minicu
+open Minicu.Ast
+open Dpopt
+
+let t name f = Alcotest.test_case name `Quick f
+
+let transform ?(cfactor = 4) src =
+  Coarsening.transform ~opts:{ cfactor } (Parser.program src)
+
+let suite =
+  [
+    t "child gains a trailing _gDim parameter" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        let child = Ast.find_func_exn r.prog "child" in
+        Alcotest.(check int) "arity" 4 (List.length child.f_params);
+        let last = List.nth child.f_params 3 in
+        Alcotest.(check bool) "dim3 type" true (last.p_ty = TDim3));
+    t "child body is a grid-stride coarsening loop" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        let child = Ast.find_func_exn r.prog "child" in
+        match child.f_body with
+        | [ { sdesc = For (Some init, Some _, Some _, [ _call ]); _ } ] -> (
+            match init.sdesc with
+            | Decl (TInt, _, Some (Member (Var "blockIdx", "x"))) -> ()
+            | _ -> Alcotest.fail "loop should start at blockIdx.x")
+        | _ -> Alcotest.fail "expected a single coarsening loop");
+    t "body extracted into a device function" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        let body = Ast.find_func_exn r.prog "child_block_body" in
+        Alcotest.(check bool) "device" true (body.f_kind = Device);
+        (* blockIdx and gridDim must have been substituted away *)
+        let uses =
+          Ast_util.fold_exprs_in_stmts
+            (fun acc e ->
+              acc
+              || match e with Var ("blockIdx" | "gridDim") -> true | _ -> false)
+            false body.f_body
+        in
+        Alcotest.(check bool) "no blockIdx/gridDim" false uses);
+    t "launch site divides the grid by the coarsening factor" (fun () ->
+        let r = transform ~cfactor:4 Test_helpers.nested_src in
+        let parent = Ast.find_func_exn r.prog "parent" in
+        let found = ref false in
+        ignore
+          (Ast_util.fold_stmts
+             (fun () s ->
+               match s.sdesc with
+               | Assign
+                   ( Member (Var _, "x"),
+                     Binop (Div, Binop (Add, _, Int_lit 3), Int_lit 4) ) ->
+                   found := true
+               | _ -> ())
+             () parent.f_body);
+        Alcotest.(check bool) "ceil-div by 4 present" true !found);
+    t "launch passes the original grid dimension" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        let parent = Ast.find_func_exn r.prog "parent" in
+        match Ast_util.launches_of parent.f_body with
+        | [ l ] ->
+            Alcotest.(check int) "one extra arg" 4 (List.length l.l_args)
+        | _ -> Alcotest.fail "expected one launch");
+    t "semantics preserved across coarsening factors" (fun () ->
+        List.iter
+          (fun cfactor ->
+            ignore (Test_helpers.check_nested_variant (Pipeline.make ~cfactor ())))
+          [ 1; 2; 3; 8; 64 ]);
+    t "coarsening reduces the number of child blocks" (fun () ->
+        let _, m1 =
+          Test_helpers.check_nested_variant (Pipeline.make ~cfactor:1 ())
+        in
+        let _, m8 =
+          Test_helpers.check_nested_variant (Pipeline.make ~cfactor:8 ())
+        in
+        Alcotest.(check bool) "fewer blocks" true
+          (m8.blocks_executed < m1.blocks_executed));
+    t "coarsened child with __syncthreads stays correct" (fun () ->
+        (* per-block shared staging with barriers inside a coarsened child:
+           barrier alignment must hold across coarsening iterations *)
+        let src =
+          {|
+__global__ void child(int* d, int nblocks) {
+  __shared__ int buf[8];
+  buf[threadIdx.x] = d[blockIdx.x * 8 + threadIdx.x];
+  __syncthreads();
+  d[blockIdx.x * 8 + threadIdx.x] = buf[7 - threadIdx.x];
+  __syncthreads();
+}
+__global__ void parent(int* d, int nblocks) {
+  child<<<nblocks, 8>>>(d, nblocks);
+}
+|}
+        in
+        let run opts =
+          let r = Pipeline.run ~opts (Parser.program src) in
+          let dev = Gpusim.Device.create ~cfg:Gpusim.Config.test_config () in
+          Gpusim.Device.load_program dev r.prog;
+          let d = Gpusim.Device.alloc_ints dev (Array.init 32 Fun.id) in
+          Gpusim.Device.launch dev ~kernel:"parent" ~grid:(1, 1, 1)
+            ~block:(1, 1, 1)
+            ~args:[ Gpusim.Value.Ptr d; Gpusim.Value.Int 4 ];
+          ignore (Gpusim.Device.sync dev);
+          Gpusim.Device.read_ints dev d 32
+        in
+        let plain = run Pipeline.none in
+        let coarse = run (Pipeline.make ~cfactor:2 ()) in
+        Alcotest.(check (array int)) "same result" plain coarse);
+    t "multiple children each get coarsened once" (fun () ->
+        let src =
+          {|
+__global__ void c1(int* d) { d[blockIdx.x] = 1; }
+__global__ void c2(int* d) { d[blockIdx.x] = 2; }
+__global__ void parent(int* d, int n) {
+  c1<<<(n + 31) / 32, 32>>>(d);
+  c2<<<(n + 31) / 32, 32>>>(d);
+}
+|}
+        in
+        let r = transform src in
+        Alcotest.(check bool) "c1 body" true
+          (List.exists (fun f -> f.f_name = "c1_block_body") r.prog);
+        Alcotest.(check bool) "c2 body" true
+          (List.exists (fun f -> f.f_name = "c2_block_body") r.prog);
+        Typecheck.check r.prog);
+    t "kernels that are never launched are untouched" (fun () ->
+        let src = "__global__ void lonely(int* d) { d[0] = 1; }" in
+        let r = transform src in
+        Alcotest.(check int) "unchanged" 1 (List.length r.prog));
+    t "transformed program round-trips through the printer" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        let printed = Pretty.program r.prog in
+        Typecheck.check (Parser.program printed));
+    t "reports cover each launch site" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        Alcotest.(check int) "one site" 1 (List.length r.reports);
+        Alcotest.(check bool) "transformed" true
+          (List.hd r.reports).sr_transformed);
+  ]

@@ -1,0 +1,104 @@
+(* Harness tests: stats, variants, tuning, and figure-data sanity on a tiny
+   benchmark. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let tiny_spec () =
+  let kron = Workloads.Graph_gen.kron_dataset ~scale:7 () in
+  Benchmarks.Bfs.spec ~dataset:kron
+
+let suite =
+  [
+    t "geomean" (fun () ->
+        Alcotest.(check (float 1e-9)) "pair" 2.0
+          (Harness.Stats.geomean [ 1.0; 4.0 ]);
+        Alcotest.(check (float 1e-9)) "identity" 3.0
+          (Harness.Stats.geomean [ 3.0 ]);
+        Alcotest.(check bool) "empty is nan" true
+          (Float.is_nan (Harness.Stats.geomean [])));
+    t "mean min max" (fun () ->
+        Alcotest.(check (float 1e-9)) "mean" 2.0
+          (Harness.Stats.mean [ 1.0; 2.0; 3.0 ]);
+        Alcotest.(check (float 1e-9)) "min" 1.0
+          (Harness.Stats.minimum [ 3.0; 1.0; 2.0 ]);
+        Alcotest.(check (float 1e-9)) "max" 3.0
+          (Harness.Stats.maximum [ 3.0; 1.0; 2.0 ]));
+    t "speedup rendering" (fun () ->
+        Alcotest.(check string) "hundreds" "120x"
+          (Harness.Stats.speedup_to_string 120.4);
+        Alcotest.(check string) "tens" "43.0x"
+          (Harness.Stats.speedup_to_string 43.01);
+        Alcotest.(check string) "small" "0.08x"
+          (Harness.Stats.speedup_to_string 0.084));
+    t "combo labels match the paper's notation" (fun () ->
+        let labels =
+          List.map Harness.Variant.combo_label Harness.Variant.all_combos
+        in
+        Alcotest.(check (list string)) "labels"
+          [ "CDP"; "CDP+T"; "CDP+C"; "CDP+A"; "CDP+T+C"; "CDP+T+A"; "CDP+C+A";
+            "CDP+T+C+A" ]
+          labels);
+    t "instantiate enables exactly the requested passes" (fun () ->
+        let v =
+          Harness.Variant.instantiate
+            { Harness.Variant.t = true; c = false; a = true }
+            Harness.Variant.default_params
+        in
+        match v with
+        | Harness.Variant.Cdp o ->
+            Alcotest.(check bool) "T" true (o.thresholding <> None);
+            Alcotest.(check bool) "C" false (o.coarsening <> None);
+            Alcotest.(check bool) "A" true (o.aggregation <> None)
+        | _ -> Alcotest.fail "expected Cdp");
+    t "threshold grid respects the largest launch" (fun () ->
+        let spec = tiny_spec () in
+        let grid = Harness.Tuning.threshold_grid spec in
+        List.iter
+          (fun thr ->
+            Alcotest.(check bool) "bounded" true
+              (thr <= spec.max_child_threads))
+          grid;
+        let beyond = Harness.Tuning.threshold_grid ~beyond_max:true spec in
+        Alcotest.(check bool) "beyond adds one over-max point" true
+          (List.exists (fun t -> t > spec.max_child_threads) beyond));
+    t "param_grid only varies enabled passes" (fun () ->
+        let spec = tiny_spec () in
+        let grid_a =
+          Harness.Tuning.param_grid
+            { Harness.Variant.t = false; c = false; a = true }
+            spec
+        in
+        let thresholds =
+          List.sort_uniq compare
+            (List.map (fun (p : Harness.Variant.params) -> p.threshold) grid_a)
+        in
+        Alcotest.(check int) "threshold fixed" 1 (List.length thresholds));
+    Alcotest.test_case "experiment validates outputs" `Slow (fun () ->
+        let spec = tiny_spec () in
+        let m = Harness.Experiment.run spec Harness.Variant.No_cdp in
+        Alcotest.(check string) "label" "No CDP" m.variant;
+        Alcotest.(check bool) "time positive" true (m.time > 0.0));
+    Alcotest.test_case "tune returns the minimum of its runs" `Slow (fun () ->
+        let spec = tiny_spec () in
+        let tuned =
+          Harness.Tuning.tune spec { Harness.Variant.t = true; c = false; a = false }
+        in
+        List.iter
+          (fun (_, (m : Harness.Experiment.measurement)) ->
+            Alcotest.(check bool) "best is min" true
+              (tuned.best.time <= m.time))
+          tuned.all_runs);
+    Alcotest.test_case "fig9 row speedups are ordered as in the paper" `Slow
+      (fun () ->
+        let spec = tiny_spec () in
+        let row = Harness.Figures.fig9_row ~quick:true spec in
+        (* CDP must be the slowest code version (speedups >= 1 for the
+           optimized combos) *)
+        List.iter
+          (fun (label, time, _) ->
+            Alcotest.(check bool)
+              (label ^ " at least as fast as CDP")
+              true
+              (time <= row.cdp_time *. 1.05))
+          row.combos);
+  ]

@@ -1,0 +1,208 @@
+(* Interpreter semantics tests: expressions, control flow, atomics,
+   barriers, warp collectives, shared memory, device malloc, launches. Each
+   test runs a small kernel on the simulated device and inspects memory. *)
+
+open Gpusim
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Run [src]'s kernel [kernel] with one int output buffer of [out_n]
+   elements passed as the first argument, plus [extra] args. *)
+let run_kernel ?(grid = (1, 1, 1)) ?(block = (1, 1, 1)) ?(out_n = 8)
+    ?(extra = []) ~kernel src =
+  let dev = Device.create ~cfg:Config.test_config () in
+  Device.load_program dev (Minicu.Parser.program src);
+  let out = Device.alloc_int_zeros dev out_n in
+  Device.launch dev ~kernel ~grid ~block ~args:(Value.Ptr out :: extra);
+  ignore (Device.sync dev);
+  Device.read_ints dev out out_n
+
+let check_out name ?grid ?block ?out_n ?extra ~kernel src expected =
+  t name (fun () ->
+      let got = run_kernel ?grid ?block ?out_n ?extra ~kernel src in
+      Alcotest.(check (array int)) name expected got)
+
+let run_fails name ?grid ?block ?out_n ?extra ~kernel src =
+  t name (fun () ->
+      match run_kernel ?grid ?block ?out_n ?extra ~kernel src with
+      | _ -> Alcotest.fail "expected a runtime error"
+      | exception Value.Runtime_error _ -> ())
+
+let suite =
+  [
+    check_out "arithmetic and precedence" ~kernel:"k"
+      "__global__ void k(int* o) { o[0] = 2 + 3 * 4; o[1] = (2 + 3) * 4; o[2] \
+       = 7 / 2; o[3] = 7 % 3; o[4] = -5 + 1; o[5] = 1 << 4; o[6] = 19 >> 2; \
+       o[7] = 5 & 3; }"
+      [| 14; 20; 3; 1; -4; 16; 4; 1 |];
+    check_out "comparisons and logic" ~kernel:"k"
+      "__global__ void k(int* o) { o[0] = (int)(3 < 4); o[1] = (int)(4 <= 3); \
+       o[2] = (int)(3 == 3 && 4 != 4); o[3] = (int)(false || true); o[4] = \
+       (int)!false; o[5] = 3 > 2 ? 10 : 20; }"
+      ~out_n:6 [| 1; 0; 0; 1; 1; 10 |];
+    check_out "float to int casts truncate" ~kernel:"k"
+      "__global__ void k(int* o) { o[0] = (int)3.7; o[1] = (int)(7.0 / 2.0); \
+       o[2] = (int)ceil(7.0 / 2.0); o[3] = (int)floor(3.9); o[4] = \
+       (int)sqrt(49.0); }"
+      ~out_n:5 [| 3; 3; 4; 3; 7 |];
+    check_out "builtins min max abs" ~kernel:"k"
+      "__global__ void k(int* o) { o[0] = min(3, 7); o[1] = max(3, 7); o[2] = \
+       abs(-4); o[3] = (int)fabs(-2.5); o[4] = (int)pow(2.0, 10.0); }"
+      ~out_n:5 [| 3; 7; 4; 2; 1024 |];
+    check_out "thread and block indices" ~kernel:"k" ~grid:(2, 1, 1)
+      ~block:(4, 1, 1)
+      "__global__ void k(int* o) { int i = blockIdx.x * blockDim.x + \
+       threadIdx.x; o[i] = i * 10 + gridDim.x; }"
+      [| 2; 12; 22; 32; 42; 52; 62; 72 |];
+    check_out "multi-dimensional indices" ~kernel:"k" ~block:(2, 2, 2)
+      "__global__ void k(int* o) { int i = threadIdx.z * 4 + threadIdx.y * 2 \
+       + threadIdx.x; o[i] = 100 + i; }"
+      [| 100; 101; 102; 103; 104; 105; 106; 107 |];
+    check_out "for loop with break/continue" ~kernel:"k"
+      "__global__ void k(int* o) { int s = 0; for (int i = 0; i < 100; i++) { \
+       if (i % 2 == 1) { continue; } if (i >= 10) { break; } s = s + i; } \
+       o[0] = s; }"
+      ~out_n:1 [| 20 |];
+    check_out "while loop" ~kernel:"k"
+      "__global__ void k(int* o) { int x = 1; while (x < 100) { x = x * 3; } \
+       o[0] = x; }"
+      ~out_n:1 [| 243 |];
+    check_out "nested loops with shadowing" ~kernel:"k"
+      "__global__ void k(int* o) { int s = 0; for (int i = 0; i < 3; i++) { \
+       for (int j = 0; j < 3; j++) { int i = j * 10; s = s + i; } } o[0] = s; \
+       }"
+      ~out_n:1 [| 90 |];
+    check_out "device function call and return" ~kernel:"k"
+      "__device__ int fib(int n) { if (n < 2) { return n; } return fib(n - 1) \
+       + fib(n - 2); } __global__ void k(int* o) { o[0] = fib(10); }"
+      ~out_n:1 [| 55 |];
+    check_out "early return skips the rest" ~kernel:"k" ~block:(4, 1, 1)
+      "__global__ void k(int* o) { int i = threadIdx.x; if (i > 1) { return; \
+       } o[i] = 1; }"
+      ~out_n:4 [| 1; 1; 0; 0 |];
+    check_out "pointer arithmetic" ~kernel:"k"
+      "__global__ void k(int* o) { int* q = o + 2; q[0] = 5; q[1] = 6; int* r \
+       = q - 1; r[0] = 4; o[5] = (int)(q == o + 2); }"
+      ~out_n:6 [| 0; 4; 5; 6; 0; 1 |];
+    check_out "atomicAdd returns distinct old values" ~kernel:"k"
+      ~block:(8, 1, 1)
+      "__global__ void k(int* o) { int old = atomicAdd(&o[0], 1); o[1 + old] \
+       = 1; }"
+      ~out_n:9 [| 8; 1; 1; 1; 1; 1; 1; 1; 1 |];
+    check_out "atomicMin / atomicMax / atomicExch / atomicSub" ~kernel:"k"
+      "__global__ void k(int* o) { o[0] = 100; atomicMin(&o[0], 42); \
+       atomicMax(&o[1], 17); atomicExch(&o[2], 9); atomicSub(&o[3], 5); }"
+      ~out_n:4 [| 42; 17; 9; -5 |];
+    check_out "atomicCAS success and failure" ~kernel:"k"
+      "__global__ void k(int* o) { o[0] = 5; int a = atomicCAS(&o[0], 5, 7); \
+       int b = atomicCAS(&o[0], 5, 9); o[1] = a; o[2] = b; }"
+      ~out_n:3 [| 7; 5; 7 |];
+    check_out "syncthreads orders phases" ~kernel:"k" ~block:(8, 1, 1)
+      "__global__ void k(int* o) { o[threadIdx.x] = threadIdx.x; \
+       __syncthreads(); int next = (threadIdx.x + 1) % 8; int v = o[next]; \
+       __syncthreads(); o[threadIdx.x] = v; }"
+      [| 1; 2; 3; 4; 5; 6; 7; 0 |];
+    check_out "shared memory reduction" ~kernel:"k" ~block:(16, 1, 1)
+      "__global__ void k(int* o) { __shared__ int b[16]; b[threadIdx.x] = \
+       threadIdx.x; __syncthreads(); int s = 8; while (s > 0) { if \
+       (threadIdx.x < s) { b[threadIdx.x] = b[threadIdx.x] + b[threadIdx.x + \
+       s]; } __syncthreads(); s = s / 2; } if (threadIdx.x == 0) { o[0] = \
+       b[0]; } }"
+      ~out_n:1 [| 120 |];
+    check_out "shared memory is per block" ~kernel:"k" ~grid:(2, 1, 1)
+      ~block:(2, 1, 1)
+      "__global__ void k(int* o) { __shared__ int b[2]; b[threadIdx.x] = \
+       blockIdx.x * 10 + threadIdx.x; __syncthreads(); o[blockIdx.x * 2 + \
+       threadIdx.x] = b[threadIdx.x]; }"
+      ~out_n:4 [| 0; 1; 10; 11 |];
+    check_out "warp collectives" ~kernel:"k" ~block:(32, 1, 1)
+      "__global__ void k(int* o) { int lane = threadIdx.x; int s = \
+       warp_scan_excl(1); int tot = warp_sum(lane); int mx = warp_max(lane); \
+       int b = warp_bcast(lane * 2, 3); if (lane == 5) { o[0] = s; o[1] = \
+       tot; o[2] = mx; o[3] = b; } }"
+      ~out_n:4 [| 5; 496; 31; 6 |];
+    check_out "warp collectives skip exited lanes" ~kernel:"k"
+      ~block:(32, 1, 1)
+      "__global__ void k(int* o) { if (threadIdx.x >= 16) { return; } int c = \
+       warp_sum(1); if (threadIdx.x == 0) { o[0] = c; } }"
+      ~out_n:1 [| 16 |];
+    check_out "device malloc" ~kernel:"k"
+      "__global__ void k(int* o) { int* buf = (int*)malloc(4); buf[0] = 11; \
+       buf[3] = 44; o[0] = buf[0]; o[1] = buf[3]; }"
+      ~out_n:2 [| 11; 44 |];
+    check_out "dynamic launch propagates values" ~kernel:"p"
+      "__global__ void c(int* o, int v) { o[threadIdx.x] = v + threadIdx.x; } \
+       __global__ void p(int* o) { c<<<1, 4>>>(o, 100); }"
+      ~out_n:4 [| 100; 101; 102; 103 |];
+    check_out "nested dynamic launches (grandchildren)" ~kernel:"p"
+      "__global__ void gc(int* o, int base) { o[base + threadIdx.x] = 7; } \
+       __global__ void c(int* o) { gc<<<1, 2>>>(o, threadIdx.x * 2); } \
+       __global__ void p(int* o) { c<<<1, 2>>>(o); }"
+      ~out_n:4 [| 7; 7; 7; 7 |];
+    check_out "dim3 variables and member assignment" ~kernel:"k"
+      "__global__ void k(int* o) { dim3 d = dim3(4, 5, 6); d.x = 7; o[0] = \
+       d.x; o[1] = d.y; o[2] = d.z; int n = 9; dim3 e = n; o[3] = e.x; o[4] = \
+       e.y; }"
+      ~out_n:5 [| 7; 5; 6; 9; 1 |];
+    check_out "uninitialized dim3 member assignment defaults" ~kernel:"k"
+      "__global__ void k(int* o) { dim3 d; d.x = 3; o[0] = d.x; o[1] = d.y; }"
+      ~out_n:2 [| 3; 1 |];
+    t "floats in memory" (fun () ->
+        let dev = Device.create ~cfg:Config.test_config () in
+        Device.load_program dev
+          (Minicu.Parser.program
+             "__global__ void k(int* o, float* f) { f[0] = 1.5; f[1] = f[0] \
+              * 2.0; o[0] = (int)(f[1] * 10.0); }");
+        let out = Device.alloc_int_zeros dev 1 in
+        let fbuf = Device.alloc_float_zeros dev 2 in
+        Device.launch dev ~kernel:"k" ~grid:(1, 1, 1) ~block:(1, 1, 1)
+          ~args:[ Value.Ptr out; Value.Ptr fbuf ];
+        ignore (Device.sync dev);
+        Alcotest.(check (array int)) "result" [| 30 |]
+          (Device.read_ints dev out 1);
+        Alcotest.(check (array (float 0.0))) "floats" [| 1.5; 3.0 |]
+          (Device.read_floats dev fbuf 2));
+    run_fails "out-of-bounds store caught" ~kernel:"k"
+      "__global__ void k(int* o) { o[100] = 1; }";
+    run_fails "division by zero" ~kernel:"k"
+      "__global__ void k(int* o) { int z = 0; o[0] = 5 / z; }";
+    run_fails "modulo by zero" ~kernel:"k"
+      "__global__ void k(int* o) { int z = 0; o[0] = 5 % z; }";
+    run_fails "empty child grid launch" ~kernel:"p"
+      "__global__ void c(int* o) { o[0] = 1; } __global__ void p(int* o) { \
+       c<<<0, 4>>>(o); }";
+    run_fails "block too large" ~kernel:"p"
+      "__global__ void c(int* o) { o[0] = 1; } __global__ void p(int* o) { \
+       c<<<1, 2048>>>(o); }";
+    t "metrics count blocks and threads" (fun () ->
+        let dev = Device.create ~cfg:Config.test_config () in
+        Device.load_program dev
+          (Minicu.Parser.program "__global__ void k(int* o) { o[0] = 1; }");
+        let out = Device.alloc_int_zeros dev 1 in
+        Device.launch dev ~kernel:"k" ~grid:(3, 1, 1) ~block:(32, 1, 1)
+          ~args:[ Value.Ptr out ];
+        ignore (Device.sync dev);
+        let m = Device.metrics dev in
+        Alcotest.(check int) "blocks" 3 m.blocks_executed;
+        Alcotest.(check int) "threads" 96 m.threads_executed;
+        Alcotest.(check int) "grids" 1 m.grids_launched);
+    t "cdp entry cost only charged when kernel contains a launch" (fun () ->
+        let run src =
+          let dev = Device.create ~cfg:Config.test_config () in
+          Device.load_program dev (Minicu.Parser.program src);
+          let out = Device.alloc_int_zeros dev 1 in
+          Device.launch dev ~kernel:"k" ~grid:(1, 1, 1) ~block:(32, 1, 1)
+            ~args:[ Value.Ptr out ];
+          ignore (Device.sync dev);
+          (Device.metrics dev).breakdown.parent_cycles
+        in
+        let plain = run "__global__ void k(int* o) { o[0] = 1; }" in
+        let with_launch =
+          run
+            "__global__ void c(int* o) { o[0] = 2; } __global__ void k(int* \
+             o) { if (o[0] == 12345) { c<<<1, 1>>>(o); } o[0] = 1; }"
+        in
+        Alcotest.(check bool)
+          "launch-existence overhead (Section VIII-D)" true
+          (with_launch > plain));
+  ]

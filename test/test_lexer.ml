@@ -1,0 +1,82 @@
+(* Lexer unit tests. *)
+
+open Minicu
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let check_toks name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got = toks src in
+      let show l = String.concat " " (List.map Lexer.token_to_string l) in
+      Alcotest.(check string) name (show (expected @ [ Lexer.EOF ])) (show got))
+
+let lex_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Lexer.tokenize src with
+      | _ -> Alcotest.failf "expected a lex error on %S" src
+      | exception Loc.Error _ -> ())
+
+let suite =
+  let open Lexer in
+  [
+    check_toks "empty" "" [];
+    check_toks "whitespace only" "  \t\n  " [];
+    check_toks "int literal" "42" [ INT 42 ];
+    check_toks "zero" "0" [ INT 0 ];
+    check_toks "int with unsigned suffix" "42u" [ INT 42 ];
+    check_toks "int with long suffix" "42ull" [ INT 42 ];
+    check_toks "float literal" "3.5" [ FLOAT 3.5 ];
+    check_toks "float with f suffix" "3.5f" [ FLOAT 3.5 ];
+    check_toks "float exponent" "1e3" [ FLOAT 1000.0 ];
+    check_toks "float negative exponent" "25e-2" [ FLOAT 0.25 ];
+    check_toks "identifier" "foo_bar2" [ IDENT "foo_bar2" ];
+    check_toks "underscore ident" "__foo" [ IDENT "__foo" ];
+    check_toks "keywords" "if else for while return break continue"
+      [ KW_IF; KW_ELSE; KW_FOR; KW_WHILE; KW_RETURN; KW_BREAK; KW_CONTINUE ];
+    check_toks "type keywords" "void int float bool dim3"
+      [ KW_VOID; KW_INT; KW_FLOAT; KW_BOOL; KW_DIM3 ];
+    check_toks "unsigned maps to int" "unsigned" [ KW_INT ];
+    check_toks "double maps to float" "double" [ KW_FLOAT ];
+    check_toks "attribute keywords" "__global__ __device__ __shared__"
+      [ KW_GLOBAL; KW_DEVICE; KW_SHARED ];
+    check_toks "member access int vs float" "a.x" [ IDENT "a"; DOT; IDENT "x" ];
+    check_toks "launch chevrons" "k<<<1, 2>>>()"
+      [ IDENT "k"; LAUNCH_OPEN; INT 1; COMMA; INT 2; LAUNCH_CLOSE; LPAREN; RPAREN ];
+    check_toks "shift left vs chevron" "a << b" [ IDENT "a"; SHL; IDENT "b" ];
+    check_toks "shift right" "a >> b" [ IDENT "a"; SHR; IDENT "b" ];
+    check_toks "comparison chains" "a <= b >= c == d != e"
+      [ IDENT "a"; LE; IDENT "b"; GE; IDENT "c"; EQEQ; IDENT "d"; NEQ; IDENT "e" ];
+    check_toks "logical ops" "a && b || !c"
+      [ IDENT "a"; ANDAND; IDENT "b"; OROR; BANG; IDENT "c" ];
+    check_toks "bitwise ops" "a & b | c ^ d"
+      [ IDENT "a"; AMP; IDENT "b"; PIPE; IDENT "c"; CARET; IDENT "d" ];
+    check_toks "compound assigns" "a += 1; b -= 2; c *= 3; d /= 4;"
+      [
+        IDENT "a"; PLUSEQ; INT 1; SEMI; IDENT "b"; MINUSEQ; INT 2; SEMI;
+        IDENT "c"; STAREQ; INT 3; SEMI; IDENT "d"; SLASHEQ; INT 4; SEMI;
+      ];
+    check_toks "increment decrement" "i++; j--;"
+      [ IDENT "i"; PLUSPLUS; SEMI; IDENT "j"; MINUSMINUS; SEMI ];
+    check_toks "line comment" "a // comment here\nb" [ IDENT "a"; IDENT "b" ];
+    check_toks "block comment" "a /* x\ny */ b" [ IDENT "a"; IDENT "b" ];
+    check_toks "nested-looking block comment" "a /* /* */ b" [ IDENT "a"; IDENT "b" ];
+    check_toks "ternary" "a ? b : c"
+      [ IDENT "a"; QUESTION; IDENT "b"; COLON; IDENT "c" ];
+    check_toks "brackets and braces" "{ a[0] }"
+      [ LBRACE; IDENT "a"; LBRACKET; INT 0; RBRACKET; RBRACE ];
+    lex_fails "unterminated block comment" "a /* b";
+    lex_fails "stray character" "a $ b";
+    Alcotest.test_case "locations track lines" `Quick (fun () ->
+        let l = Lexer.tokenize "a\nbb\n  c" in
+        let locs = List.map snd l in
+        let lines = List.map (fun (loc : Loc.t) -> loc.line) locs in
+        Alcotest.(check (list int)) "lines" [ 1; 2; 3; 3 ] lines;
+        let cols = List.map (fun (loc : Loc.t) -> loc.col) locs in
+        Alcotest.(check (list int)) "cols" [ 1; 1; 3; 4 ] cols);
+    Alcotest.test_case "error carries location" `Quick (fun () ->
+        match Lexer.tokenize "ab\n  $" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Loc.Error (loc, _) ->
+            Alcotest.(check int) "line" 2 loc.line;
+            Alcotest.(check int) "col" 3 loc.col);
+  ]

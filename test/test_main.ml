@@ -1,0 +1,29 @@
+(* Test runner: all suites. *)
+
+let () =
+  Alcotest.run "dpopt"
+    [
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("pretty", Test_pretty.suite);
+      ("ast_util", Test_ast_util.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("pattern", Test_pattern.suite);
+      ("memory+values+events", Test_memory.suite);
+      ("interp", Test_interp.suite);
+      ("interp-edge", Test_interp_edge.suite);
+      ("sched", Test_sched.suite);
+      ("thresholding", Test_thresholding.suite);
+      ("coarsening", Test_coarsening.suite);
+      ("aggregation", Test_aggregation.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("promotion", Test_promotion.suite);
+      ("random-programs", Test_random_programs.suite);
+      ("multi-site", Test_multisite.suite);
+      ("workloads", Test_workloads.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("harness", Test_harness.suite);
+      ("failures", Test_failures.suite);
+      ("references", Test_references.suite);
+      ("autotune+csv+ablation", Test_autotune.suite);
+    ]

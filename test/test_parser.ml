@@ -1,0 +1,150 @@
+(* Parser unit tests: expression precedence, statements, functions,
+   launches, and error reporting. *)
+
+open Minicu
+open Minicu.Ast
+
+let expr_eq name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got = Parser.expr_of_string src in
+      if not (equal_expr got expected) then
+        Alcotest.failf "parsed %s, expected %s" (show_expr got)
+          (show_expr expected))
+
+let stmt_shape name src pred =
+  Alcotest.test_case name `Quick (fun () ->
+      let s = Parser.stmt_of_string src in
+      if not (pred s) then Alcotest.failf "unexpected shape: %s" (show_stmt s))
+
+let parse_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Parser.program src with
+      | _ -> Alcotest.failf "expected parse error"
+      | exception Loc.Error _ -> ())
+
+let v x = Var x
+let i n = Int_lit n
+
+let suite =
+  [
+    (* ---- expressions ---- *)
+    expr_eq "mul binds tighter than add" "a + b * c"
+      (Binop (Add, v "a", Binop (Mul, v "b", v "c")));
+    expr_eq "left assoc sub" "a - b - c"
+      (Binop (Sub, Binop (Sub, v "a", v "b"), v "c"));
+    expr_eq "parens override" "(a + b) * c"
+      (Binop (Mul, Binop (Add, v "a", v "b"), v "c"));
+    expr_eq "comparison below shift" "a >> 1 < b"
+      (Binop (Lt, Binop (Shr, v "a", i 1), v "b"));
+    expr_eq "logical precedence" "a && b || c && d"
+      (Binop (LOr, Binop (LAnd, v "a", v "b"), Binop (LAnd, v "c", v "d")));
+    expr_eq "bitand between eq and xor" "a == b & c"
+      (Binop (BAnd, Binop (Eq, v "a", v "b"), v "c"));
+    expr_eq "ternary right assoc" "a ? b : c ? d : e"
+      (Ternary (v "a", v "b", Ternary (v "c", v "d", v "e")));
+    expr_eq "ternary as operand" "x + (a ? b : c)"
+      (Binop (Add, v "x", Ternary (v "a", v "b", v "c")));
+    expr_eq "unary minus" "-a + b" (Binop (Add, Unop (Neg, v "a"), v "b"));
+    expr_eq "double negation" "!!a" (Unop (Not, Unop (Not, v "a")));
+    expr_eq "address of element" "&a[i]" (Addr_of (Index (v "a", v "i")));
+    expr_eq "index chain" "a[i][j]" (Index (Index (v "a", v "i"), v "j"));
+    expr_eq "member access" "blockIdx.x" (Member (v "blockIdx", "x"));
+    expr_eq "member of index" "a[i].y" (Member (Index (v "a", v "i"), "y"));
+    expr_eq "call no args" "f()" (Call ("f", []));
+    expr_eq "call with args" "min(a, b + 1)"
+      (Call ("min", [ v "a"; Binop (Add, v "b", i 1) ]));
+    expr_eq "nested calls" "f(g(x))" (Call ("f", [ Call ("g", [ v "x" ]) ]));
+    expr_eq "int cast" "(int)x" (Cast (TInt, v "x"));
+    expr_eq "float cast of division" "(float)a / b"
+      (Binop (Div, Cast (TFloat, v "a"), v "b"));
+    expr_eq "pointer cast" "(float*)p" (Cast (TPtr TFloat, v "p"));
+    expr_eq "dim3 one arg pads" "dim3(n)" (Dim3_ctor (v "n", i 1, i 1));
+    expr_eq "dim3 three args" "dim3(a, b, c)" (Dim3_ctor (v "a", v "b", v "c"));
+    expr_eq "ceil div pattern a" "(n - 1) / b + 1"
+      (Binop (Add, Binop (Div, Binop (Sub, v "n", i 1), v "b"), i 1));
+    expr_eq "float literal" "0.5" (Float_lit 0.5);
+    expr_eq "bool literals" "true && false"
+      (Binop (LAnd, Bool_lit true, Bool_lit false));
+    (* ---- statements ---- *)
+    stmt_shape "decl with init" "int x = 3;" (fun s ->
+        match s.sdesc with Decl (TInt, "x", Some (Int_lit 3)) -> true | _ -> false);
+    stmt_shape "pointer decl" "float* p;" (fun s ->
+        match s.sdesc with Decl (TPtr TFloat, "p", None) -> true | _ -> false);
+    stmt_shape "compound assign desugars" "x += 2;" (fun s ->
+        match s.sdesc with
+        | Assign (Var "x", Binop (Add, Var "x", Int_lit 2)) -> true
+        | _ -> false);
+    stmt_shape "increment desugars" "i++;" (fun s ->
+        match s.sdesc with
+        | Assign (Var "i", Binop (Add, Var "i", Int_lit 1)) -> true
+        | _ -> false);
+    stmt_shape "if without else" "if (a) { x = 1; }" (fun s ->
+        match s.sdesc with If (Var "a", [ _ ], []) -> true | _ -> false);
+    stmt_shape "if-else" "if (a) { x = 1; } else { x = 2; }" (fun s ->
+        match s.sdesc with If (_, [ _ ], [ _ ]) -> true | _ -> false);
+    stmt_shape "single-statement bodies" "if (a) x = 1; else x = 2;" (fun s ->
+        match s.sdesc with If (_, [ _ ], [ _ ]) -> true | _ -> false);
+    stmt_shape "for loop" "for (int i = 0; i < n; i++) { s = s + i; }"
+      (fun s ->
+        match s.sdesc with
+        | For (Some _, Some (Binop (Lt, _, _)), Some _, [ _ ]) -> true
+        | _ -> false);
+    stmt_shape "for with empty header" "for (;;) { break; }" (fun s ->
+        match s.sdesc with For (None, None, None, [ _ ]) -> true | _ -> false);
+    stmt_shape "while loop" "while (x < 10) x = x * 2;" (fun s ->
+        match s.sdesc with While (_, [ _ ]) -> true | _ -> false);
+    stmt_shape "launch statement" "child<<<g, b>>>(x, y);" (fun s ->
+        match s.sdesc with
+        | Launch { l_kernel = "child"; l_args = [ Var "x"; Var "y" ]; _ } -> true
+        | _ -> false);
+    stmt_shape "launch with ceil-div config"
+      "child<<<(n + 31) / 32, 32>>>(d);" (fun s ->
+        match s.sdesc with
+        | Launch { l_grid = Binop (Div, _, _); l_block = Int_lit 32; _ } -> true
+        | _ -> false);
+    stmt_shape "sync statement" "__syncthreads();" (fun s -> s.sdesc = Sync);
+    stmt_shape "syncwarp statement" "__syncwarp();" (fun s -> s.sdesc = Syncwarp);
+    stmt_shape "threadfence statement" "__threadfence();" (fun s ->
+        s.sdesc = Threadfence);
+    stmt_shape "shared declaration" "__shared__ int buf[256];" (fun s ->
+        match s.sdesc with
+        | Decl_shared (TInt, "buf", Int_lit 256) -> true
+        | _ -> false);
+    stmt_shape "return value" "return x + 1;" (fun s ->
+        match s.sdesc with Return (Some _) -> true | _ -> false);
+    stmt_shape "anonymous block becomes if(true)" "{ int x = 1; x = 2; }"
+      (fun s ->
+        match s.sdesc with If (Bool_lit true, [ _; _ ], []) -> true | _ -> false);
+    (* ---- functions ---- *)
+    Alcotest.test_case "global kernel parses" `Quick (fun () ->
+        let p = Parser.program "__global__ void k(int* a, int n) { a[0] = n; }" in
+        match p with
+        | [ f ] ->
+            Alcotest.(check string) "name" "k" f.f_name;
+            Alcotest.(check bool) "kind" true (f.f_kind = Global);
+            Alcotest.(check int) "params" 2 (List.length f.f_params)
+        | _ -> Alcotest.fail "expected one function");
+    Alcotest.test_case "device function with return type" `Quick (fun () ->
+        let p = Parser.program "__device__ int f(int x) { return x * 2; }" in
+        match p with
+        | [ f ] ->
+            Alcotest.(check bool) "kind" true (f.f_kind = Device);
+            Alcotest.(check bool) "ret" true (f.f_ret = TInt)
+        | _ -> Alcotest.fail "expected one function");
+    Alcotest.test_case "multiple functions" `Quick (fun () ->
+        let p =
+          Parser.program
+            "__global__ void a() { } __device__ void b() { } __global__ void \
+             c() { }"
+        in
+        Alcotest.(check int) "count" 3 (List.length p));
+    (* ---- errors ---- *)
+    parse_fails "kernel returning non-void" "__global__ int k() { return 1; }";
+    parse_fails "missing semicolon" "__global__ void k() { int x = 1 }";
+    parse_fails "unbalanced braces" "__global__ void k() { if (x) { }";
+    parse_fails "assignment to non-lvalue" "__global__ void k() { 1 = 2; }";
+    parse_fails "missing launch args" "__global__ void k() { c<<<1>>>(); }";
+    parse_fails "top-level statement" "int x = 3;";
+    parse_fails "trailing garbage after expr"
+      "__global__ void k() { int x = 1; } garbage";
+  ]

@@ -1,0 +1,100 @@
+(* Tests for the ceiling-division pattern analysis (paper Fig. 4). *)
+
+open Minicu
+open Dpopt
+
+let parent_body_of src =
+  match
+    Parser.program ("__global__ void p(int n, int b, int* d) {" ^ src ^ "}")
+  with
+  | [ f ] -> f.f_body
+  | _ -> assert false
+
+(* Extract from a grid expression given in source form. *)
+let extract ?(body = "") ?(block = "32") grid =
+  let parent_body = parent_body_of body in
+  Pattern.desired_threads ~parent_body
+    ~grid:(Parser.expr_of_string grid)
+    ~block:(Parser.expr_of_string block)
+
+let expects_n name ?body ?block grid expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match extract ?body ?block grid with
+      | Pattern.Exact e ->
+          Alcotest.(check string) name expected (Pretty.expr_to_string e)
+      | Pattern.Fallback_total -> Alcotest.failf "got fallback for %s" grid)
+
+let expects_fallback name ?body ?block grid =
+  Alcotest.test_case name `Quick (fun () ->
+      match extract ?body ?block grid with
+      | Pattern.Fallback_total -> ()
+      | Pattern.Exact e ->
+          Alcotest.failf "expected fallback, got %s" (Pretty.expr_to_string e))
+
+let suite =
+  [
+    (* the five expression patterns of Fig. 4 *)
+    expects_n "pattern (a): (N-1)/b+1" "(n - 1) / 32 + 1" "n";
+    expects_n "pattern (b): (N+b-1)/b" "(n + 31) / 32" "n";
+    expects_n "pattern (c): N/b + (N%b ? ...)"
+      "n / 32 + (n % 32 == 0 ? 0 : 1)" "n";
+    expects_n "pattern (d): ceil((float)N/b)" "ceil((float)n / 32)" "n";
+    expects_n "pattern (e): ceil(N/(float)b)" "ceil(n / (float)32)" "n";
+    (* symbolic block dimension *)
+    expects_n "symbolic b" ~block:"b" "(n + b - 1) / b" "n";
+    (* N can be a compound expression *)
+    expects_n "compound N" "(d[5] - d[4] + 31) / 32" "d[5] - d[4]";
+    expects_n "N with multiplication kept" "(2 * n + 31) / 32" "2 * n";
+    (* intermediate variables are resolved *)
+    (* when the dividend is already a named variable, that variable IS the
+       recovered N — it is in scope at the launch and becomes [_threads] *)
+    expects_n "N through a variable" ~body:"int total = n * 2;"
+      "(total + 31) / 32" "total";
+    expects_n "whole config through a variable"
+      ~body:"int blocks = (n + 31) / 32;" "blocks" "n";
+    expects_n "two-level indirection"
+      ~body:"int t = n + 1; int blocks = (t - 1) / 32 + 1;" "blocks" "t";
+    (* dim3 (pattern (f)) *)
+    expects_n "dim3 with one ceil-div" "dim3((n + 31) / 32, 1, 1)" "n";
+    expects_n "dim3 with two ceil-divs" ~block:"dim3(8, 8, 1)"
+      "dim3((n + 7) / 8, (b + 7) / 8, 1)" "n * b";
+    (* fallback cases *)
+    expects_fallback "bare variable with no division"
+      ~body:"int blocks = n;" "blocks";
+    expects_fallback "opaque expression" "n * 2";
+    expects_fallback "reassigned variable is not resolved"
+      ~body:"int blocks = (n + 31) / 32; blocks = 7;" "blocks";
+    Alcotest.test_case "threads_expr fallback is grid*block" `Quick (fun () ->
+        let e, kind =
+          Pattern.threads_expr ~parent_body:[]
+            ~grid:(Parser.expr_of_string "g")
+            ~block:(Parser.expr_of_string "128")
+        in
+        Alcotest.(check bool) "fallback" true (kind = `Fallback);
+        Alcotest.(check string) "expr" "g * 128" (Pretty.expr_to_string e));
+    Alcotest.test_case "threads_expr exact passes through" `Quick (fun () ->
+        let e, kind =
+          Pattern.threads_expr ~parent_body:[]
+            ~grid:(Parser.expr_of_string "(n + 63) / 64")
+            ~block:(Parser.expr_of_string "64")
+        in
+        Alcotest.(check bool) "exact" true (kind = `Exact);
+        Alcotest.(check string) "expr" "n" (Pretty.expr_to_string e));
+    Alcotest.test_case
+      "heuristic never changes correctness: N is only advisory" `Quick
+      (fun () ->
+        (* even a wrong N yields a valid program: check the transform output
+           still typechecks when the pattern falls back *)
+        let src =
+          {|
+__global__ void c(int* d, int n) { d[threadIdx.x] = n; }
+__global__ void p(int* d, int g) { c<<<g, 32>>>(d, g); }
+|}
+        in
+        let r =
+          Pipeline.run
+            ~opts:(Pipeline.make ~threshold:16 ())
+            (Parser.program src)
+        in
+        Typecheck.check r.prog);
+  ]

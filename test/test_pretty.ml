@@ -1,0 +1,185 @@
+(* Pretty-printer tests: specific layouts and parse/print round-trip
+   properties over randomly generated ASTs. *)
+
+open Minicu
+open Minicu.Ast
+
+let roundtrip_prog name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let p1 = Parser.program src in
+      let printed = Pretty.program p1 in
+      let p2 = Parser.program printed in
+      if not (equal_program p1 p2) then
+        Alcotest.failf "round-trip mismatch; printed:\n%s" printed)
+
+let roundtrip_expr name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let e1 = Parser.expr_of_string src in
+      let printed = Pretty.expr_to_string e1 in
+      let e2 = Parser.expr_of_string printed in
+      if not (equal_expr e1 e2) then
+        Alcotest.failf "round-trip mismatch: %S -> %S" src printed)
+
+(* ---- qcheck generators for expressions and statements ---- *)
+
+let gen_name = QCheck.Gen.oneofl [ "a"; "b"; "n"; "x"; "p"; "q" ]
+let gen_ptr_name = QCheck.Gen.oneofl [ "p"; "q" ]
+
+let gen_expr =
+  QCheck.Gen.(
+    sized (fun size ->
+        fix
+          (fun self n ->
+            if n = 0 then
+              oneof
+                [
+                  map (fun i -> Int_lit (abs i mod 1000)) int;
+                  map (fun x -> Var x) gen_name;
+                  return (Bool_lit true);
+                  return (Float_lit 0.5);
+                  map (fun x -> Member (Var "threadIdx", x)) (oneofl [ "x"; "y" ]);
+                ]
+            else
+              let sub = self (n / 2) in
+              oneof
+                [
+                  map2
+                    (fun op (a, b) -> Binop (op, a, b))
+                    (oneofl
+                       [ Add; Sub; Mul; Div; Lt; Le; Eq; Ne; LAnd; LOr; Shl ])
+                    (pair sub sub);
+                  map (fun a -> Unop (Neg, a)) sub;
+                  map (fun a -> Unop (Not, a)) sub;
+                  map3 (fun c a b -> Ternary (c, a, b)) sub sub sub;
+                  map2 (fun p i -> Index (Var p, i)) gen_ptr_name sub;
+                  map2 (fun a b -> Call ("min", [ a; b ])) sub sub;
+                  map (fun a -> Cast (TInt, a)) sub;
+                  map (fun a -> Cast (TFloat, a)) sub;
+                  map3 (fun x y z -> Dim3_ctor (x, y, z)) sub sub sub;
+                ])
+          (min size 14)))
+
+let arbitrary_expr = QCheck.make ~print:Pretty.expr_to_string gen_expr
+
+let expr_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"pretty/parse round-trip on random exprs"
+    arbitrary_expr (fun e ->
+      let printed = Pretty.expr_to_string e in
+      match Parser.expr_of_string printed with
+      | e2 -> equal_expr e e2
+      | exception Loc.Error (_, m) ->
+          QCheck.Test.fail_reportf "printed %S failed to parse: %s" printed m)
+
+let gen_stmt =
+  QCheck.Gen.(
+    let expr = gen_expr in
+    sized (fun size ->
+        fix
+          (fun self n ->
+            let leaf =
+              oneof
+                [
+                  map2 (fun x e -> stmt (Decl (TInt, x ^ "_d", Some e))) gen_name expr;
+                  map2 (fun x e -> stmt (Assign (Var x, e))) gen_name expr;
+                  map3
+                    (fun p i e -> stmt (Assign (Index (Var p, i), e)))
+                    gen_ptr_name expr expr;
+                  map (fun e -> stmt (Expr_stmt (Call ("min", [ e; e ])))) expr;
+                  return (stmt Sync);
+                  return (stmt Threadfence);
+                ]
+            in
+            if n = 0 then leaf
+            else
+              let sub = list_size (int_range 1 3) (self (n / 2)) in
+              oneof
+                [
+                  leaf;
+                  map3 (fun c a b -> stmt (If (c, a, b))) expr sub sub;
+                  map2 (fun c b -> stmt (While (c, b))) expr sub;
+                  map2
+                    (fun e b ->
+                      stmt
+                        (For
+                           ( Some (stmt (Decl (TInt, "i_loop", Some (Int_lit 0)))),
+                             Some e,
+                             Some
+                               (stmt
+                                  (Assign
+                                     ( Var "i_loop",
+                                       Binop (Add, Var "i_loop", Int_lit 1) ))),
+                             b )))
+                    expr sub;
+                ])
+          (min size 8)))
+
+let arbitrary_stmt = QCheck.make ~print:Pretty.stmt_to_string gen_stmt
+
+let stmt_roundtrip_prop =
+  QCheck.Test.make ~count:300 ~name:"pretty/parse round-trip on random stmts"
+    arbitrary_stmt (fun s ->
+      let printed = Pretty.stmt_to_string s in
+      match Parser.stmt_of_string printed with
+      | s2 ->
+          (* tags are not printed, so compare modulo tags *)
+          equal_stmt (retag_deep Tag_none s) (retag_deep Tag_none s2)
+      | exception Loc.Error (_, m) ->
+          QCheck.Test.fail_reportf "printed %S failed to parse: %s" printed m)
+
+let suite =
+  [
+    roundtrip_expr "precedence-sensitive printing" "(a + b) * (c - d)";
+    roundtrip_expr "nested ternary" "a ? b : c ? d : e";
+    roundtrip_expr "ternary in arg" "f(a ? 1 : 2, b)";
+    roundtrip_expr "unary chains" "-(a + -b)";
+    roundtrip_expr "shift and compare" "(a << 2) < (b >> 1)";
+    roundtrip_expr "index of cast" "((int*)p)[3]";
+    roundtrip_prog "kernel with launch"
+      {|
+__global__ void c(int* d, int n) { int i = threadIdx.x; if (i < n) { d[i] = i; } }
+__global__ void p(int* d, int n) { c<<<(n + 31) / 32, 32>>>(d, n); }
+|};
+    roundtrip_prog "loops and control flow"
+      {|
+__device__ int f(int x) {
+  int s = 0;
+  for (int i = 0; i < x; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 100) { break; }
+    s = s + i;
+  }
+  while (s > 10) { s = s / 2; }
+  return s;
+}
+|};
+    roundtrip_prog "shared memory and sync"
+      {|
+__global__ void k(int* d) {
+  __shared__ int buf[128];
+  buf[threadIdx.x] = d[threadIdx.x];
+  __syncthreads();
+  __threadfence();
+  d[threadIdx.x] = buf[threadIdx.x];
+}
+|};
+    roundtrip_prog "dim3 configs"
+      {|
+__global__ void c(int* d) { d[0] = 1; }
+__global__ void p(int* d) { c<<<dim3(2, 3, 4), dim3(8, 8, 1)>>>(d); }
+|};
+    Alcotest.test_case "ty_to_string" `Quick (fun () ->
+        Alcotest.(check string) "ptr ptr" "int**"
+          (Pretty.ty_to_string (TPtr (TPtr TInt)));
+        Alcotest.(check string) "dim3" "dim3" (Pretty.ty_to_string TDim3));
+    Alcotest.test_case "float literals stay parseable" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            let printed = Pretty.expr_to_string (Float_lit f) in
+            match Parser.expr_of_string printed with
+            | Float_lit f2 when f2 = f -> ()
+            | e -> Alcotest.failf "%g printed as %s parsed to %s" f printed
+                     (show_expr e))
+          [ 0.0; 1.0; 0.5; 1e-9; 3.14159265358979; 1234567.0 ]);
+    QCheck_alcotest.to_alcotest expr_roundtrip_prop;
+    QCheck_alcotest.to_alcotest stmt_roundtrip_prop;
+  ]

@@ -1,0 +1,143 @@
+(* Promotion pass tests (KLAP's optimization for self-recursive
+   single-block kernels, paper Section IX). *)
+
+open Minicu
+open Minicu.Ast
+open Dpopt
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Recursive pairwise folding: each level halves the active range. *)
+let fold_src =
+  {|
+__global__ void fold(int* data, int n) {
+  int half = n / 2;
+  int i = threadIdx.x;
+  while (i < half) {
+    data[i] = data[i] + data[i + half];
+    i = i + blockDim.x;
+  }
+  if (threadIdx.x == 0) {
+    if (half > 1) {
+      fold<<<1, blockDim.x>>>(data, half);
+    }
+  }
+}
+|}
+
+let run_fold prog n =
+  let dev = Gpusim.Device.create ~cfg:Gpusim.Config.test_config () in
+  Gpusim.Device.load_program dev prog;
+  let d = Gpusim.Device.alloc_ints dev (Array.init n (fun i -> i + 1)) in
+  Gpusim.Device.launch dev ~kernel:"fold" ~grid:(1, 1, 1) ~block:(32, 1, 1)
+    ~args:[ Gpusim.Value.Ptr d; Gpusim.Value.Int n ];
+  ignore (Gpusim.Device.sync dev);
+  ((Gpusim.Device.read_ints dev d 1).(0), Gpusim.Device.metrics dev)
+
+let suite =
+  [
+    t "promotes the recursive kernel" (fun () ->
+        let r = Promotion.transform (Parser.program fold_src) in
+        Alcotest.(check int) "two functions" 2 (List.length r.prog);
+        let k = Ast.find_func_exn r.prog "fold" in
+        Alcotest.(check bool) "launch gone" false
+          (Ast_util.contains_launch k.f_body);
+        Alcotest.(check bool) "body extracted" true
+          (Ast.find_func r.prog "fold_level_body" <> None);
+        match r.reports with
+        | [ rep ] -> Alcotest.(check bool) "transformed" true rep.sr_transformed
+        | _ -> Alcotest.fail "expected one report");
+    t "promoted kernel computes the same result" (fun () ->
+        let plain = Parser.program fold_src in
+        let promoted = (Promotion.transform plain).prog in
+        Typecheck.check promoted;
+        List.iter
+          (fun n ->
+            let expect, _ = run_fold plain n in
+            let got, _ = run_fold promoted n in
+            Alcotest.(check int) (Fmt.str "sum for n=%d" n) expect got)
+          [ 2; 8; 64; 256 ]);
+    t "promotion eliminates all device launches" (fun () ->
+        let plain = Parser.program fold_src in
+        let promoted = (Promotion.transform plain).prog in
+        let _, m_plain = run_fold plain 256 in
+        let _, m_prom = run_fold promoted 256 in
+        Alcotest.(check bool) "recursion launched grids" true
+          (m_plain.device_launches >= 6);
+        Alcotest.(check int) "promotion launches none" 0
+          m_prom.device_launches);
+    t "promotion is faster under launch congestion" (fun () ->
+        let cfg =
+          { Gpusim.Config.default with launch_service_interval = 2000 }
+        in
+        let run prog =
+          let dev = Gpusim.Device.create ~cfg () in
+          Gpusim.Device.load_program dev prog;
+          let d = Gpusim.Device.alloc_ints dev (Array.init 512 (fun i -> i)) in
+          Gpusim.Device.launch dev ~kernel:"fold" ~grid:(1, 1, 1)
+            ~block:(64, 1, 1)
+            ~args:[ Gpusim.Value.Ptr d; Gpusim.Value.Int 512 ];
+          Gpusim.Device.sync dev
+        in
+        let t_plain = run (Parser.program fold_src) in
+        let t_prom = run (Promotion.transform (Parser.program fold_src)).prog in
+        Alcotest.(check bool) "promoted faster" true (t_prom < t_plain));
+    t "rejects multi-block self-launch" (fun () ->
+        let src =
+          {|
+__global__ void k(int* d, int n) {
+  if (threadIdx.x == 0 && n > 1) {
+    k<<<2, blockDim.x>>>(d, n / 2);
+  }
+}
+|}
+        in
+        let r = Promotion.transform (Parser.program src) in
+        Alcotest.(check bool) "not promoted" false
+          (List.hd r.reports).sr_transformed);
+    t "rejects unstable block dimension" (fun () ->
+        let src =
+          {|
+__global__ void k(int* d, int n) {
+  if (threadIdx.x == 0 && n > 1) {
+    k<<<1, n>>>(d, n / 2);
+  }
+}
+|}
+        in
+        let r = Promotion.transform (Parser.program src) in
+        Alcotest.(check bool) "not promoted" false
+          (List.hd r.reports).sr_transformed);
+    t "rejects launch of a different kernel" (fun () ->
+        let src =
+          {|
+__global__ void other(int* d) { d[0] = 1; }
+__global__ void k(int* d, int n) {
+  if (threadIdx.x == 0 && n > 1) {
+    other<<<1, 32>>>(d);
+  }
+}
+|}
+        in
+        let r = Promotion.transform (Parser.program src) in
+        (* a kernel launching a different kernel is not a promotion
+           candidate at all: no report, program unchanged *)
+        Alcotest.(check int) "no reports" 0 (List.length r.reports);
+        Alcotest.(check int) "program unchanged" 2 (List.length r.prog));
+    t "rejects self-launch inside a loop" (fun () ->
+        let src =
+          {|
+__global__ void k(int* d, int n) {
+  for (int i = 0; i < n; i++) {
+    if (threadIdx.x == 0) { k<<<1, blockDim.x>>>(d, n - 1); }
+  }
+}
+|}
+        in
+        let r = Promotion.transform (Parser.program src) in
+        Alcotest.(check bool) "not promoted" false
+          (List.hd r.reports).sr_transformed);
+    t "promoted program round-trips through the printer" (fun () ->
+        let r = Promotion.transform (Parser.program fold_src) in
+        Typecheck.check (Parser.program (Pretty.program r.prog)));
+  ]

@@ -1,0 +1,196 @@
+(* Thresholding transformation tests (paper Section III). *)
+
+open Minicu
+open Minicu.Ast
+open Dpopt
+
+let t name f = Alcotest.test_case name `Quick f
+
+let transform ?(threshold = 32) src =
+  Thresholding.transform ~opts:{ threshold } (Parser.program src)
+
+let suite =
+  [
+    t "creates the serial pair next to the child" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        let names = List.map (fun f -> f.f_name) r.prog in
+        Alcotest.(check (list string)) "order"
+          [ "child"; "child_serial_thread"; "child_serial"; "parent" ]
+          names;
+        let serial = Ast.find_func_exn r.prog "child_serial" in
+        Alcotest.(check bool) "device" true (serial.f_kind = Device);
+        Alcotest.(check int) "params = child + gDim + bDim" 5
+          (List.length serial.f_params));
+    t "serial thread body substitutes reserved variables" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        let thread = Ast.find_func_exn r.prog "child_serial_thread" in
+        let uses_reserved =
+          Ast_util.fold_exprs_in_stmts
+            (fun acc e ->
+              acc
+              ||
+              match e with
+              | Var x -> Ast.is_reserved_var x
+              | _ -> false)
+            false thread.f_body
+        in
+        Alcotest.(check bool) "no reserved vars left" false uses_reserved);
+    t "guard compares the recovered N against the threshold" (fun () ->
+        let r = transform ~threshold:77 Test_helpers.nested_src in
+        let parent = Ast.find_func_exn r.prog "parent" in
+        let found = ref false in
+        ignore
+          (Ast_util.fold_stmts
+             (fun () s ->
+               match s.sdesc with
+               | If (Binop (Ge, Var v, Int_lit 77), _, _) ->
+                   Alcotest.(check string) "guard var" "_threads" v;
+                   found := true
+               | _ -> ())
+             () parent.f_body);
+        Alcotest.(check bool) "guard present" true !found);
+    t "launch config reuses _threads to avoid duplicating N" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        let parent = Ast.find_func_exn r.prog "parent" in
+        let launches = Ast_util.launches_of parent.f_body in
+        match launches with
+        | [ l ] ->
+            Alcotest.(check bool) "grid mentions _threads" true
+              (Ast_util.expr_uses_var "_threads" l.l_grid)
+        | _ -> Alcotest.fail "expected one launch");
+    t "report says the pattern was recovered" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        match r.reports with
+        | [ rep ] ->
+            Alcotest.(check bool) "transformed" true rep.sr_transformed;
+            Alcotest.(check string) "reason"
+              "ceiling-division pattern recovered" rep.sr_reason
+        | _ -> Alcotest.fail "expected one report");
+    t "skips children with __syncthreads (Section III-C)" (fun () ->
+        let src =
+          {|
+__global__ void child(int* d) { __syncthreads(); d[threadIdx.x] = 1; }
+__global__ void parent(int* d, int n) { child<<<(n + 31) / 32, 32>>>(d); }
+|}
+        in
+        let r = transform src in
+        Alcotest.(check int) "no new funcs" 2 (List.length r.prog);
+        match r.reports with
+        | [ rep ] -> Alcotest.(check bool) "skipped" false rep.sr_transformed
+        | _ -> Alcotest.fail "expected one report");
+    t "skips children with shared memory (Section III-C)" (fun () ->
+        let src =
+          {|
+__global__ void child(int* d) { __shared__ int b[32]; b[threadIdx.x] = 1; d[threadIdx.x] = b[threadIdx.x]; }
+__global__ void parent(int* d, int n) { child<<<(n + 31) / 32, 32>>>(d); }
+|}
+        in
+        let r = transform src in
+        Alcotest.(check int) "no new funcs" 2 (List.length r.prog));
+    t "skips children that sync inside called device functions" (fun () ->
+        let src =
+          {|
+__device__ void helper(int* d) { __syncthreads(); d[0] = 1; }
+__global__ void child(int* d) { helper(d); }
+__global__ void parent(int* d, int n) { child<<<(n + 31) / 32, 32>>>(d); }
+|}
+        in
+        let r = transform src in
+        Alcotest.(check bool) "no serial version" false
+          (List.exists (fun f -> f.f_name = "child_serial") r.prog));
+    t "skips children using warp collectives" (fun () ->
+        let src =
+          {|
+__global__ void child(int* d) { d[0] = warp_sum(1); }
+__global__ void parent(int* d, int n) { child<<<(n + 31) / 32, 32>>>(d); }
+|}
+        in
+        let r = transform src in
+        Alcotest.(check bool) "no serial version" false
+          (Test_helpers.has_fn
+             { prog = r.prog; auto_params = []; threshold_reports = [];
+               coarsen_reports = []; agg_reports = [] }
+             "child_serial"));
+    t "two launch sites of the same child share one serial version" (fun () ->
+        let src =
+          {|
+__global__ void child(int* d, int n) { if (threadIdx.x < n) { d[threadIdx.x] = 1; } }
+__global__ void parent(int* d, int n) {
+  child<<<(n + 31) / 32, 32>>>(d, n);
+  child<<<(n + 63) / 64, 64>>>(d, n);
+}
+|}
+        in
+        let r = transform src in
+        let serial_count =
+          List.length
+            (List.filter (fun f -> f.f_name = "child_serial") r.prog)
+        in
+        Alcotest.(check int) "one serial fn" 1 serial_count;
+        Alcotest.(check int) "two reports" 2 (List.length r.reports);
+        Typecheck.check r.prog);
+    t "semantics preserved at various thresholds, including extremes"
+      (fun () ->
+        List.iter
+          (fun threshold ->
+            ignore
+              (Test_helpers.check_nested_variant
+                 (Pipeline.make ~threshold ())))
+          [ 1; 8; 32; 1000 ]);
+    t "threshold beyond max serializes every launch" (fun () ->
+        let _, m =
+          Test_helpers.check_nested_variant (Pipeline.make ~threshold:10000 ())
+        in
+        Alcotest.(check int) "no device launches" 0 m.device_launches;
+        Alcotest.(check bool) "everything serialized" true
+          (m.serialized_launches > 0));
+    t "threshold 1 keeps every launch dynamic" (fun () ->
+        let _, m =
+          Test_helpers.check_nested_variant (Pipeline.make ~threshold:1 ())
+        in
+        Alcotest.(check int) "nothing serialized" 0 m.serialized_launches);
+    t "serialized child work is charged to the parent (Fig. 10)" (fun () ->
+        let _, m_all =
+          Test_helpers.check_nested_variant (Pipeline.make ~threshold:10000 ())
+        in
+        let _, m_none =
+          Test_helpers.check_nested_variant (Pipeline.make ~threshold:1 ())
+        in
+        Alcotest.(check bool) "parent work grows" true
+          (m_all.breakdown.parent_cycles > m_none.breakdown.parent_cycles);
+        Alcotest.(check bool) "child work shrinks" true
+          (m_all.breakdown.child_cycles < m_none.breakdown.child_cycles));
+    t "multi-dimensional serial loops execute all threads" (fun () ->
+        let src =
+          {|
+__global__ void child(int* d) {
+  int i = (blockIdx.y * blockDim.y + threadIdx.y) * 8 + blockIdx.x * blockDim.x + threadIdx.x;
+  d[i] = d[i] + 1;
+}
+__global__ void parent(int* d) {
+  child<<<dim3(2, 2, 1), dim3(4, 4, 1)>>>(d);
+}
+|}
+        in
+        (* threshold high enough to force the serial path; launch config has
+           no ceil-div so the fallback (grid*block = 64) is used *)
+        let r =
+          Pipeline.run ~opts:(Pipeline.make ~threshold:1000 ())
+            (Parser.program src)
+        in
+        let dev = Gpusim.Device.create ~cfg:Gpusim.Config.test_config () in
+        Gpusim.Device.load_program dev r.prog;
+        let d = Gpusim.Device.alloc_int_zeros dev 64 in
+        Gpusim.Device.launch dev ~kernel:"parent" ~grid:(1, 1, 1)
+          ~block:(1, 1, 1) ~args:[ Gpusim.Value.Ptr d ];
+        ignore (Gpusim.Device.sync dev);
+        Alcotest.(check (array int)) "all 64 cells" (Array.make 64 1)
+          (Gpusim.Device.read_ints dev d 64));
+    t "transformed program pretty-prints and re-parses" (fun () ->
+        let r = transform Test_helpers.nested_src in
+        let printed = Pretty.program r.prog in
+        let reparsed = Parser.program printed in
+        Typecheck.check reparsed;
+        Alcotest.(check int) "same function count" (List.length r.prog)
+          (List.length reparsed));
+  ]

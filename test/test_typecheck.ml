@@ -1,0 +1,101 @@
+(* Typechecker tests: accepted programs and each rejection rule. *)
+
+open Minicu
+
+let accepts name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Typecheck.check_result (Parser.program src) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "expected to typecheck, got: %s" m)
+
+let rejects name ?(substring = "") src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Typecheck.check_result (Parser.program src) with
+      | Ok () -> Alcotest.fail "expected a type error"
+      | Error m ->
+          if substring <> "" then
+            let contains s sub =
+              let n = String.length s and k = String.length sub in
+              let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+              go 0
+            in
+            if not (contains m substring) then
+              Alcotest.failf "error %S does not mention %S" m substring)
+
+let suite =
+  [
+    accepts "minimal kernel" "__global__ void k() { }";
+    accepts "reserved variables are in scope"
+      "__global__ void k(int* d) { d[threadIdx.x + blockIdx.x * blockDim.x] = \
+       gridDim.x; }";
+    accepts "device call"
+      "__device__ int f(int x) { return x + 1; } __global__ void k(int* d) { \
+       d[0] = f(3); }";
+    accepts "forward reference"
+      "__global__ void k(int* d) { d[0] = f(3); } __device__ int f(int x) { \
+       return x; }";
+    accepts "launch with matching arity"
+      "__global__ void c(int* d, int n) { } __global__ void p(int* d) { \
+       c<<<1, 32>>>(d, 5); }";
+    accepts "builtin calls"
+      "__global__ void k(int* d) { d[0] = atomicAdd(&d[1], min(2, 3)); }";
+    accepts "warp collectives"
+      "__global__ void k(int* d) { d[0] = warp_scan_excl(1) + warp_sum(2) + \
+       warp_max(3); }";
+    accepts "shadowing in inner scope"
+      "__global__ void k(int n) { int x = 1; if (n > 0) { float x = 2.0; x = \
+       x + 1.0; } x = x + 1; }";
+    accepts "for-header scope"
+      "__global__ void k(int n) { for (int i = 0; i < n; i++) { int j = i; j \
+       = j + 1; } }";
+    accepts "pointer arithmetic"
+      "__global__ void k(int* d) { int* q = d + 4; q[0] = 1; }";
+    accepts "dim3 members"
+      "__global__ void k(int* d) { dim3 g = dim3(1, 2, 3); d[0] = g.y; }";
+    accepts "break in loop" "__global__ void k() { while (true) { break; } }";
+    rejects "unbound variable" ~substring:"unbound"
+      "__global__ void k() { int x = y; }";
+    rejects "out-of-scope after block" ~substring:"unbound"
+      "__global__ void k(int n) { if (n > 0) { int x = 1; } int y = x; }";
+    rejects "for-header var escapes" ~substring:"unbound"
+      "__global__ void k(int n) { for (int i = 0; i < n; i++) { } int y = i; }";
+    rejects "unknown function" ~substring:"unknown function"
+      "__global__ void k() { nosuch(); }";
+    rejects "calling a kernel" ~substring:"launch"
+      "__global__ void c() { } __global__ void k() { c(); }";
+    rejects "launching a device function"
+      "__device__ void f() { } __global__ void k() { f<<<1, 1>>>(); }";
+    rejects "launch of unknown kernel"
+      "__global__ void k() { nothere<<<1, 1>>>(); }";
+    rejects "launch arity mismatch"
+      "__global__ void c(int a) { } __global__ void k() { c<<<1, 1>>>(); }";
+    rejects "call arity mismatch"
+      "__device__ void f(int a) { } __global__ void k() { f(1, 2); }";
+    rejects "builtin arity mismatch" "__global__ void k() { min(1); }";
+    rejects "assigning a reserved variable" ~substring:"reserved"
+      "__global__ void k() { threadIdx = dim3(1, 1, 1); }";
+    rejects "redeclaring a reserved variable" ~substring:"reserved"
+      "__global__ void k() { int threadIdx = 0; }";
+    rejects "parameter shadows reserved" ~substring:"reserved"
+      "__global__ void k(int blockIdx) { }";
+    rejects "dim3 member on int is rejected statically"
+      "__global__ void k(int n) { int x = n.x; }";
+    rejects "bad dim3 member"
+      "__global__ void k() { int x = threadIdx.w; }";
+    rejects "indexing a non-pointer"
+      "__global__ void k(int n) { int x = n[0]; }";
+    rejects "non-integral index"
+      "__global__ void k(float f, int* d) { d[f] = 1; }";
+    rejects "return value from void"
+      "__global__ void k() { return 3; }";
+    rejects "missing return value"
+      "__device__ int f() { return; }";
+    rejects "break outside loop" ~substring:"break"
+      "__global__ void k() { break; }";
+    rejects "duplicate function names" ~substring:"duplicate"
+      "__global__ void k() { } __global__ void k() { }";
+    accepts "shared memory in device function (coarsened bodies)"
+      "__device__ void f() { __shared__ int b[4]; b[0] = 1; }";
+    rejects "address of scalar local" ~substring:"address"
+      "__global__ void k() { int x = 0; atomicAdd(&x, 1); }";
+  ]

@@ -1,0 +1,171 @@
+(* Workload generator tests: determinism, CSR invariants, dataset shape. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let csr_invariants (g : Workloads.Csr.t) =
+  Alcotest.(check int) "row length" (g.n + 1) (Array.length g.row);
+  Alcotest.(check int) "row starts at 0" 0 g.row.(0);
+  Alcotest.(check int) "row ends at m" (Workloads.Csr.m g) g.row.(g.n);
+  for v = 0 to g.n - 1 do
+    if g.row.(v) > g.row.(v + 1) then Alcotest.fail "row not monotone"
+  done;
+  Array.iter
+    (fun c -> if c < 0 || c >= g.n then Alcotest.fail "col out of range")
+    g.col;
+  Alcotest.(check int) "weights parallel to col" (Array.length g.col)
+    (Array.length g.weight)
+
+let is_symmetric (g : Workloads.Csr.t) =
+  let edges = Hashtbl.create (Workloads.Csr.m g) in
+  for v = 0 to g.n - 1 do
+    for e = g.row.(v) to g.row.(v + 1) - 1 do
+      Hashtbl.replace edges (v, g.col.(e)) ()
+    done
+  done;
+  Hashtbl.fold
+    (fun (a, b) () ok -> ok && Hashtbl.mem edges (b, a))
+    edges true
+
+let suite =
+  [
+    t "rng is deterministic" (fun () ->
+        let a = Workloads.Rng.create ~seed:7 in
+        let b = Workloads.Rng.create ~seed:7 in
+        for _ = 1 to 100 do
+          Alcotest.(check int) "same stream" (Workloads.Rng.int a 1000)
+            (Workloads.Rng.int b 1000)
+        done);
+    t "rng bounds respected" (fun () ->
+        let r = Workloads.Rng.create ~seed:3 in
+        for _ = 1 to 1000 do
+          let x = Workloads.Rng.int r 17 in
+          if x < 0 || x >= 17 then Alcotest.failf "out of range: %d" x;
+          let f = Workloads.Rng.float r in
+          if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+        done);
+    t "rng split is independent" (fun () ->
+        let a = Workloads.Rng.create ~seed:7 in
+        let b = Workloads.Rng.split a in
+        let xs = List.init 20 (fun _ -> Workloads.Rng.int a 1000) in
+        let ys = List.init 20 (fun _ -> Workloads.Rng.int b 1000) in
+        Alcotest.(check bool) "different streams" false (xs = ys));
+    t "shuffle is a permutation" (fun () ->
+        let r = Workloads.Rng.create ~seed:11 in
+        let a = Array.init 50 Fun.id in
+        Workloads.Rng.shuffle r a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted);
+    t "of_edges builds a correct CSR" (fun () ->
+        let g =
+          Workloads.Csr.of_edges ~n:4
+            [ (0, 1, 5); (0, 2, 6); (2, 3, 7); (3, 0, 8) ]
+        in
+        csr_invariants g;
+        Alcotest.(check (array int)) "neighbors of 0" [| 1; 2 |]
+          (Workloads.Csr.neighbors g 0);
+        Alcotest.(check int) "degree 1" 0 (Workloads.Csr.degree g 1);
+        Alcotest.(check int) "weight of 2->3" 7 g.weight.(g.row.(2)));
+    t "of_edges rejects out-of-range endpoints" (fun () ->
+        match Workloads.Csr.of_edges ~n:2 [ (0, 5, 1) ] with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    t "symmetrize yields a symmetric graph without self-loops" (fun () ->
+        let g =
+          Workloads.Csr.symmetrize
+            (Workloads.Csr.of_edges ~n:5
+               [ (0, 1, 1); (1, 0, 1); (2, 3, 2); (4, 4, 9) ])
+        in
+        csr_invariants g;
+        Alcotest.(check bool) "symmetric" true (is_symmetric g);
+        for v = 0 to g.n - 1 do
+          Array.iter
+            (fun u -> if u = v then Alcotest.fail "self loop")
+            (Workloads.Csr.neighbors g v)
+        done);
+    t "sort_neighbors sorts and keeps weights aligned" (fun () ->
+        let g =
+          Workloads.Csr.of_edges ~n:3
+            [ (0, 2, 20); (0, 1, 10); (1, 0, 30) ]
+        in
+        let s = Workloads.Csr.sort_neighbors g in
+        Alcotest.(check (array int)) "sorted" [| 1; 2 |]
+          (Workloads.Csr.neighbors s 0);
+        Alcotest.(check int) "weight follows" 10 s.weight.(s.row.(0)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100 ~name:"csr of_edges invariants hold"
+         QCheck.(
+           pair (int_range 1 20)
+             (list_of_size (Gen.int_range 0 60) (pair (int_bound 19) (int_bound 19))))
+         (fun (n, pairs) ->
+           let edges =
+             List.filter_map
+               (fun (a, b) ->
+                 if a < n && b < n then Some (a, b, 1) else None)
+               pairs
+           in
+           let g = Workloads.Csr.of_edges ~n edges in
+           g.row.(0) = 0
+           && g.row.(n) = List.length edges
+           && Array.for_all (fun c -> c >= 0 && c < n) g.col));
+    t "kron generator is deterministic and heavy-tailed" (fun () ->
+        let g1 = Workloads.Graph_gen.kron ~scale:8 ~edge_factor:8 () in
+        let g2 = Workloads.Graph_gen.kron ~scale:8 ~edge_factor:8 () in
+        Alcotest.(check (array int)) "same rows" g1.row g2.row;
+        csr_invariants g1;
+        Alcotest.(check bool) "symmetric" true (is_symmetric g1);
+        let avg = Workloads.Csr.avg_degree g1 in
+        let mx = float_of_int (Workloads.Csr.max_degree g1) in
+        Alcotest.(check bool) "heavy tail: max >> avg" true (mx > 6.0 *. avg));
+    t "webgraph generator shape" (fun () ->
+        let g = Workloads.Graph_gen.webgraph ~n:400 ~edges_per_vertex:6 () in
+        csr_invariants g;
+        Alcotest.(check bool) "power-ish tail" true
+          (Workloads.Csr.max_degree g > 5 * int_of_float (Workloads.Csr.avg_degree g)));
+    t "road generator matches USA-road-d.NY statistics" (fun () ->
+        let g = Workloads.Graph_gen.road ~rows:30 ~cols:30 () in
+        csr_invariants g;
+        let avg = Workloads.Csr.avg_degree g in
+        Alcotest.(check bool) "avg degree near 3" true (avg > 2.0 && avg < 4.5);
+        Alcotest.(check bool) "max degree <= 8" true
+          (Workloads.Csr.max_degree g <= 8));
+    t "bezier tessellation counts honor bounds" (fun () ->
+        let d = Workloads.Bezier.t0032_c16 ~n_lines:100 () in
+        Array.iter
+          (fun l ->
+            let n = Workloads.Bezier.tess_points d l in
+            if n < 2 || n > 32 then Alcotest.failf "out of bounds: %d" n)
+          d.lines);
+    t "bezier eval hits the endpoints" (fun () ->
+        let l =
+          { Workloads.Bezier.p0 = (0., 0.); p1 = (5., 9.); p2 = (10., 0.) }
+        in
+        Alcotest.(check (pair (float 1e-9) (float 1e-9))) "u=0" (0., 0.)
+          (Workloads.Bezier.eval l 0.0);
+        Alcotest.(check (pair (float 1e-9) (float 1e-9))) "u=1" (10., 0.)
+          (Workloads.Bezier.eval l 1.0));
+    t "sat generator: clause sizes and distinct vars" (fun () ->
+        let f = Workloads.Sat.rand3 ~n_vars:50 ~n_clauses:200 () in
+        Array.iter
+          (fun clause ->
+            Alcotest.(check int) "k=3" 3 (Array.length clause);
+            let vars =
+              Array.to_list (Array.map (fun l -> abs l) clause)
+            in
+            Alcotest.(check int) "distinct" 3
+              (List.length (List.sort_uniq compare vars));
+            Array.iter
+              (fun l ->
+                if l = 0 || abs l > 50 then Alcotest.fail "literal range")
+              clause)
+          f.clauses);
+    t "sat occurrences cover every literal" (fun () ->
+        let f = Workloads.Sat.rand3 ~n_vars:30 ~n_clauses:90 () in
+        let occ = Workloads.Sat.occurrences f in
+        let total = Array.fold_left (fun s a -> s + Array.length a) 0 occ in
+        Alcotest.(check int) "3 per clause" (3 * 90) total);
+    t "5-SAT occurrence distribution is skewed" (fun () ->
+        let f = Workloads.Sat.sat5 ~n_vars:200 ~n_clauses:1500 () in
+        let avg, mx = Workloads.Sat.occurrence_stats f in
+        Alcotest.(check bool) "skew" true (float_of_int mx > 4.0 *. avg));
+  ]
