@@ -1,0 +1,324 @@
+(** Random nested-parallel program generation for differential testing.
+
+    Promoted and generalized out of [test/test_random_programs.ml]: random
+    child-kernel bodies, the paper's Fig. 4 ceiling-division launch idioms,
+    random grid/block shapes, and random workload data, packaged as a
+    {!case} value that is {e fully determined by a single integer seed}
+    ({!case_of_seed}). A failing input is therefore reported as its seed and
+    replayed exactly with [dpfuzz --seed N --iters 1].
+
+    Generated programs follow the paper's canonical nesting: a [parent]
+    kernel walks a CSR-like [rows] array and launches a [child] grid per
+    nonempty row. The child's per-thread work is random but race-safe (each
+    thread owns one [data] cell; the only shared updates are commutative
+    [atomicAdd]s), so every pass combination and simulator configuration
+    must reproduce the output bit-for-bit. *)
+
+open Minicu
+open Minicu.Ast
+
+(** A generated test input. [child_work] may reference the in-scope names
+    [i] (thread's element index), [k] (scalar parameter), [base], [data]
+    and [acc]. *)
+type case = {
+  seed : int;
+      (** Generative seed, for replay; [-1] once the case has been
+          structurally shrunk (a shrunk case is no longer seed-derivable). *)
+  child_work : stmt list;  (** Per-thread child body (guarded by [i < n]). *)
+  block : int;  (** Child block dimension. *)
+  idiom : int;  (** Index into {!grid_idioms}. *)
+  degs : int array;  (** Per-parent child-grid thread counts. *)
+  data_mod : int;  (** Input data pattern: [data.(i) = i mod data_mod]. *)
+}
+
+(* ---- random child-body generator ----------------------------------- *)
+
+(* Integer expressions over the in-scope names. Division-free, so no
+   divide-by-zero; multiplication kept shallow so overflow cannot differ
+   between variants (OCaml ints don't trap anyway). *)
+let gen_ibody_expr =
+  QCheck.Gen.(
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n = 0 then
+              oneof
+                [
+                  map (fun c -> Int_lit (c mod 7)) small_int;
+                  return (Var "i");
+                  return (Var "k");
+                  return (Index (Var "data", Binop (Add, Var "base", Var "i")));
+                ]
+            else
+              let sub = self (n / 2) in
+              oneof
+                [
+                  map2 (fun a b -> Binop (Add, a, b)) sub sub;
+                  map2 (fun a b -> Binop (Sub, a, b)) sub sub;
+                  map2 (fun a b -> Call ("min", [ a; b ])) sub sub;
+                  map2 (fun a b -> Call ("max", [ a; b ])) sub sub;
+                  map2 (fun a b -> Binop (Mul, a, Binop (Mod, b, Int_lit 5))) sub sub;
+                  map3
+                    (fun c a b -> Ternary (Binop (Lt, c, Int_lit 3), a, b))
+                    sub sub sub;
+                ])
+          (min n 6)))
+
+(* A child body: a couple of updates to this thread's element plus an
+   optional commutative accumulator update (safe under any interleaving). *)
+let gen_child_work =
+  QCheck.Gen.(
+    let cell = Index (Var "data", Binop (Add, Var "base", Var "i")) in
+    let* e1 = gen_ibody_expr in
+    let* e2 = gen_ibody_expr in
+    let* use_loop = bool in
+    let* use_acc = frequency [ (3, return true); (1, return false) ] in
+    let* acc_e = gen_ibody_expr in
+    let updates =
+      if use_loop then
+        [
+          stmt
+            (For
+               ( Some (stmt (Decl (TInt, "r", Some (Int_lit 0)))),
+                 Some (Binop (Lt, Var "r", Int_lit 3)),
+                 Some (stmt (Assign (Var "r", Binop (Add, Var "r", Int_lit 1)))),
+                 [ stmt (Assign (cell, Binop (Add, cell, e1))) ] ));
+          stmt (Assign (cell, Binop (Add, cell, e2)));
+        ]
+      else
+        [
+          stmt (Assign (cell, e1));
+          stmt (Assign (cell, Binop (Add, cell, e2)));
+        ]
+    in
+    let acc_update =
+      if use_acc then
+        [
+          stmt
+            (Expr_stmt
+               (Call
+                  ( "atomicAdd",
+                    [
+                      Addr_of (Index (Var "acc", Binop (Mod, Var "i", Int_lit 4)));
+                      Binop (Mod, acc_e, Int_lit 1000);
+                    ] )));
+        ]
+      else []
+    in
+    return (updates @ acc_update))
+
+(** The Fig. 4 ceiling-division idioms over thread count [deg] and block
+    size [b], chosen by {!case.idiom}. *)
+let grid_idioms b =
+  [
+    Binop (Add, Binop (Div, Binop (Sub, Var "deg", Int_lit 1), Int_lit b), Int_lit 1);
+    Binop (Div, Binop (Add, Var "deg", Int_lit (b - 1)), Int_lit b);
+    Binop
+      ( Add,
+        Binop (Div, Var "deg", Int_lit b),
+        Ternary
+          ( Binop (Eq, Binop (Mod, Var "deg", Int_lit b), Int_lit 0),
+            Int_lit 0,
+            Int_lit 1 ) );
+    Cast
+      ( TInt,
+        Call ("ceil", [ Binop (Div, Cast (TFloat, Var "deg"), Int_lit b) ]) );
+  ]
+
+let num_idioms = 4
+
+(* ---- program construction ------------------------------------------ *)
+
+let thread_index_decl name =
+  stmt
+    (Decl
+       ( TInt,
+         name,
+         Some
+           (Binop
+              ( Add,
+                Binop
+                  ( Mul,
+                    Member (Var "blockIdx", "x"),
+                    Member (Var "blockDim", "x") ),
+                Member (Var "threadIdx", "x") )) ))
+
+(** [uses_acc c] / [uses_k c] — does the child body reference the
+    accumulator array / the scalar parameter? Unreferenced parameters are
+    pruned from the built program, which keeps shrunk reproducers small. *)
+let uses_acc c = Ast_util.uses_var "acc" c.child_work
+let uses_k c = Ast_util.uses_var "k" c.child_work
+
+(** A case builds to its {e simple} form — a straight-line parent with one
+    literal-size launch, no CSR walk — when the workload has a single row.
+    The shrinker relies on this to reach minimal reproducers. *)
+let is_simple c = Array.length c.degs = 1
+
+(** [build c] — the MiniCU program for [c]: a [child] kernel wrapping
+    [c.child_work] under the canonical [i < n] guard, and a [parent] kernel
+    launching it with the selected grid idiom. *)
+let build (c : case) : program =
+  let acc = uses_acc c and k = uses_k c in
+  let child_params =
+    [ { p_ty = TPtr TInt; p_name = "data" } ]
+    @ (if acc then [ { p_ty = TPtr TInt; p_name = "acc" } ] else [])
+    @ [ { p_ty = TInt; p_name = "base" }; { p_ty = TInt; p_name = "n" } ]
+    @ if k then [ { p_ty = TInt; p_name = "k" } ] else []
+  in
+  let child =
+    {
+      f_name = "child";
+      f_kind = Global;
+      f_ret = TVoid;
+      f_params = child_params;
+      f_body =
+        [
+          thread_index_decl "i";
+          stmt (If (Binop (Lt, Var "i", Var "n"), c.child_work, []));
+        ];
+      f_host_followup = None;
+    }
+  in
+  let grid = List.nth (grid_idioms c.block) c.idiom in
+  let launch_args ~base ~k_arg =
+    [ Var "data" ]
+    @ (if acc then [ Var "acc" ] else [])
+    @ [ base; Var "deg" ]
+    @ if k then [ k_arg ] else []
+  in
+  let parent =
+    if is_simple c then
+      (* single row: a straight-line parent, run with one thread *)
+      {
+        f_name = "parent";
+        f_kind = Global;
+        f_ret = TVoid;
+        f_params =
+          [ { p_ty = TPtr TInt; p_name = "data" } ]
+          @ if acc then [ { p_ty = TPtr TInt; p_name = "acc" } ] else [];
+        f_body =
+          [
+            stmt (Decl (TInt, "deg", Some (Int_lit c.degs.(0))));
+            stmt
+              (Launch
+                 {
+                   l_kernel = "child";
+                   l_grid = grid;
+                   l_block = Int_lit c.block;
+                   l_args = launch_args ~base:(Int_lit 0) ~k_arg:(Int_lit 0);
+                 });
+          ];
+        f_host_followup = None;
+      }
+    else
+      {
+        f_name = "parent";
+        f_kind = Global;
+        f_ret = TVoid;
+        f_params =
+          [
+            { p_ty = TPtr TInt; p_name = "rows" };
+            { p_ty = TPtr TInt; p_name = "data" };
+          ]
+          @ (if acc then [ { p_ty = TPtr TInt; p_name = "acc" } ] else [])
+          @ [ { p_ty = TInt; p_name = "nv" } ];
+        f_body =
+          [
+            thread_index_decl "v";
+            stmt
+              (If
+                 ( Binop (Lt, Var "v", Var "nv"),
+                   [
+                     stmt (Decl (TInt, "start", Some (Index (Var "rows", Var "v"))));
+                     stmt
+                       (Decl
+                          ( TInt,
+                            "deg",
+                            Some
+                              (Binop
+                                 ( Sub,
+                                   Index (Var "rows", Binop (Add, Var "v", Int_lit 1)),
+                                   Var "start" )) ));
+                     stmt
+                       (If
+                          ( Binop (Gt, Var "deg", Int_lit 0),
+                            [
+                              stmt
+                                (Launch
+                                   {
+                                     l_kernel = "child";
+                                     l_grid = grid;
+                                     l_block = Int_lit c.block;
+                                     l_args =
+                                       launch_args ~base:(Var "start")
+                                         ~k_arg:(Var "v");
+                                   });
+                            ],
+                            [] ));
+                   ],
+                   [] ));
+          ];
+        f_host_followup = None;
+      }
+  in
+  [ child; parent ]
+
+(* ---- workload helpers ---------------------------------------------- *)
+
+(** CSR row offsets for the case's per-parent sizes. *)
+let rows_of (c : case) =
+  let nv = Array.length c.degs in
+  let rows = Array.make (nv + 1) 0 in
+  Array.iteri (fun i d -> rows.(i + 1) <- rows.(i) + d) c.degs;
+  rows
+
+(** Input data array (always at least one element, so empty workloads still
+    exercise the launch path). *)
+let data_of (c : case) =
+  let rows = rows_of c in
+  let total = max rows.(Array.length c.degs) 1 in
+  Array.init total (fun i -> i mod c.data_mod)
+
+(* ---- the generator ------------------------------------------------- *)
+
+let gen_params =
+  QCheck.Gen.(
+    let* child_work = gen_child_work in
+    let* block = oneofl [ 4; 8; 16; 32; 64 ] in
+    let* idiom = int_bound (num_idioms - 1) in
+    let* data_mod = int_range 2 23 in
+    let* degs = array_size (int_range 1 20) (int_bound 40) in
+    return { seed = -1; child_work; block; idiom; degs; data_mod })
+
+(** [case_of_seed s] — the case deterministically derived from seed [s].
+    The same seed always yields the same case, independently of any other
+    randomness in the process. *)
+let case_of_seed seed =
+  let rand = Random.State.make [| 0x9E3779B1; seed |] in
+  let c = QCheck.Gen.generate1 ~rand gen_params in
+  { c with seed }
+
+(** QCheck generator: draws a seed, expands it. Shrinking is structural —
+    see {!Shrink} — so shrunk cases carry [seed = -1]. *)
+let gen_case = QCheck.Gen.map case_of_seed QCheck.Gen.(int_bound 0x3FFFFFFF)
+
+(* ---- reporting ----------------------------------------------------- *)
+
+let pp_case ppf c =
+  Fmt.pf ppf "seed=%d block=%d idiom=%d data_mod=%d degs=%a@.%s"
+    c.seed c.block c.idiom c.data_mod
+    Fmt.(Dump.array int)
+    c.degs
+    (Pretty.program (build c))
+
+let print_case c = Fmt.str "%a" pp_case c
+
+(** Reproducer source text for a (typically shrunk) case. *)
+let source c = Pretty.program (build c)
+
+(** Non-empty source lines of the built program — the "reproducer size"
+    reported by the fuzzer and bounded by the oracle's own tests. *)
+let source_lines c =
+  String.split_on_char '\n' (source c)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

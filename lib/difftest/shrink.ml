@@ -1,0 +1,109 @@
+(** Greedy counterexample minimization.
+
+    Given a failing {!Gen.case} and a [still_fails] predicate (typically
+    {!Oracle.check} narrowed to the failing variant and configuration), the
+    shrinker repeatedly applies the smallest-first mutation whose result
+    still fails, until no mutation helps. Moves:
+
+    - shrink the workload: halve the [degs] array, drop one row, halve a
+      row's size;
+    - canonicalize the launch shape: smallest grid idiom, smallest block;
+    - shrink the child body structurally via {!Minicu.Ast_util.shrink_stmts}
+      (drop statements, unwrap compounds, replace expressions by
+      subexpressions or literals).
+
+    Structural candidates may be ill-typed or ill-behaved; [still_fails]
+    rejects them (an {!Oracle.check} returning [Invalid] is not a failing
+    case), so the shrinker only ever keeps valid failing programs. Every
+    kept step strictly decreases {!case_size}, so termination is
+    guaranteed. *)
+
+open Minicu
+
+(** Size measure minimized by the shrinker: AST nodes of the built program
+    plus the workload knobs (so dropping rows, shrinking the block or
+    simplifying the data pattern all count as progress even when the
+    program text is unchanged). Every candidate produced by {!candidates}
+    is strictly smaller under this measure. *)
+let case_size (c : Gen.case) =
+  Ast_util.program_size (Gen.build c)
+  + Array.length c.degs
+  + Array.fold_left (fun n d -> n + d) 0 c.degs
+  + c.block + c.data_mod
+
+(* Array helpers (QCheck.Shrink covers lists; we need arrays). *)
+let array_drop_one a =
+  List.init (Array.length a) (fun i ->
+      Array.init
+        (Array.length a - 1)
+        (fun j -> if j < i then a.(j) else a.(j + 1)))
+
+let array_halves a =
+  let n = Array.length a in
+  if n <= 1 then [] else [ Array.sub a 0 (n / 2); Array.sub a (n / 2) (n - n / 2) ]
+
+let array_halve_elem a =
+  List.init (Array.length a) (fun i ->
+      let b = Array.copy a in
+      b.(i) <- b.(i) / 2;
+      b)
+  |> List.filter (fun b -> b <> a)
+
+(** [candidates c] — one-step mutations of [c], roughly simplest-result
+    first. All structural moves reset [seed] to [-1]: a shrunk case is no
+    longer derivable from its seed. *)
+let candidates (c : Gen.case) : Gen.case list =
+  let mut f = { (f c) with Gen.seed = -1 } in
+  let degs_moves =
+    List.map
+      (fun degs -> mut (fun c -> { c with degs }))
+      (array_halves c.degs
+      (* never drop to zero rows: a single-row case builds to the small
+         straight-line form, an empty one back to the larger CSR parent *)
+      @ (if Array.length c.degs >= 2 && Array.length c.degs <= 8 then
+           array_drop_one c.degs
+         else [])
+      @ array_halve_elem c.degs)
+  in
+  let shape_moves =
+    (* idiom 1, [(deg + b-1) / b], is the smallest of the four idioms in
+       AST nodes, so canonicalizing to it never grows the case *)
+    (if c.idiom <> 1 then [ mut (fun c -> { c with idiom = 1 }) ] else [])
+    @
+    if c.block > 4 then [ mut (fun c -> { c with block = 4 }) ] else []
+  in
+  let data_moves =
+    if c.data_mod <> 2 then [ mut (fun c -> { c with data_mod = 2 }) ] else []
+  in
+  let body_moves =
+    List.map
+      (fun w -> mut (fun c -> { c with child_work = w }))
+      (Ast_util.shrink_stmts c.child_work)
+  in
+  degs_moves @ shape_moves @ data_moves @ body_moves
+
+(** [minimize ~still_fails c] — greedy fixpoint minimization of a failing
+    case. [still_fails] must be true for [c] itself; the result also
+    satisfies it. [max_steps] bounds the number of {e accepted} shrinking
+    steps (each step tries at most one full candidate list). *)
+let minimize ?(max_steps = 500) ~still_fails (c : Gen.case) : Gen.case =
+  let rec go steps c =
+    if steps <= 0 then c
+    else
+      let size = case_size c in
+      match
+        List.find_opt
+          (fun c' -> case_size c' < size && still_fails c')
+          (candidates c)
+      with
+      | Some c' -> go (steps - 1) c'
+      | None -> c
+  in
+  go max_steps c
+
+(** QCheck shrinker over cases, for property tests built on {!Gen.gen_case}
+    ([QCheck.make ~shrink:Shrink.qcheck_shrink ...]). Candidates that no
+    longer fail — including ill-typed ones — are rejected by QCheck
+    re-running the property. *)
+let qcheck_shrink (c : Gen.case) : Gen.case QCheck.Iter.t =
+ fun yield -> List.iter yield (candidates c)

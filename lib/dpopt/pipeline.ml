@@ -45,6 +45,37 @@ let label opts =
   in
   if parts = [] then "CDP" else "CDP+" ^ String.concat "+" parts
 
+(** [enumerate ()] — every combination of the three passes instantiated at
+    the given knob values, with its {!label}. By default all [2^3] subsets
+    are produced (the paper's Fig. 9 x-axis); setting a [with_*] toggle to
+    false pins that pass off, halving the set. The all-off combination
+    (["CDP"]) always comes first, so callers can treat the head as the
+    untransformed baseline. Used by the differential-testing oracle
+    ({e lib/difftest}) and the harness. *)
+let enumerate ?(threshold = 32) ?(cfactor = 4)
+    ?(granularity = Aggregation.Block) ?agg_threshold
+    ?(with_thresholding = true) ?(with_coarsening = true)
+    ?(with_aggregation = true) () : (string * options) list =
+  let toggles enabled = if enabled then [ false; true ] else [ false ] in
+  List.concat_map
+    (fun t ->
+      List.concat_map
+        (fun c ->
+          List.map
+            (fun a ->
+              let opts =
+                make
+                  ?threshold:(if t then Some threshold else None)
+                  ?cfactor:(if c then Some cfactor else None)
+                  ?granularity:(if a then Some granularity else None)
+                  ?agg_threshold:(if a then agg_threshold else None)
+                  ()
+              in
+              (label opts, opts))
+            (toggles with_aggregation))
+        (toggles with_coarsening))
+    (toggles with_thresholding)
+
 type result = {
   prog : Ast.program;
   auto_params : (string * Aggregation.auto_param list) list;

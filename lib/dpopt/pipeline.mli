@@ -28,6 +28,23 @@ val make :
 (** ["CDP"], ["CDP+T"], ..., ["CDP+T+C+A"] — the paper's notation. *)
 val label : options -> string
 
+(** [enumerate ()] — every combination of the three passes at the given
+    knob values, with its {!label}. All [2^3] subsets by default; a
+    [with_*] toggle set to false pins that pass off. The all-off ["CDP"]
+    combination always comes first, so the head can serve as the
+    untransformed baseline. Used by the differential-testing oracle
+    ([lib/difftest]) and the harness. *)
+val enumerate :
+  ?threshold:int ->
+  ?cfactor:int ->
+  ?granularity:Aggregation.granularity ->
+  ?agg_threshold:int ->
+  ?with_thresholding:bool ->
+  ?with_coarsening:bool ->
+  ?with_aggregation:bool ->
+  unit ->
+  (string * options) list
+
 type result = {
   prog : Minicu.Ast.program;
   auto_params : (string * Aggregation.auto_param list) list;

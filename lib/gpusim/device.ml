@@ -70,6 +70,16 @@ let alloc_floats t (a : float array) =
 
 let alloc_float_zeros t n = Memory.alloc t.mem n ~init:(Value.Float 0.0)
 
+(** Deterministic-replay hooks: the simulator is fully deterministic, so a
+    (program, workload, config) triple always produces the same memory
+    image. [buffer_count] and [dump_memory] let a checker snapshot the
+    buffers a driver allocated (ids are dense, in allocation order) and
+    compare them bit-for-bit across compiled variants of the same
+    program — see {e lib/difftest}. *)
+
+let buffer_count t = Memory.buffer_count t.mem
+let dump_memory t ~first = Memory.dump t.mem ~first
+
 let read_ints t p n = Memory.read_ints t.mem p n
 let read_floats t p n = Memory.read_floats t.mem p n
 let write_ints t p a = Memory.write_ints t.mem p a

@@ -52,6 +52,21 @@ val write_ints : t -> Value.ptr -> int array -> unit
 val write_floats : t -> Value.ptr -> float array -> unit
 val free : t -> Value.ptr -> unit
 
+(** {1 Deterministic-replay hooks}
+
+    The simulator is fully deterministic: a (program, workload, config)
+    triple always produces the same memory image and metrics. These let a
+    checker snapshot the driver-allocated buffers (ids are dense, in
+    allocation order) and compare them bit-for-bit across compiled variants
+    of the same program — see [lib/difftest]. *)
+
+(** Buffers ever allocated on this device (driver and kernel allocations). *)
+val buffer_count : t -> int
+
+(** [dump_memory t ~first] — copies of the first [first] buffers, in
+    allocation order (see {!Memory.dump}). *)
+val dump_memory : t -> first:int -> Value.t array list
+
 (** {1 Kernel launch} *)
 
 (** [launch t ~kernel ~grid ~block ~args] issues a host-side launch,

@@ -71,6 +71,25 @@ let store t (p : Value.ptr) (v : Value.t) =
 
 let allocated_elems t = t.allocated_elems
 
+(** Number of buffers ever allocated (live or freed). Buffer ids are dense
+    in [0 .. buffer_count - 1], in allocation order. *)
+let buffer_count t = t.count
+
+(** [dump t ~first] — value-level copies of the first [first] buffers ever
+    allocated, in allocation order (freed buffers keep their last
+    contents). The differential-testing oracle snapshots the driver's
+    buffers this way and requires them to be bit-identical across
+    transformed program variants, regardless of what the compiler-inserted
+    code allocated afterwards. *)
+let dump t ~first : Value.t array list =
+  if first < 0 || first > t.count then
+    Value.error "Memory.dump: %d buffers requested, %d allocated" first
+      t.count;
+  List.init first (fun id ->
+      match t.table.(id) with
+      | Some b -> Array.copy b.data
+      | None -> Value.error "Memory.dump: missing buffer %d" id)
+
 let size t (p : Value.ptr) =
   let b = buffer_exn t p.buf in
   Array.length b.data

@@ -24,6 +24,17 @@ val size : t -> Value.ptr -> int
 (** Total elements ever allocated (high-water accounting for stats). *)
 val allocated_elems : t -> int
 
+(** Number of buffers ever allocated (live or freed); buffer ids are dense
+    in [0 .. buffer_count - 1], in allocation order. *)
+val buffer_count : t -> int
+
+(** [dump t ~first] — value-level copies of the first [first] buffers, in
+    allocation order. The differential-testing oracle ([lib/difftest])
+    snapshots driver-allocated buffers this way and compares them
+    bit-for-bit across transformed program variants.
+    @raise Value.Runtime_error if [first] exceeds {!buffer_count}. *)
+val dump : t -> first:int -> Value.t array list
+
 (** {1 Bulk host-side accessors} (no cost accounting; drivers use these) *)
 
 val write_array : t -> Value.ptr -> Value.t array -> unit

@@ -67,3 +67,9 @@ let instantiate (c : combo) (p : params) : t =
        ?granularity:(if c.a then Some p.granularity else None)
        ?agg_threshold:(if c.a then p.agg_threshold else None)
        ())
+
+(** All eight combinations instantiated at [params], with their labels, in
+    the Fig. 9 order of {!all_combos}. The head is the untransformed
+    ["CDP"] baseline. *)
+let power_set ?(params = default_params) () : (string * t) list =
+  List.map (fun c -> (combo_label c, instantiate c params)) all_combos

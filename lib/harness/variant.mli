@@ -27,3 +27,7 @@ val pp_params : Format.formatter -> params -> unit
 
 (** Instantiate a combination: only enabled passes receive parameters. *)
 val instantiate : combo -> params -> t
+
+(** All eight combinations instantiated at [params], with their labels, in
+    {!all_combos} order (plain ["CDP"] first). *)
+val power_set : ?params:params -> unit -> (string * t) list

@@ -221,6 +221,99 @@ let rename_calls map ss =
       | _ -> [ s ])
     ss
 
+(** {1 Size metrics}
+
+    Node counts used by the differential-testing shrinker ([lib/difftest])
+    to decide whether a mutated program is "smaller", and by reporting
+    code. *)
+
+let expr_size e = fold_expr (fun n _ -> n + 1) 0 e
+
+let stmts_size ss =
+  fold_stmts (fun n _ -> n + 1) 0 ss + fold_exprs_in_stmts (fun n _ -> n + 1) 0 ss
+
+let func_size (f : func) = List.length f.f_params + stmts_size f.f_body
+
+let program_size (p : program) =
+  List.fold_left (fun n f -> n + func_size f) 0 p
+
+(** {1 Shrinking candidates}
+
+    Structural mutations that make an AST strictly smaller, used to minimize
+    failing differential-test programs. Candidates are {e not} guaranteed to
+    typecheck (replacing a node by a child can change its type, unwrapping a
+    loop can drop a binding); callers must re-validate each candidate. *)
+
+(** [expr_children e] — immediate subexpressions of [e]. *)
+let expr_children = function
+  | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> []
+  | Unop (_, a) | Member (a, _) | Cast (_, a) | Addr_of a -> [ a ]
+  | Binop (_, a, b) | Index (a, b) -> [ a; b ]
+  | Ternary (c, a, b) -> [ c; a; b ]
+  | Call (_, args) -> args
+  | Dim3_ctor (x, y, z) -> [ x; y; z ]
+
+(** [shrink_expr e] — strictly smaller replacement candidates for [e],
+    simplest first: small literals, then [e]'s own subexpressions. *)
+let shrink_expr e =
+  let size = expr_size e in
+  let lits =
+    match e with
+    | Int_lit 0 -> []
+    | Int_lit n -> List.sort_uniq compare [ Int_lit 0; Int_lit (n / 2) ]
+    | _ -> [ Int_lit 1 ]
+  in
+  List.filter
+    (fun c -> expr_size c < size && not (equal_expr c e))
+    (lits @ expr_children e)
+
+(** [drop_one xs] — every list obtained by removing one element of [xs]. *)
+let rec drop_one = function
+  | [] -> []
+  | x :: rest -> rest :: List.map (fun r -> x :: r) (drop_one rest)
+
+(** [shrink_stmt s] — candidate replacements for [s], each a (possibly
+    empty) statement list: unwrap compound statements into their bodies,
+    or shrink one contained expression. *)
+let rec shrink_stmt (s : stmt) : stmt list list =
+  let wrap d = [ { s with sdesc = d } ] in
+  let in_rhs mk e = List.map (fun e' -> wrap (mk e')) (shrink_expr e) in
+  match s.sdesc with
+  | If (c, a, b) ->
+      [ a; b ]
+      @ List.map (fun a' -> wrap (If (c, a', b))) (shrink_stmts a)
+      @ List.map (fun b' -> wrap (If (c, a, b'))) (shrink_stmts b)
+  | For (_, _, _, body) | While (_, body) -> [ body ]
+  | Assign (lv, e) -> in_rhs (fun e' -> Assign (lv, e')) e
+  | Decl (ty, x, Some e) -> in_rhs (fun e' -> Decl (ty, x, Some e')) e
+  | Return (Some e) -> in_rhs (fun e' -> Return (Some e')) e
+  | Expr_stmt (Call (g, args)) ->
+      List.concat
+        (List.mapi
+           (fun i a ->
+             List.map
+               (fun a' ->
+                 wrap
+                   (Expr_stmt
+                      (Call
+                         (g, List.mapi (fun j x -> if i = j then a' else x) args))))
+               (shrink_expr a))
+           args)
+  | _ -> []
+
+(** [shrink_stmts ss] — candidate replacements for a statement list: drop
+    one statement, or apply {!shrink_stmt} to one statement in place. *)
+and shrink_stmts (ss : stmt list) : stmt list list =
+  drop_one ss
+  @ List.concat
+      (List.mapi
+         (fun i s ->
+           List.map
+             (fun rs ->
+               List.concat (List.mapi (fun j x -> if j = i then rs else [ x ]) ss))
+             (shrink_stmt s))
+         ss)
+
 (** {1 Simplification} *)
 
 (** [simplify_expr e] performs conservative constant folding, used to keep

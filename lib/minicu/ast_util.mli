@@ -54,6 +54,39 @@ val all_names : Ast.func -> string list
 (** [fresh_name ~base taken] is [base], or [base_2], [base_3], ... *)
 val fresh_name : base:string -> string list -> string
 
+(** {1 Size metrics}
+
+    Node counts, used by the differential-testing shrinker ([lib/difftest])
+    as its "smaller program" measure. *)
+
+val expr_size : Ast.expr -> int
+val stmts_size : Ast.stmt list -> int
+val func_size : Ast.func -> int
+val program_size : Ast.program -> int
+
+(** {1 Shrinking candidates}
+
+    Structural mutations that make an AST strictly smaller. Candidates are
+    {e not} guaranteed to typecheck; callers must re-validate each one. *)
+
+(** Immediate subexpressions. *)
+val expr_children : Ast.expr -> Ast.expr list
+
+(** Strictly smaller replacements for an expression: small literals first,
+    then its own subexpressions. *)
+val shrink_expr : Ast.expr -> Ast.expr list
+
+(** Every list obtained by removing one element. *)
+val drop_one : 'a list -> 'a list list
+
+(** Candidate replacements for one statement (each a statement list:
+    compound statements can unwrap into their bodies). *)
+val shrink_stmt : Ast.stmt -> Ast.stmt list list
+
+(** Candidate replacements for a statement list: drop one statement, or
+    rewrite one statement in place via {!shrink_stmt}. *)
+val shrink_stmts : Ast.stmt list -> Ast.stmt list list
+
 (** {1 Substitution} *)
 
 (** Capture-unaware variable substitution (callers substitute reserved

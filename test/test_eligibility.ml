@@ -1,0 +1,269 @@
+(* Eligibility analysis tests (paper Section III-C and the structural
+   requirements of the aggregation codegen). *)
+
+open Minicu
+open Dpopt
+
+let t name f = Alcotest.test_case name `Quick f
+
+let prog src = Parser.program src
+
+let check_verdict name expected got =
+  match (expected, got) with
+  | `Eligible, Eligibility.Eligible -> ()
+  | `Ineligible, Eligibility.Ineligible _ -> ()
+  | `Eligible, Eligibility.Ineligible r ->
+      Alcotest.failf "%s: expected eligible, got ineligible: %s" name r
+  | `Ineligible, Eligibility.Eligible ->
+      Alcotest.failf "%s: expected ineligible, got eligible" name
+
+(* A parent around [child_body]'s kernel; the launch shape matches the
+   canonical CSR idiom so thresholding's pattern recovery also applies. *)
+let nested ~child_body =
+  Fmt.str
+    {|
+__global__ void child(int* data, int base, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  %s
+}
+
+__global__ void parent(int* rows, int* data, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < n) {
+    int deg = rows[v + 1] - rows[v];
+    if (deg > 0) {
+      child<<<(deg + 31) / 32, 32>>>(data, rows[v], deg);
+    }
+  }
+}
+|}
+    child_body
+
+let thresholding_verdict src =
+  let p = prog src in
+  Eligibility.thresholding_child p (Ast.find_func_exn p "child")
+
+let suite =
+  [
+    (* ---- thresholding_child ---- *)
+    t "plain data-parallel child is eligible" (fun () ->
+        check_verdict "plain"
+          `Eligible
+          (thresholding_verdict
+             (nested ~child_body:"if (i < n) { data[base + i] = i; }")));
+    t "__syncthreads makes the child ineligible" (fun () ->
+        check_verdict "sync" `Ineligible
+          (thresholding_verdict
+             (nested
+                ~child_body:
+                  "data[base + i] = i; __syncthreads(); data[base + i] = \
+                   data[base + i] + 1;")));
+    t "__syncwarp makes the child ineligible" (fun () ->
+        check_verdict "syncwarp" `Ineligible
+          (thresholding_verdict
+             (nested ~child_body:"__syncwarp(); data[base + i] = i;")));
+    t "warp collectives make the child ineligible" (fun () ->
+        check_verdict "warp collective" `Ineligible
+          (thresholding_verdict
+             (nested ~child_body:"data[base + i] = warp_sum(i);")));
+    t "shared memory makes the child ineligible" (fun () ->
+        check_verdict "shared" `Ineligible
+          (thresholding_verdict
+             (nested
+                ~child_body:
+                  "__shared__ int buf[32]; buf[threadIdx.x] = i; data[base + \
+                   i] = buf[threadIdx.x];")));
+    t "barrier inside a called device function is found transitively"
+      (fun () ->
+        let src =
+          {|
+__device__ int helper(int x) {
+  __syncthreads();
+  return x + 1;
+}
+
+__global__ void child(int* data, int base, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { data[base + i] = helper(i); }
+}
+
+__global__ void parent(int* data, int deg) {
+  child<<<(deg + 31) / 32, 32>>>(data, 0, deg);
+}
+|}
+        in
+        check_verdict "transitive" `Ineligible (thresholding_verdict src));
+    t "ineligible site is reported and left unchanged by the pass" (fun () ->
+        let src =
+          nested ~child_body:"__syncwarp(); data[base + i] = i;"
+        in
+        let r = Thresholding.transform ~opts:{ threshold = 4 } (prog src) in
+        (match r.reports with
+        | [ rep ] ->
+            Alcotest.(check bool) "not transformed" false rep.sr_transformed;
+            Alcotest.(check string) "child" "child" rep.sr_child
+        | reps ->
+            Alcotest.failf "expected one report, got %d" (List.length reps));
+        Alcotest.(check bool) "no serial version generated" true
+          (Ast.find_func r.prog "child_serial" = None));
+    (* ---- coarsening_child ---- *)
+    t "coarsening accepts even barrier-heavy children" (fun () ->
+        let p =
+          prog
+            (nested
+               ~child_body:
+                 "__shared__ int buf[32]; __syncthreads(); data[base + i] = \
+                  i;")
+        in
+        check_verdict "coarsening" `Eligible
+          (Eligibility.coarsening_child p (Ast.find_func_exn p "child")));
+    (* ---- aggregation_site ---- *)
+    t "straight-line launch site is aggregable" (fun () ->
+        let p = prog Test_helpers.nested_src in
+        check_verdict "straight-line" `Eligible
+          (Eligibility.aggregation_site
+             (Ast.find_func_exn p "parent")
+             ~child:"child"));
+    t "launch inside a for loop is not aggregable" (fun () ->
+        let p =
+          prog
+            {|
+__global__ void child(int* data, int base, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { data[base + i] = i; }
+}
+
+__global__ void parent(int* data, int n) {
+  for (int j = 0; j < n; j = j + 1) {
+    child<<<(n + 31) / 32, 32>>>(data, j, n);
+  }
+}
+|}
+        in
+        let parent = Ast.find_func_exn p "parent" in
+        Alcotest.(check bool) "launch_in_loop" true
+          (Eligibility.launch_in_loop ~kernel:"child" parent.f_body);
+        check_verdict "loop" `Ineligible
+          (Eligibility.aggregation_site parent ~child:"child"));
+    t "launch inside a while loop is not aggregable" (fun () ->
+        let p =
+          prog
+            {|
+__global__ void child(int* data, int base, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { data[base + i] = i; }
+}
+
+__global__ void parent(int* data, int n) {
+  int j = 0;
+  while (j < n) {
+    child<<<(n + 31) / 32, 32>>>(data, j, n);
+    j = j + 1;
+  }
+}
+|}
+        in
+        check_verdict "while" `Ineligible
+          (Eligibility.aggregation_site
+             (Ast.find_func_exn p "parent")
+             ~child:"child"));
+    t "early return in the parent is not aggregable" (fun () ->
+        let p =
+          prog
+            {|
+__global__ void child(int* data, int base, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { data[base + i] = i; }
+}
+
+__global__ void parent(int* data, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v >= n) { return; }
+  child<<<(n + 31) / 32, 32>>>(data, v, n);
+}
+|}
+        in
+        check_verdict "early return" `Ineligible
+          (Eligibility.aggregation_site
+             (Ast.find_func_exn p "parent")
+             ~child:"child"));
+    t "launch guarded by a plain if remains aggregable" (fun () ->
+        let p =
+          prog
+            {|
+__global__ void child(int* data, int base, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { data[base + i] = i; }
+}
+
+__global__ void parent(int* data, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < n) {
+    child<<<(n + 31) / 32, 32>>>(data, v, n);
+  }
+}
+|}
+        in
+        check_verdict "guarded" `Eligible
+          (Eligibility.aggregation_site
+             (Ast.find_func_exn p "parent")
+             ~child:"child"));
+    (* ---- launch-idiom recovery through the thresholding pass ---- *)
+    t "all four ceiling-division idioms recover the exact thread count"
+      (fun () ->
+        List.iteri
+          (fun n grid ->
+            let src =
+              Fmt.str
+                {|
+__global__ void child(int* data, int base, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { data[base + i] = i; }
+}
+
+__global__ void parent(int* data, int deg) {
+  child<<<%s, 32>>>(data, 0, deg);
+}
+|}
+                grid
+            in
+            let r = Thresholding.transform (prog src) in
+            match r.reports with
+            | [ rep ] ->
+                Alcotest.(check bool)
+                  (Fmt.str "idiom %d transformed" n)
+                  true rep.sr_transformed;
+                Alcotest.(check string)
+                  (Fmt.str "idiom %d reason" n)
+                  "ceiling-division pattern recovered" rep.sr_reason
+            | reps ->
+                Alcotest.failf "idiom %d: expected one report, got %d" n
+                  (List.length reps))
+          [
+            "(deg + 31) / 32";
+            "(deg - 1) / 32 + 1";
+            "deg / 32 + (deg % 32 == 0 ? 0 : 1)";
+            "(int) ceil((float) deg / 32)";
+          ]);
+    t "non-idiomatic grid falls back to grid*block total" (fun () ->
+        let src =
+          {|
+__global__ void child(int* data, int base, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { data[base + i] = i; }
+}
+
+__global__ void parent(int* data, int deg) {
+  child<<<deg * 2 + 1, 32>>>(data, 0, deg);
+}
+|}
+        in
+        let r = Thresholding.transform (prog src) in
+        match r.reports with
+        | [ rep ] ->
+            Alcotest.(check bool) "still transformed" true rep.sr_transformed;
+            Alcotest.(check string) "fallback reason"
+              "fallback: grid*block total" rep.sr_reason
+        | reps ->
+            Alcotest.failf "expected one report, got %d" (List.length reps));
+  ]

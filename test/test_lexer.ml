@@ -79,4 +79,19 @@ let suite =
         | exception Loc.Error (loc, _) ->
             Alcotest.(check int) "line" 2 loc.line;
             Alcotest.(check int) "col" 3 loc.col);
+    Alcotest.test_case "unterminated comment points at its opener" `Quick
+      (fun () ->
+        match Lexer.tokenize "ab\n /* never closed" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Loc.Error (loc, msg) ->
+            Alcotest.(check string) "message" "unterminated block comment" msg;
+            Alcotest.(check int) "line" 2 loc.line;
+            Alcotest.(check int) "col" 2 loc.col);
+    Alcotest.test_case "stray character names the culprit" `Quick (fun () ->
+        match Lexer.tokenize "__global__ void k() { @ }" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Loc.Error (loc, msg) ->
+            Alcotest.(check string) "message" "unexpected character '@'" msg;
+            Alcotest.(check int) "line" 1 loc.line;
+            Alcotest.(check int) "col" 23 loc.col);
   ]

@@ -13,11 +13,13 @@ let () =
       ("interp", Test_interp.suite);
       ("interp-edge", Test_interp_edge.suite);
       ("sched", Test_sched.suite);
+      ("eligibility", Test_eligibility.suite);
       ("thresholding", Test_thresholding.suite);
       ("coarsening", Test_coarsening.suite);
       ("aggregation", Test_aggregation.suite);
       ("pipeline", Test_pipeline.suite);
       ("promotion", Test_promotion.suite);
+      ("difftest", Test_difftest.suite);
       ("random-programs", Test_random_programs.suite);
       ("multi-site", Test_multisite.suite);
       ("workloads", Test_workloads.suite);

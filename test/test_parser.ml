@@ -22,6 +22,17 @@ let parse_fails name src =
       | _ -> Alcotest.failf "expected parse error"
       | exception Loc.Error _ -> ())
 
+(* Like [parse_fails], but also pin the reported error location — the
+   parser's errors must point at the offending token, not the start of the
+   file or statement. *)
+let parse_fails_at name src ~line ~col =
+  Alcotest.test_case name `Quick (fun () ->
+      match Parser.program src with
+      | _ -> Alcotest.failf "expected parse error"
+      | exception Loc.Error (loc, _) ->
+          Alcotest.(check int) "line" line loc.line;
+          Alcotest.(check int) "col" col loc.col)
+
 let v x = Var x
 let i n = Int_lit n
 
@@ -147,4 +158,15 @@ let suite =
     parse_fails "top-level statement" "int x = 3;";
     parse_fails "trailing garbage after expr"
       "__global__ void k() { int x = 1; } garbage";
+    (* ---- error locations (malformed launches and friends) ---- *)
+    parse_fails_at "launch missing block argument points at >>>"
+      "__global__ void k() {\n  c<<<1>>>();\n}" ~line:2 ~col:8;
+    parse_fails_at "launch closed with >> points past the arguments"
+      "__global__ void k() {\n  c<<<1, 2>>(0);\n}" ~line:2 ~col:16;
+    parse_fails_at "launch missing grid expression points inside <<<"
+      "__global__ void k() {\n  c<<<>>>();\n}" ~line:2 ~col:7;
+    parse_fails_at "unclosed launch argument list points at ;"
+      "__global__ void k() {\n  c<<<1, 2>>>(0;\n}" ~line:2 ~col:16;
+    parse_fails_at "missing semicolon points at the closing brace"
+      "__global__ void k() { int x = 1 }" ~line:1 ~col:33;
   ]

@@ -1,270 +1,45 @@
-(* Property-based end-to-end check: random child-kernel bodies, random
-   ceiling-division launch idioms, random workloads — every optimization
-   combination must preserve the output exactly. This is the strongest
-   correctness statement in the suite: the passes are tested against
-   programs nobody hand-picked. *)
+(* Property-based end-to-end check, now built on the reusable
+   differential-testing subsystem (lib/difftest): random child-kernel
+   bodies, random ceiling-division launch idioms, random workloads — every
+   optimization combination must preserve device memory bit-for-bit and
+   keep the launch metrics consistent. This is the strongest correctness
+   statement in the suite: the passes are tested against programs nobody
+   hand-picked. A failure prints the generative seed (replayable with
+   [dpfuzz --seed N --iters 1]) and a structurally shrunk reproducer. *)
 
-open Minicu
-open Minicu.Ast
+open Difftest
 
-(* ---- random child-body generator ----------------------------------- *)
-
-(* Integer expressions over the in-scope names [i] (thread's element
-   index), [k] (scalar parameter), and [data[base + i]]. Division-free, so
-   no divide-by-zero; multiplication kept shallow to avoid overflow
-   mattering (OCaml ints don't trap anyway). *)
-let gen_ibody_expr =
-  QCheck.Gen.(
-    sized (fun n ->
-        fix
-          (fun self n ->
-            if n = 0 then
-              oneof
-                [
-                  map (fun c -> Int_lit (c mod 7)) small_int;
-                  return (Var "i");
-                  return (Var "k");
-                  return (Index (Var "data", Binop (Add, Var "base", Var "i")));
-                ]
-            else
-              let sub = self (n / 2) in
-              oneof
-                [
-                  map2 (fun a b -> Binop (Add, a, b)) sub sub;
-                  map2 (fun a b -> Binop (Sub, a, b)) sub sub;
-                  map2 (fun a b -> Call ("min", [ a; b ])) sub sub;
-                  map2 (fun a b -> Call ("max", [ a; b ])) sub sub;
-                  map2 (fun a b -> Binop (Mul, a, Binop (Mod, b, Int_lit 5))) sub sub;
-                  map3
-                    (fun c a b -> Ternary (Binop (Lt, c, Int_lit 3), a, b))
-                    sub sub sub;
-                ])
-          (min n 6)))
-
-(* A child body: a couple of updates to this thread's element plus a
-   commutative accumulator update (safe under any interleaving). *)
-let gen_child_work =
-  QCheck.Gen.(
-    let cell = Index (Var "data", Binop (Add, Var "base", Var "i")) in
-    let* e1 = gen_ibody_expr in
-    let* e2 = gen_ibody_expr in
-    let* use_loop = bool in
-    let* acc_e = gen_ibody_expr in
-    let updates =
-      if use_loop then
-        [
-          stmt
-            (For
-               ( Some (stmt (Decl (TInt, "r", Some (Int_lit 0)))),
-                 Some (Binop (Lt, Var "r", Int_lit 3)),
-                 Some (stmt (Assign (Var "r", Binop (Add, Var "r", Int_lit 1)))),
-                 [ stmt (Assign (cell, Binop (Add, cell, e1))) ] ));
-          stmt (Assign (cell, Binop (Add, cell, e2)));
-        ]
-      else
-        [
-          stmt (Assign (cell, e1));
-          stmt (Assign (cell, Binop (Add, cell, e2)));
-        ]
-    in
-    return
-      (updates
-      @ [
-          stmt
-            (Expr_stmt
-               (Call
-                  ( "atomicAdd",
-                    [
-                      Addr_of (Index (Var "acc", Binop (Mod, Var "i", Int_lit 4)));
-                      Binop (Mod, acc_e, Int_lit 1000);
-                    ] )));
-        ]))
-
-(* The Fig. 4 ceiling-division idioms, chosen at random. *)
-let grid_idioms b =
-  [
-    Binop (Add, Binop (Div, Binop (Sub, Var "deg", Int_lit 1), Int_lit b), Int_lit 1);
-    Binop (Div, Binop (Add, Var "deg", Int_lit (b - 1)), Int_lit b);
-    Binop
-      ( Add,
-        Binop (Div, Var "deg", Int_lit b),
-        Ternary
-          ( Binop (Eq, Binop (Mod, Var "deg", Int_lit b), Int_lit 0),
-            Int_lit 0,
-            Int_lit 1 ) );
-    Cast
-      ( TInt,
-        Call ("ceil", [ Binop (Div, Cast (TFloat, Var "deg"), Int_lit b) ]) );
-  ]
-
-let build_program ~child_work ~block ~idiom : program =
-  let child =
-    {
-      f_name = "child";
-      f_kind = Global;
-      f_ret = TVoid;
-      f_params =
-        [
-          { p_ty = TPtr TInt; p_name = "data" };
-          { p_ty = TPtr TInt; p_name = "acc" };
-          { p_ty = TInt; p_name = "base" };
-          { p_ty = TInt; p_name = "n" };
-          { p_ty = TInt; p_name = "k" };
-        ];
-      f_body =
-        [
-          stmt
-            (Decl
-               ( TInt,
-                 "i",
-                 Some
-                   (Binop
-                      ( Add,
-                        Binop
-                          ( Mul,
-                            Member (Var "blockIdx", "x"),
-                            Member (Var "blockDim", "x") ),
-                        Member (Var "threadIdx", "x") )) ));
-          stmt (If (Binop (Lt, Var "i", Var "n"), child_work, []));
-        ];
-      f_host_followup = None;
-    }
-  in
-  let grid = List.nth (grid_idioms block) idiom in
-  let parent =
-    {
-      f_name = "parent";
-      f_kind = Global;
-      f_ret = TVoid;
-      f_params =
-        [
-          { p_ty = TPtr TInt; p_name = "rows" };
-          { p_ty = TPtr TInt; p_name = "data" };
-          { p_ty = TPtr TInt; p_name = "acc" };
-          { p_ty = TInt; p_name = "nv" };
-        ];
-      f_body =
-        [
-          stmt
-            (Decl
-               ( TInt,
-                 "v",
-                 Some
-                   (Binop
-                      ( Add,
-                        Binop
-                          ( Mul,
-                            Member (Var "blockIdx", "x"),
-                            Member (Var "blockDim", "x") ),
-                        Member (Var "threadIdx", "x") )) ));
-          stmt
-            (If
-               ( Binop (Lt, Var "v", Var "nv"),
-                 [
-                   stmt (Decl (TInt, "start", Some (Index (Var "rows", Var "v"))));
-                   stmt
-                     (Decl
-                        ( TInt,
-                          "deg",
-                          Some
-                            (Binop
-                               ( Sub,
-                                 Index (Var "rows", Binop (Add, Var "v", Int_lit 1)),
-                                 Var "start" )) ));
-                   stmt
-                     (If
-                        ( Binop (Gt, Var "deg", Int_lit 0),
-                          [
-                            stmt
-                              (Launch
-                                 {
-                                   l_kernel = "child";
-                                   l_grid = grid;
-                                   l_block = Int_lit block;
-                                   l_args =
-                                     [
-                                       Var "data"; Var "acc"; Var "start";
-                                       Var "deg"; Var "v";
-                                     ];
-                                 });
-                          ],
-                          [] ));
-                 ],
-                 [] ));
-        ];
-      f_host_followup = None;
-    }
-  in
-  [ child; parent ]
-
-let option_sets =
-  [
-    Dpopt.Pipeline.none;
-    Dpopt.Pipeline.make ~threshold:9 ();
-    Dpopt.Pipeline.make ~cfactor:3 ();
-    Dpopt.Pipeline.make ~granularity:Dpopt.Aggregation.Warp ();
-    Dpopt.Pipeline.make ~granularity:Dpopt.Aggregation.Block ();
-    Dpopt.Pipeline.make ~granularity:(Dpopt.Aggregation.Multi_block 2) ();
-    Dpopt.Pipeline.make ~granularity:Dpopt.Aggregation.Grid ();
-    Dpopt.Pipeline.make ~threshold:9 ~cfactor:2
-      ~granularity:(Dpopt.Aggregation.Multi_block 3) ();
-    Dpopt.Pipeline.make ~threshold:17 ~cfactor:4
-      ~granularity:Dpopt.Aggregation.Grid ();
-    Dpopt.Pipeline.make ~threshold:5 ~granularity:Dpopt.Aggregation.Block
-      ~agg_threshold:3 ();
-  ]
-
-let run_once prog opts degs =
-  let r = Dpopt.Pipeline.run ~opts prog in
-  let dev = Gpusim.Device.create ~cfg:Gpusim.Config.test_config () in
-  Gpusim.Device.load_program dev r.prog
-    ~auto_params:(Benchmarks.Bench_common.to_device_auto r.auto_params);
-  let nv = Array.length degs in
-  let rows = Array.make (nv + 1) 0 in
-  Array.iteri (fun i d -> rows.(i + 1) <- rows.(i) + d) degs;
-  let total = max rows.(nv) 1 in
-  let d_rows = Gpusim.Device.alloc_ints dev rows in
-  let d_data = Gpusim.Device.alloc_ints dev (Array.init total (fun i -> i mod 11)) in
-  let d_acc = Gpusim.Device.alloc_int_zeros dev 4 in
-  Gpusim.Device.launch dev ~kernel:"parent"
-    ~grid:((nv + 31) / 32, 1, 1)
-    ~block:(32, 1, 1)
-    ~args:[ Ptr d_rows; Ptr d_data; Ptr d_acc; Int nv ];
-  ignore (Gpusim.Device.sync dev);
-  (Gpusim.Device.read_ints dev d_data total, Gpusim.Device.read_ints dev d_acc 4)
-
-let gen_case =
-  QCheck.Gen.(
-    let* child_work = gen_child_work in
-    let* block = oneofl [ 8; 16; 32 ] in
-    let* idiom = int_bound 3 in
-    let* degs = array_size (int_range 1 20) (int_bound 40) in
-    return (child_work, block, idiom, degs))
-
-let print_case (child_work, block, idiom, degs) =
-  Fmt.str "block=%d idiom=%d degs=%a@.%s" block idiom
-    Fmt.(Dump.array int)
-    degs
-    (Pretty.program (build_program ~child_work ~block ~idiom))
+(* One simulator configuration keeps the property affordable under
+   `dune runtest`; the @fuzz alias and dpfuzz CLI cover the full
+   configuration matrix with a larger budget. *)
+let unit_config = [ List.hd Oracle.sim_configs ]
 
 let prop =
-  QCheck.Test.make ~count:60
+  QCheck.Test.make ~count:40
     ~name:
-      "random nested programs: all option sets produce identical outputs"
-    (QCheck.make ~print:print_case gen_case)
-    (fun (child_work, block, idiom, degs) ->
-      let prog = build_program ~child_work ~block ~idiom in
-      Typecheck.check prog;
-      (* also: the program survives a print/parse round trip *)
-      let prog = Parser.program (Pretty.program prog) in
-      let reference = run_once prog Dpopt.Pipeline.none degs in
-      List.for_all
-        (fun opts ->
-          let got = run_once prog opts degs in
-          if got <> reference then
-            QCheck.Test.fail_reportf "mismatch under %s"
-              (Dpopt.Pipeline.label opts)
-          else true)
-        option_sets)
+      "random nested programs: all pass combinations produce identical \
+       memory and consistent launch metrics"
+    (QCheck.make ~print:Gen.print_case ~shrink:Shrink.qcheck_shrink
+       Gen.gen_case)
+    (fun case ->
+      match Oracle.check ~configs:unit_config case with
+      | Pass -> true
+      | Invalid msg ->
+          if case.Gen.seed >= 0 then
+            (* the generator itself must only produce valid programs *)
+            QCheck.Test.fail_reportf "seed %d: invalid generated case: %s"
+              case.Gen.seed msg
+          else
+            (* an over-aggressive shrink step broke validity: reject the
+               candidate so QCheck keeps the last valid failing case *)
+            true
+      | Fail f ->
+          let replay =
+            if case.Gen.seed >= 0 then
+              Fmt.str "@.(replay: dune exec bin/dpfuzz.exe -- --seed %d \
+                       --iters 1)" case.Gen.seed
+            else ""
+          in
+          QCheck.Test.fail_reportf "%a%s" Oracle.pp_failure f replay)
 
 let suite = [ QCheck_alcotest.to_alcotest prop ]
