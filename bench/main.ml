@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- fig9 fig12   # selected experiments
      dune exec bench/main.exe -- all --size=medium
      dune exec bench/main.exe -- fig9 --csv=results/   # also write CSVs
+     dune exec bench/main.exe -- all -j 4     # figure cells on 4 domains
 
    Experiments: table1 fig9 fig10 fig11 fig12 fixed128 ablation micro *)
 
@@ -99,6 +100,21 @@ let () =
     if List.mem "--size=medium" args then Benchmarks.Registry.Medium
     else Benchmarks.Registry.Small
   in
+  (* -j N / --jobs=N / --jobs N: worker-domain count for figure cells *)
+  let jobs, args =
+    let rec scan acc = function
+      | [] -> (None, List.rev acc)
+      | ("-j" | "--jobs") :: n :: rest -> (int_of_string_opt n, List.rev_append acc rest)
+      | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+          (int_of_string_opt (String.sub a 7 (String.length a - 7)),
+           List.rev_append acc rest)
+      | a :: rest -> scan (a :: acc) rest
+    in
+    match scan [] args with
+    | Some j, rest when j >= 1 -> (j, rest)
+    | Some _, rest -> (1, rest)
+    | None, rest -> (1, rest)
+  in
   let csv_dir =
     List.find_map
       (fun a ->
@@ -132,23 +148,26 @@ let () =
      Gpusim.Config)\n"
     Gpusim.Config.default.num_sms Gpusim.Config.default.warp_size
     Gpusim.Config.default.launch_service_interval;
+  if jobs > 1 then Printf.printf "Running experiment cells on %d domains\n" jobs;
+  Harness.Pool.with_pool ~jobs @@ fun pool ->
   if enabled "table1" then wall (fun () -> Harness.Figures.table1 ~size ());
   if enabled "fig9" then
     wall (fun () ->
-        let rows, _ = Harness.Figures.fig9 ~size () in
+        let rows, _ = Harness.Figures.fig9 ~pool ~size () in
         csv "fig9" (fun p -> Harness.Csv.fig9 p rows));
   if enabled "fig10" then
     wall (fun () ->
-        let data = Harness.Figures.fig10 ~size () in
+        let data = Harness.Figures.fig10 ~pool ~size () in
         csv "fig10" (fun p -> Harness.Csv.fig10 p data));
   if enabled "fig11" then
     wall (fun () ->
-        let data = Harness.Figures.fig11 ~size () in
+        let data = Harness.Figures.fig11 ~pool ~size () in
         csv "fig11" (fun p -> Harness.Csv.fig11 p data));
   if enabled "fig12" then
-    wall (fun () -> ignore (Harness.Figures.fig12 ~size ()));
+    wall (fun () -> ignore (Harness.Figures.fig12 ~pool ~size ()));
   if enabled "fixed128" then
-    wall (fun () -> ignore (Harness.Figures.fixed128 ~size ()));
+    wall (fun () -> ignore (Harness.Figures.fixed128 ~pool ~size ()));
   if enabled "ablation" then
-    wall (fun () -> List.iter Harness.Ablation.print (Harness.Ablation.all ()));
+    wall (fun () ->
+        List.iter Harness.Ablation.print (Harness.Ablation.all ~pool ()));
   if enabled "micro" then wall micro

@@ -10,11 +10,16 @@
 
     {v
     dpfuzz --iters 200                      # bounded fuzz budget (CI)
+    dpfuzz --iters 200 -j 4                 # same, sharded over 4 domains
     dpfuzz --seed 12345 --iters 1           # replay one reported case
     dpfuzz --passes t,c                     # restrict to two passes
     dpfuzz --iters 50 --inject-bug          # demo: a broken coarsening
                                             # variant must be caught
     v}
+
+    With [-j N] the seed range is evaluated on a {!Harness.Pool}; the
+    report stream is replayed in seed order afterwards and the lowest
+    failing seed wins, so stdout is byte-identical to [-j 1].
 
     Exit code 0: all cases equivalent; 1: a counterexample was found
     (printed, shrunk); 2: usage error. *)
@@ -76,6 +81,17 @@ let progress_every =
     & info [ "progress" ] ~docv:"N"
         ~doc:"Print a progress line every $(docv) cases (0: silent).")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Shard the seed range across $(docv) worker domains. Reports are \
+           emitted in seed order once the batch settles, and the first \
+           failure is the $(i,lowest) failing seed regardless of which \
+           domain finished first, so stdout is byte-identical to \
+           $(b,-j 1).")
+
 let parse_passes s =
   let parts =
     String.split_on_char ',' (String.lowercase_ascii s)
@@ -110,7 +126,7 @@ let report_failure ~shrunk_from (case : Difftest.Gen.case)
             printed above)@."
 
 let run iters seed passes threshold cfactor config_names inject_bug
-    progress_every =
+    progress_every jobs =
   match parse_passes passes with
   | Error msg ->
       Fmt.epr "dpfuzz: %s@." msg;
@@ -138,38 +154,77 @@ let run iters seed passes threshold cfactor config_names inject_bug
             if inject_bug then [ Difftest.Oracle.broken_coarsening ~cfactor () ]
             else []
           in
-          let t0 = Sys.time () in
-          let invalid = ref 0 in
-          let rec go i =
-            if i >= iters then None
-            else begin
+          let t0 = Unix.gettimeofday () in
+          (* Evaluate the seed range on the pool. [first_fail] holds the
+             lowest failing index observed so far: a job may skip its case
+             when a lower seed already failed — any skipped index is
+             therefore strictly above the final first failure, so every
+             index at or below it is fully evaluated and the replayed
+             report stream below is exact. Jobs never print (pool
+             contract); all reporting happens afterwards, in seed order,
+             identically at every -j level. *)
+          let first_fail = Atomic.make max_int in
+          let eval i =
+            if i > Atomic.get first_fail then None
+            else
               let case = Difftest.Gen.case_of_seed (seed + i) in
-              if progress_every > 0 && i > 0 && i mod progress_every = 0 then
-                Fmt.pr "... %d/%d cases checked@." i iters;
-              match Difftest.Oracle.check ~variants ~configs case with
-              | Pass -> go (i + 1)
-              | Invalid msg ->
-                  (* a generator bug, not a compiler bug: report loudly but
-                     keep fuzzing *)
-                  incr invalid;
-                  Fmt.epr "dpfuzz: seed %d generated an invalid case: %s@."
-                    (seed + i) msg;
-                  go (i + 1)
-              | Fail f -> Some (case, f)
-            end
+              let outcome = Difftest.Oracle.check ~variants ~configs case in
+              (match outcome with
+              | Fail _ ->
+                  let rec lower () =
+                    let cur = Atomic.get first_fail in
+                    if i < cur && not (Atomic.compare_and_set first_fail cur i)
+                    then lower ()
+                  in
+                  lower ()
+              | Pass | Invalid _ -> ());
+              Some (case, outcome)
           in
-          (match go 0 with
+          let results =
+            Harness.Pool.with_pool ~jobs (fun pool ->
+                Harness.Pool.run pool eval iters)
+          in
+          let fail =
+            let rec find i =
+              if i >= iters then None
+              else
+                match results.(i) with
+                | Some (case, Difftest.Oracle.Fail f) -> Some (i, case, f)
+                | _ -> find (i + 1)
+            in
+            find 0
+          in
+          (* replay the report stream exactly as a sequential run emits it:
+             progress on stdout, invalid-case notes on stderr, in seed
+             order, stopping at the first failure *)
+          let limit = match fail with Some (i, _, _) -> i | None -> iters - 1 in
+          let invalid = ref 0 in
+          for i = 0 to limit do
+            if progress_every > 0 && i > 0 && i mod progress_every = 0 then
+              Fmt.pr "... %d/%d cases checked@." i iters;
+            match results.(i) with
+            | Some (_, Difftest.Oracle.Invalid msg) ->
+                (* a generator bug, not a compiler bug: report loudly but
+                   keep fuzzing *)
+                incr invalid;
+                Fmt.epr "dpfuzz: seed %d generated an invalid case: %s@."
+                  (seed + i) msg
+            | _ -> ()
+          done;
+          (* host timing: stderr, so stdout stays byte-identical across
+             -j levels and runs *)
+          Fmt.epr "dpfuzz: %.1fs wall at -j %d@." (Unix.gettimeofday () -. t0)
+            jobs;
+          (match fail with
           | None ->
               Fmt.pr
-                "dpfuzz: %d cases x %d variants x %d configs: all \
-                 equivalent%s (%.1fs)@."
+                "dpfuzz: %d cases x %d variants x %d configs: all equivalent%s@."
                 iters (List.length variants) (List.length configs)
                 (if !invalid > 0 then
                    Fmt.str " (%d invalid cases skipped)" !invalid
-                 else "")
-                (Sys.time () -. t0);
+                 else "");
               if !invalid > 0 then 2 else 0
-          | Some (case, f) ->
+          | Some (_, case, f) ->
               (* shrink against the specific failing variant + config *)
               let failing_variant =
                 List.filter
@@ -213,6 +268,6 @@ let cmd =
     (Cmd.info "dpfuzz" ~version:"1.0.0" ~doc)
     Term.(
       const run $ iters $ seed $ passes $ threshold $ cfactor $ configs
-      $ inject_bug $ progress_every)
+      $ inject_bug $ progress_every $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,8 @@
     runbench BFS KRON --no-cdp
     runbench SSSP CNR -T 64 -C 8 -A multiblock:8
     runbench BT T2048-C64 -T 128 -A block --size medium
+    runbench --sweep -j 4                   # full registry x variants,
+                                            # 4 domains, BENCH_sweep.json
     v} *)
 
 open Cmdliner
@@ -43,16 +45,48 @@ let size_conv =
 
 let bench =
   Arg.(
-    required
+    value
     & pos 0 (some string) None
     & info [] ~docv:"BENCH" ~doc:"Benchmark: BFS, BT, MSTF, MSTV, SP, SSSP, TC.")
 
 let dataset =
   Arg.(
-    required
+    value
     & pos 1 (some string) None
     & info [] ~docv:"DATASET"
         ~doc:"Dataset: KRON, CNR, ROAD, T0032-C16, T2048-C64, RAND-3, 5-SAT.")
+
+let sweep =
+  Arg.(
+    value & flag
+    & info [ "sweep" ]
+        ~doc:
+          "Instead of one cell, run the whole registry (every \
+           benchmark/dataset of Table I plus the road graphs) under every \
+           code version, print the speedup table and write the \
+           $(b,BENCH_sweep.json) artifact. Cells run in parallel under \
+           $(b,-j); measurements are bit-identical at any parallelism.")
+
+let jobs =
+  Arg.(
+    value & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for $(b,--sweep) (default: available cores minus \
+           one). $(b,-j 1) runs sequentially.")
+
+let out =
+  Arg.(
+    value
+    & opt string "BENCH_sweep.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the sweep JSON artifact.")
+
+let csv_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE"
+        ~doc:"Also write the sweep as long-format CSV.")
 
 let no_cdp = Arg.(value & flag & info [ "no-cdp" ] ~doc:"Run the non-CDP version.")
 
@@ -82,7 +116,32 @@ let trace =
           "Print a per-grid execution timeline (launch issue, queue wait, \
            execution span, blocks, SM footprint).")
 
-let run bench dataset no_cdp threshold cfactor granularity size trace =
+let run_sweep ~jobs ~size ~out ~csv_out =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Harness.Pool.default_jobs ()
+  in
+  Fmt.epr "sweep: %d worker domain%s@." jobs (if jobs = 1 then "" else "s");
+  let t =
+    Harness.Pool.with_pool ~jobs (fun pool ->
+        Harness.Sweep.run ~size ~pool ())
+  in
+  Harness.Sweep.print_table t;
+  Harness.Sweep.write_json out t;
+  Fmt.epr "wrote %s@." out;
+  (match csv_out with
+  | None -> ()
+  | Some p ->
+      Harness.Sweep.write_csv p t;
+      Fmt.epr "wrote %s@." p);
+  (* wall-clock summary is host timing -> stderr, keeping stdout
+     deterministic across -j levels *)
+  Fmt.epr "sweep wall clock: %.1fs at -j %d (sequential estimate %.1fs, \
+           speedup %.2fx)@."
+    t.sw_wall_parallel_s t.sw_jobs t.sw_wall_sequential_est_s
+    (t.sw_wall_sequential_est_s /. t.sw_wall_parallel_s);
+  0
+
+let run_one bench dataset no_cdp threshold cfactor granularity size trace =
   match Benchmarks.Registry.find ~size ~name:bench ~dataset () with
   | None ->
       Fmt.epr "unknown benchmark/dataset pair %s/%s@." bench dataset;
@@ -127,12 +186,23 @@ let run bench dataset no_cdp threshold cfactor granularity size trace =
           Fmt.epr "VALIDATION FAILURE: %s@." msg;
           2)
 
+let run bench dataset sweep jobs out csv_out no_cdp threshold cfactor
+    granularity size trace =
+  if sweep then run_sweep ~jobs ~size ~out ~csv_out
+  else
+    match (bench, dataset) with
+    | Some bench, Some dataset ->
+        run_one bench dataset no_cdp threshold cfactor granularity size trace
+    | _ ->
+        Fmt.epr "runbench: BENCH and DATASET are required unless --sweep@.";
+        2
+
 let cmd =
   Cmd.v
     (Cmd.info "runbench" ~version:"1.0.0"
        ~doc:"run one paper benchmark in the GPU simulator")
     Term.(
-      const run $ bench $ dataset $ no_cdp $ threshold $ cfactor $ granularity
-      $ size $ trace)
+      const run $ bench $ dataset $ sweep $ jobs $ out $ csv_out $ no_cdp
+      $ threshold $ cfactor $ granularity $ size $ trace)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,10 +5,18 @@
 
 type size = Small | Medium
 
-(** Datasets, memoized per size so repeated spec lookups share graphs. *)
+(** Datasets, memoized per size so repeated spec lookups share graphs.
+    The cache is the one piece of mutable state shared across callers, so
+    it is guarded by a mutex: sweep/figure jobs running on pool domains
+    all call [all]/[road] concurrently. Generation is deterministic (the
+    workload generators seed their own PRNGs), so even a redundant
+    generation race would be benign — the lock just keeps the Hashtbl's
+    internals safe. *)
 let datasets =
   let cache = Hashtbl.create 8 in
+  let lock = Mutex.create () in
   fun (size : size) ->
+    Mutex.protect lock @@ fun () ->
     match Hashtbl.find_opt cache size with
     | Some d -> d
     | None ->

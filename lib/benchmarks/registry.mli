@@ -4,7 +4,10 @@
 type size = Small | Medium
 
 (** Datasets for a size, memoized:
-    (KRON, CNR, ROAD, T0032-C16, T2048-C64, RAND-3, 5-SAT). *)
+    (KRON, CNR, ROAD, T0032-C16, T2048-C64, RAND-3, 5-SAT).
+    The memo table is mutex-guarded, so this is safe to call from
+    concurrent domains (e.g. [Harness.Pool] jobs); the returned datasets
+    are immutable after construction and may be shared freely. *)
 val datasets :
   size ->
   Workloads.Graph_gen.named

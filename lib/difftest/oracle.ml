@@ -20,7 +20,14 @@
 
     A variant that raises during compilation or execution of a program the
     baseline runs cleanly is also a failure (the simulator doubles as a
-    memory checker, so a transformed out-of-bounds access surfaces here). *)
+    memory checker, so a transformed out-of-bounds access surfaces here).
+
+    {b Domain safety.} [check] builds a fresh {!Gpusim.Device.t} (hence
+    fresh memory and metrics) per variant × configuration run and touches
+    no shared mutable state — [sim_configs] and variant lists are
+    immutable after construction. Concurrent [check] calls on distinct
+    cases from distinct domains are therefore safe; [dpfuzz -j] relies on
+    this. *)
 
 open Minicu
 

@@ -9,7 +9,14 @@
       let elapsed_cycles = Device.sync dev in
       let result = Device.read_ints dev d_data n in
       ...
-    ]} *)
+    ]}
+
+    {b Domain safety.} A device owns all of its mutable simulation state —
+    its {!Memory.t}, {!Metrics.t}, scheduler and trace buffer — and there
+    is no global mutable state in [gpusim]. Distinct [t] values may
+    therefore be driven from distinct domains concurrently (this is how
+    [Harness.Pool] jobs run), but a single [t] must only ever be used by
+    one domain at a time. *)
 
 type dim3 = int * int * int
 

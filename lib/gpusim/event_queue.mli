@@ -1,6 +1,13 @@
 (** A binary min-heap keyed by (time, insertion sequence): pops are
     deterministic — ties resolve in insertion order — which the simulator
-    relies on for reproducible runs. *)
+    relies on for reproducible runs.
+
+    {!pop} clears the vacated heap slot, so popped payloads are not
+    retained by the backing array (they can be collected as soon as the
+    caller drops them).
+
+    Domain-safety: a queue is not thread-safe; each simulated device owns
+    its own queue and must be confined to one domain at a time. *)
 
 type 'a t
 

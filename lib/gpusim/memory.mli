@@ -1,7 +1,11 @@
 (** Simulated device global memory: a table of buffers of {!Value.t}
     elements. Out-of-bounds and use-after-free accesses raise
     {!Value.Runtime_error}, so the simulator doubles as a memory checker for
-    transformed code. *)
+    transformed code.
+
+    Not thread-safe: a [t] belongs to one {!Device.t} and must only be
+    touched from the domain driving that device (see the domain-safety
+    note in {!Device}). Distinct [t] values are fully independent. *)
 
 type t
 

@@ -1,5 +1,9 @@
 (** Execution metrics collected by the simulator, including the per-category
-    compute-time attribution behind the paper's Fig. 10 breakdown. *)
+    compute-time attribution behind the paper's Fig. 10 breakdown.
+
+    Plain mutable records, not thread-safe: each {!Device.t} owns one and
+    mutates it from the domain driving the device (see the domain-safety
+    note in {!Device}). *)
 
 (** {1 Tag indices} (dense encoding of {!Minicu.Ast.tag}) *)
 

@@ -118,9 +118,16 @@ let process_device_launch t ~issue =
   t.metrics.device_launches <- t.metrics.device_launches + 1;
   t.metrics.breakdown.launch_cycles <-
     t.metrics.breakdown.launch_cycles +. (ready -. issue);
+  (* Queue depth seen by this launch: launches ahead of it, i.e. the time
+     it waited for service in units of the service interval. [start] (not
+     the post-service [launch_q_free]) is the right numerator — using the
+     latter would count the launch just serviced as pending ahead of
+     itself, overstating the congestion metric by one. *)
   let pending =
-    int_of_float
-      ((t.launch_q_free -. issue) /. float_of_int cfg.launch_service_interval)
+    if cfg.launch_service_interval <= 0 then 0
+    else
+      int_of_float
+        ((start -. issue) /. float_of_int cfg.launch_service_interval)
   in
   if pending > t.metrics.max_pending_launches then
     t.metrics.max_pending_launches <- pending;

@@ -54,6 +54,14 @@ val launch_grid :
 (** Route a host-side launch; returns when the grid becomes schedulable. *)
 val process_host_launch : t -> issue:float -> float
 
+(** Route a device-side launch through the grid-management unit; returns
+    when the child grid becomes schedulable. Also tracks
+    {!Metrics.t.max_pending_launches}: the number of launches queued
+    {e ahead} of this one at issue time (the launch being serviced is not
+    pending behind itself — a burst of [n] simultaneous launches peaks at
+    [n - 1]). *)
+val process_device_launch : t -> issue:float -> float
+
 (** Resolve a kernel by name. @raise Value.Runtime_error if it is missing
     or not [__global__]. *)
 val resolve_kernel : t -> string -> Compile.cfunc

@@ -30,51 +30,76 @@ type grid_summary = {
   g_info : grid_info;
   g_first_start : float;
   g_finish : float;
+      (** Last block/completion finish; [t_ready] for a grid none of whose
+          blocks were dispatched within the traced window (never a time
+          before the grid was even issued). *)
   g_blocks_seen : int;
   g_sms_used : int;
 }
 
-let summarize (evs : event list) : grid_summary list =
+(** [summarize evs] folds a timeline into per-grid summaries (sorted by
+    grid id) plus the {e orphan} events: [Block_dispatched] /
+    [Grid_completed] whose grid id has no [Grid_launched] record in [evs],
+    in their original order. Orphans arise when tracing is enabled
+    mid-run; dropping them silently would understate the work done, so
+    callers decide what to do with them ({!timeline} reports a count). *)
+let summarize (evs : event list) : grid_summary list * event list =
   let tbl = Hashtbl.create 16 in
+  let orphans = ref [] in
   List.iter
     (fun ev ->
       match ev with
       | Grid_launched info ->
-          Hashtbl.replace tbl info.t_grid_id (info, infinity, 0.0, 0, [])
+          Hashtbl.replace tbl info.t_grid_id (info, infinity, None, 0, [])
       | Block_dispatched b -> (
           match Hashtbl.find_opt tbl b.b_grid_id with
           | Some (info, first, fin, n, sms) ->
               Hashtbl.replace tbl b.b_grid_id
                 ( info,
                   Float.min first b.b_start,
-                  Float.max fin b.b_finish,
+                  Some
+                    (match fin with
+                    | None -> b.b_finish
+                    | Some f -> Float.max f b.b_finish),
                   n + 1,
                   b.b_sm :: sms )
-          | None -> ())
+          | None -> orphans := ev :: !orphans)
       | Grid_completed c -> (
           match Hashtbl.find_opt tbl c.c_grid_id with
           | Some (info, first, fin, n, sms) ->
               Hashtbl.replace tbl c.c_grid_id
-                (info, first, Float.max fin c.c_finish, n, sms)
-          | None -> ()))
+                ( info,
+                  first,
+                  Some
+                    (match fin with
+                    | None -> c.c_finish
+                    | Some f -> Float.max f c.c_finish),
+                  n,
+                  sms )
+          | None -> orphans := ev :: !orphans))
     evs;
-  Hashtbl.fold
-    (fun _ (info, first, fin, n, sms) acc ->
-      {
-        g_info = info;
-        g_first_start = first;
-        g_finish = fin;
-        g_blocks_seen = n;
-        g_sms_used = List.length (List.sort_uniq compare sms);
-      }
-      :: acc)
-    tbl []
-  |> List.sort (fun a b -> compare a.g_info.t_grid_id b.g_info.t_grid_id)
+  let summaries =
+    Hashtbl.fold
+      (fun _ (info, first, fin, n, sms) acc ->
+        {
+          g_info = info;
+          g_first_start = first;
+          (* a grid with no dispatched blocks finished, at the earliest,
+             when it became schedulable — not at time 0.0 *)
+          g_finish = Option.value fin ~default:info.t_ready;
+          g_blocks_seen = n;
+          g_sms_used = List.length (List.sort_uniq compare sms);
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b -> compare a.g_info.t_grid_id b.g_info.t_grid_id)
+  in
+  (summaries, List.rev !orphans)
 
 (** Render a per-grid timeline: issue time, queue wait, execution span,
     blocks, SM footprint. *)
 let timeline ppf (evs : event list) =
-  let gs = summarize evs in
+  let gs, orphans = summarize evs in
   Fmt.pf ppf
     "%5s %-22s %5s %10s %9s %10s %10s %7s %4s@." "grid" "kernel" "src"
     "issue" "q-wait" "start" "finish" "blocks" "SMs";
@@ -97,7 +122,7 @@ let timeline ppf (evs : event list) =
         else Some (g.g_info.t_ready -. g.g_info.t_issue))
       gs
   in
-  match dev_waits with
+  (match dev_waits with
   | [] -> ()
   | ws ->
       let n = float_of_int (List.length ws) in
@@ -105,4 +130,9 @@ let timeline ppf (evs : event list) =
         "device launches: %d, queue wait avg %.0f / max %.0f cycles@."
         (List.length ws)
         (List.fold_left ( +. ) 0.0 ws /. n)
-        (List.fold_left Float.max 0.0 ws)
+        (List.fold_left Float.max 0.0 ws));
+  if orphans <> [] then
+    Fmt.pf ppf
+      "warning: %d orphan events (grid launched before tracing was \
+       enabled)@."
+      (List.length orphans)

@@ -35,13 +35,19 @@ val clear : t -> unit
 
 type grid_summary = {
   g_info : grid_info;
-  g_first_start : float;
+  g_first_start : float;  (** [infinity] if no block was dispatched. *)
   g_finish : float;
+      (** Last block/completion finish; defaults to [t_ready] for a grid
+          none of whose blocks were dispatched in the traced window. *)
   g_blocks_seen : int;
   g_sms_used : int;
 }
 
-val summarize : event list -> grid_summary list
+(** Per-grid summaries (sorted by grid id), plus the orphan
+    [Block_dispatched]/[Grid_completed] events whose grid id has no
+    [Grid_launched] record (tracing enabled mid-run), in original order —
+    surfaced rather than silently dropped. *)
+val summarize : event list -> grid_summary list * event list
 
 (** Render the per-grid table plus device-launch queue-wait statistics. *)
 val timeline : Format.formatter -> event list -> unit

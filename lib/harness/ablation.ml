@@ -14,7 +14,12 @@
       knob (at 0 it should almost vanish).
     - {b machine width} ({!Gpusim.Config.num_sms}): underutilization — the
       benefit of parallelizing nested work over serializing it must grow
-      with the number of SMs. *)
+      with the number of SMs.
+
+    Every study builds one flat list of (config, variant) cells and
+    evaluates it through {!Experiment.run_cells}, so passing [?pool] runs
+    the whole grid on worker domains; the rows (assembled from the ordered
+    results) are identical at any parallelism. *)
 
 type row = { knob : float; values : (string * float) list }
 
@@ -26,12 +31,29 @@ type study = {
   rows : row list;
 }
 
-let run_spec ?cfg spec variant =
-  (Experiment.run ?cfg spec variant).Experiment.time
+(* Evaluate a knob-major grid: for every knob's config, both variants;
+   returns per-knob times in input order as (t_a, t_b) pairs. *)
+let grid ?pool spec knob_cfgs (va, vb) =
+  let cells =
+    List.concat_map
+      (fun cfg -> [ Experiment.cell ~cfg spec va; Experiment.cell ~cfg spec vb ])
+      knob_cfgs
+  in
+  let times =
+    List.map
+      (fun ((m : Experiment.measurement), _) -> m.time)
+      (Experiment.run_cells ?pool cells)
+  in
+  let rec pairs = function
+    | a :: b :: rest -> (a, b) :: pairs rest
+    | [] -> []
+    | [ _ ] -> assert false
+  in
+  pairs times
 
 (* -- 1: congestion -------------------------------------------------- *)
 
-let congestion ?(intervals = [ 0; 100; 500; 2000 ]) () : study =
+let congestion ?pool ?(intervals = [ 0; 100; 500; 2000 ]) () : study =
   let spec =
     Benchmarks.Bfs.spec ~dataset:(Workloads.Graph_gen.kron_dataset ~scale:9 ())
   in
@@ -39,14 +61,16 @@ let congestion ?(intervals = [ 0; 100; 500; 2000 ]) () : study =
     Variant.Cdp
       (Dpopt.Pipeline.make ~granularity:(Dpopt.Aggregation.Multi_block 8) ())
   in
-  let rows =
+  let cfgs =
     List.map
       (fun interval ->
-        let cfg =
-          { Gpusim.Config.default with launch_service_interval = interval }
-        in
-        let t_cdp = run_spec ~cfg spec (Variant.Cdp Dpopt.Pipeline.none) in
-        let t_agg = run_spec ~cfg spec agg in
+        { Gpusim.Config.default with launch_service_interval = interval })
+      intervals
+  in
+  let times = grid ?pool spec cfgs (Variant.Cdp Dpopt.Pipeline.none, agg) in
+  let rows =
+    List.map2
+      (fun interval (t_cdp, t_agg) ->
         {
           knob = float_of_int interval;
           values =
@@ -54,7 +78,7 @@ let congestion ?(intervals = [ 0; 100; 500; 2000 ]) () : study =
               ("CDP", t_cdp); ("CDP+A", t_agg); ("CDP/CDP+A", t_cdp /. t_agg);
             ];
         })
-      intervals
+      intervals times
   in
   {
     study = "launch congestion drives CDP's collapse";
@@ -66,7 +90,7 @@ let congestion ?(intervals = [ 0; 100; 500; 2000 ]) () : study =
 
 (* -- 2: launch-existence overhead ----------------------------------- *)
 
-let launch_existence ?(costs = [ 0; 8; 16; 64 ]) () : study =
+let launch_existence ?pool ?(costs = [ 0; 8; 16; 64 ]) () : study =
   let spec =
     Benchmarks.Bfs.spec
       ~dataset:(Workloads.Graph_gen.road_dataset ~rows:24 ~cols:24 ())
@@ -76,12 +100,15 @@ let launch_existence ?(costs = [ 0; 8; 16; 64 ]) () : study =
   let t_all =
     Variant.Cdp (Dpopt.Pipeline.make ~threshold:(4 * spec.max_child_threads) ())
   in
-  let rows =
+  let cfgs =
     List.map
-      (fun cost ->
-        let cfg = { Gpusim.Config.default with cdp_entry_cost = cost } in
-        let t_nocdp = run_spec ~cfg spec Variant.No_cdp in
-        let t_cdpt = run_spec ~cfg spec t_all in
+      (fun cost -> { Gpusim.Config.default with cdp_entry_cost = cost })
+      costs
+  in
+  let times = grid ?pool spec cfgs (Variant.No_cdp, t_all) in
+  let rows =
+    List.map2
+      (fun cost (t_nocdp, t_cdpt) ->
         {
           knob = float_of_int cost;
           values =
@@ -91,7 +118,7 @@ let launch_existence ?(costs = [ 0; 8; 16; 64 ]) () : study =
               ("residual gap", t_cdpt /. t_nocdp);
             ];
         })
-      costs
+      costs times
   in
   {
     study = "launch-existence overhead explains the road-graph residual";
@@ -103,7 +130,7 @@ let launch_existence ?(costs = [ 0; 8; 16; 64 ]) () : study =
 
 (* -- 3: machine width ------------------------------------------------ *)
 
-let machine_width ?(sms = [ 4; 16; 64 ]) () : study =
+let machine_width ?pool ?(sms = [ 4; 16; 64 ]) () : study =
   let spec =
     Benchmarks.Bfs.spec ~dataset:(Workloads.Graph_gen.kron_dataset ~scale:9 ())
   in
@@ -112,12 +139,13 @@ let machine_width ?(sms = [ 4; 16; 64 ]) () : study =
       (Dpopt.Pipeline.make ~threshold:32 ~cfactor:8
          ~granularity:(Dpopt.Aggregation.Multi_block 8) ())
   in
+  let cfgs =
+    List.map (fun n -> { Gpusim.Config.default with num_sms = n }) sms
+  in
+  let times = grid ?pool spec cfgs (Variant.No_cdp, tca) in
   let rows =
-    List.map
-      (fun n ->
-        let cfg = { Gpusim.Config.default with num_sms = n } in
-        let t_nocdp = run_spec ~cfg spec Variant.No_cdp in
-        let t_tca = run_spec ~cfg spec tca in
+    List.map2
+      (fun n (t_nocdp, t_tca) ->
         {
           knob = float_of_int n;
           values =
@@ -127,7 +155,7 @@ let machine_width ?(sms = [ 4; 16; 64 ]) () : study =
               ("NoCDP/TCA", t_nocdp /. t_tca);
             ];
         })
-      sms
+      sms times
   in
   {
     study = "wider machines reward parallelized nested work";
@@ -137,7 +165,8 @@ let machine_width ?(sms = [ 4; 16; 64 ]) () : study =
     rows;
   }
 
-let all () = [ congestion (); launch_existence (); machine_width () ]
+let all ?pool () =
+  [ congestion ?pool (); launch_existence ?pool (); machine_width ?pool () ]
 
 let print (s : study) =
   Fmt.pr "@.--- ablation: %s (%s/%s) ---@." s.study s.bench s.dataset;

@@ -1,7 +1,11 @@
 (** Ablation studies of the simulator's design choices (DESIGN.md §4):
     each turns one {!Gpusim.Config} knob and measures whether the paper
     effect it models appears/disappears. Run via
-    [bench/main.exe ablation]. *)
+    [bench/main.exe ablation].
+
+    Each study evaluates its whole (knob × variant) grid through
+    {!Experiment.run_cells}; pass [?pool] to run the cells on worker
+    domains — the resulting rows are identical at any parallelism. *)
 
 type row = { knob : float; values : (string * float) list }
 
@@ -15,14 +19,14 @@ type study = {
 
 (** Launch-queue service interval vs the CDP/CDP+A gap: congestion is what
     collapses plain CDP. *)
-val congestion : ?intervals:int list -> unit -> study
+val congestion : ?pool:Pool.t -> ?intervals:int list -> unit -> study
 
 (** [cdp_entry_cost] vs the road-graph residual of fully-serialized CDP+T
     over No CDP (the Section VIII-D launch-existence overhead). *)
-val launch_existence : ?costs:int list -> unit -> study
+val launch_existence : ?pool:Pool.t -> ?costs:int list -> unit -> study
 
 (** SM count vs the No-CDP / CDP+T+C+A balance (underutilization). *)
-val machine_width : ?sms:int list -> unit -> study
+val machine_width : ?pool:Pool.t -> ?sms:int list -> unit -> study
 
-val all : unit -> study list
+val all : ?pool:Pool.t -> unit -> study list
 val print : study -> unit

@@ -64,3 +64,32 @@ let run ?cfg ?(validate = true) (spec : Benchmarks.Bench_common.spec)
     fingerprint = fp;
     snap = snapshot_of_metrics metrics;
   }
+
+(** One cell of a sweep: an optional simulator-config override plus the
+    (benchmark, variant) pair to run under it. *)
+type cell = {
+  cell_cfg : Gpusim.Config.t option;
+  cell_spec : Benchmarks.Bench_common.spec;
+  cell_variant : Variant.t;
+}
+
+let cell ?cfg spec variant =
+  { cell_cfg = cfg; cell_spec = spec; cell_variant = variant }
+
+(** [run_cells ?pool ?validate cells] evaluates every cell — on [pool]'s
+    worker domains when given, sequentially otherwise — and returns, in
+    the {e input} order regardless of completion order, each measurement
+    paired with the wall-clock seconds its run took. Each cell builds its
+    own device/memory/metrics, so cells are mutually independent; this is
+    the one entry point all the parallel sweep consumers ([runbench
+    --sweep], {!Ablation}, {!Sweep}) share. *)
+let run_cells ?pool ?(validate = true) (cells : cell list) :
+    (measurement * float) list =
+  let eval c =
+    let t0 = Unix.gettimeofday () in
+    let m = run ?cfg:c.cell_cfg ~validate c.cell_spec c.cell_variant in
+    (m, Unix.gettimeofday () -. t0)
+  in
+  match pool with
+  | None -> List.map eval cells
+  | Some pool -> Pool.map_list pool eval cells

@@ -39,3 +39,23 @@ val run :
   Benchmarks.Bench_common.spec ->
   Variant.t ->
   measurement
+
+(** One cell of a sweep: an optional simulator-config override plus the
+    (benchmark, variant) pair to run under it. *)
+type cell = {
+  cell_cfg : Gpusim.Config.t option;
+  cell_spec : Benchmarks.Bench_common.spec;
+  cell_variant : Variant.t;
+}
+
+val cell :
+  ?cfg:Gpusim.Config.t -> Benchmarks.Bench_common.spec -> Variant.t -> cell
+
+(** [run_cells ?pool ?validate cells] evaluates every cell — on [pool]
+    when given, sequentially otherwise — returning measurements in the
+    {e input} order (independent of completion order) paired with each
+    run's wall-clock seconds. Every cell builds its own
+    device/memory/metrics, so the results are identical whatever the
+    parallelism; all sweep consumers route through here. *)
+val run_cells :
+  ?pool:Pool.t -> ?validate:bool -> cell list -> (measurement * float) list

@@ -1,8 +1,18 @@
 (** Reproduction of the paper's evaluation tables and figures as text
     output. Each [figN] returns its data (for the test suite) and prints a
-    table shaped like the paper's plot. *)
+    table shaped like the paper's plot.
+
+    Each figure maps over its benchmark specs through {!pmap}: with
+    [?pool] the per-spec work (baseline runs plus tuning) fans out across
+    worker domains, and all printing happens afterwards from the ordered
+    results, so tables are bit-identical at any parallelism. *)
 
 let pf = Fmt.pr
+
+(* Per-spec parallelism: tuning inside a spec is adaptive/sequential, so a
+   spec is the natural job grain for the figure tables. *)
+let pmap pool f xs =
+  match pool with None -> List.map f xs | Some p -> Pool.map_list p f xs
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                              *)
@@ -153,9 +163,9 @@ let print_fig9_summary (rows : fig9_row list) =
     lines;
   lines
 
-let fig9 ?cfg ?quick ?(size = Benchmarks.Registry.Small) () =
+let fig9 ?cfg ?quick ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = Benchmarks.Registry.all ~size () in
-  let rows = List.map (fun s -> fig9_row ?cfg ?quick s) specs in
+  let rows = pmap pool (fun s -> fig9_row ?cfg ?quick s) specs in
   print_fig9_table ~title:"Fig. 9: Performance" rows;
   let summary = print_fig9_summary rows in
   (rows, summary)
@@ -194,32 +204,34 @@ let fig10_cells ?cfg (spec : Benchmarks.Bench_common.spec) : fig10_cell list =
     cell { Variant.t = true; c = true; a = true };
   ]
 
-let fig10 ?cfg ?(size = Benchmarks.Registry.Small) () =
+let fig10 ?cfg ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = Benchmarks.Registry.all ~size () in
+  let all =
+    pmap pool
+      (fun (spec : Benchmarks.Bench_common.spec) ->
+        (spec.name, spec.dataset, fig10_cells ?cfg spec))
+      specs
+  in
   pf "@.=== Fig. 10: Breakdown of execution time (fraction of CDP+A total; \
       lower is better) ===@.";
   pf "%-6s %-10s %-10s %8s %8s %8s %8s %8s %8s@." "Bench" "Dataset" "Variant"
     "parent" "child" "agg" "launch" "disagg" "total";
-  let all =
-    List.map
-      (fun spec ->
-        let cells = fig10_cells ?cfg spec in
-        let base =
-          match cells with
-          | b :: _ -> b.parent +. b.child +. b.agg +. b.launch +. b.disagg
-          | [] -> 1.0
-        in
-        List.iter
-          (fun c ->
-            let n x = x /. base in
-            pf "%-6s %-10s %-10s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f@."
-              spec.name spec.dataset c.variant (n c.parent) (n c.child)
-              (n c.agg) (n c.launch) (n c.disagg)
-              (n (c.parent +. c.child +. c.agg +. c.launch +. c.disagg)))
-          cells;
-        (spec.name, spec.dataset, cells))
-      specs
-  in
+  List.iter
+    (fun (bench, dataset, cells) ->
+      let base =
+        match cells with
+        | b :: _ -> b.parent +. b.child +. b.agg +. b.launch +. b.disagg
+        | [] -> 1.0
+      in
+      List.iter
+        (fun c ->
+          let n x = x /. base in
+          pf "%-6s %-10s %-10s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f@." bench
+            dataset c.variant (n c.parent) (n c.child) (n c.agg) (n c.launch)
+            (n c.disagg)
+            (n (c.parent +. c.child +. c.agg +. c.launch +. c.disagg)))
+        cells)
+    all;
   all
 
 (* ------------------------------------------------------------------ *)
@@ -240,15 +252,21 @@ let fig11_specs ?(size = Benchmarks.Registry.Small) () =
     (fun (name, dataset) -> Benchmarks.Registry.find ~size ~name ~dataset ())
     wanted
 
-let fig11 ?cfg ?(size = Benchmarks.Registry.Small) () =
+let fig11 ?cfg ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = fig11_specs ~size () in
+  let data =
+    pmap pool
+      (fun (spec : Benchmarks.Bench_common.spec) ->
+        let cdp = Experiment.run ?cfg spec (Variant.Cdp Dpopt.Pipeline.none) in
+        let table = Tuning.sweep ?cfg spec in
+        (spec.name, spec.dataset, cdp.Experiment.time, table))
+      specs
+  in
   pf "@.=== Fig. 11: Impact of threshold and aggregation granularity \
       (speedup over CDP) ===@.";
-  List.map
-    (fun (spec : Benchmarks.Bench_common.spec) ->
-      let cdp = Experiment.run ?cfg spec (Variant.Cdp Dpopt.Pipeline.none) in
-      let table = Tuning.sweep ?cfg spec in
-      pf "@.%s / %s (CDP time %.0f):@." spec.name spec.dataset cdp.time;
+  List.iter
+    (fun (bench, dataset, cdp_time, table) ->
+      pf "@.%s / %s (CDP time %.0f):@." bench dataset cdp_time;
       (match table with
       | (_, cells) :: _ ->
           pf "%10s" "threshold";
@@ -260,21 +278,21 @@ let fig11 ?cfg ?(size = Benchmarks.Registry.Small) () =
           pf "%10d" thr;
           List.iter
             (fun (_, t) ->
-              pf " %14s" (Stats.speedup_to_string (cdp.Experiment.time /. t)))
+              pf " %14s" (Stats.speedup_to_string (cdp_time /. t)))
             cells;
           pf "@.")
-        table;
-      (spec.name, spec.dataset, cdp.Experiment.time, table))
-    specs
+        table)
+    data;
+  data
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 12: road graphs (low nested parallelism)                        *)
 (* ------------------------------------------------------------------ *)
 
-let fig12 ?cfg ?quick ?(size = Benchmarks.Registry.Small) () =
+let fig12 ?cfg ?quick ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = Benchmarks.Registry.road ~size () in
   (* the paper tunes the threshold beyond the largest launch here *)
-  let rows = List.map (fun s -> fig9_row ?cfg ?quick ~beyond_max:true s) specs in
+  let rows = pmap pool (fun s -> fig9_row ?cfg ?quick ~beyond_max:true s) specs in
   print_fig9_table
     ~title:"Fig. 12: Performance of graph benchmarks on road graphs" rows;
   let geo f = Stats.geomean (List.map f rows) in
@@ -291,37 +309,41 @@ let fig12 ?cfg ?quick ?(size = Benchmarks.Registry.Small) () =
 (* Section VIII-C: fixed threshold 128                                  *)
 (* ------------------------------------------------------------------ *)
 
-let fixed128 ?cfg ?(size = Benchmarks.Registry.Small) () =
+let fixed128 ?cfg ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = Benchmarks.Registry.all ~size () in
+  let results =
+    pmap pool
+      (fun (spec : Benchmarks.Bench_common.spec) ->
+        let cca =
+          Tuning.tune ?cfg spec { Variant.t = false; c = true; a = true }
+        in
+        let tca_best =
+          Tuning.tune ?cfg spec { Variant.t = true; c = true; a = true }
+        in
+        let fixed_params =
+          { tca_best.best_params with Variant.threshold = 128 }
+        in
+        let tca_fixed =
+          Experiment.run ?cfg spec
+            (Variant.instantiate
+               { Variant.t = true; c = true; a = true }
+               fixed_params)
+        in
+        let rf = cca.best.Experiment.time /. tca_fixed.Experiment.time in
+        let rb = cca.best.Experiment.time /. tca_best.best.Experiment.time in
+        (spec.name, spec.dataset, rf, rb))
+      specs
+  in
   pf "@.=== Sec. VIII-C: fixed threshold 128 vs tuned threshold ===@.";
   let ratios_fixed, ratios_best =
     List.split
       (List.map
-         (fun (spec : Benchmarks.Bench_common.spec) ->
-           let cca =
-             Tuning.tune ?cfg spec { Variant.t = false; c = true; a = true }
-           in
-           let tca_best =
-             Tuning.tune ?cfg spec { Variant.t = true; c = true; a = true }
-           in
-           let fixed_params =
-             { tca_best.best_params with Variant.threshold = 128 }
-           in
-           let tca_fixed =
-             Experiment.run ?cfg spec
-               (Variant.instantiate
-                  { Variant.t = true; c = true; a = true }
-                  fixed_params)
-           in
-           let rf =
-             cca.best.Experiment.time /. tca_fixed.Experiment.time
-           in
-           let rb = cca.best.Experiment.time /. tca_best.best.Experiment.time in
-           pf "%-6s %-10s  fixed128: %-8s best: %-8s@." spec.name spec.dataset
+         (fun (bench, dataset, rf, rb) ->
+           pf "%-6s %-10s  fixed128: %-8s best: %-8s@." bench dataset
              (Stats.speedup_to_string rf)
              (Stats.speedup_to_string rb);
            (rf, rb))
-         specs)
+         results)
   in
   let gf = Stats.geomean ratios_fixed and gb = Stats.geomean ratios_best in
   pf

@@ -1,6 +1,11 @@
 (** Reproduction of the paper's evaluation tables and figures as text
     output. Each function prints a table shaped like the paper's plot and
-    returns its data for tests and CSV export. *)
+    returns its data for tests and CSV export.
+
+    The [figN] functions accept [?pool]: when given, per-spec work
+    (baseline runs plus tuning) fans out across worker domains, and all
+    printing happens afterwards from the ordered results, so output is
+    bit-identical at any parallelism. *)
 
 (** Table I: benchmark/dataset inventory with shape statistics. *)
 val table1 : ?size:Benchmarks.Registry.size -> unit -> unit
@@ -31,6 +36,7 @@ val combo_time : fig9_row -> string -> float
 val fig9 :
   ?cfg:Gpusim.Config.t ->
   ?quick:bool ->
+  ?pool:Pool.t ->
   ?size:Benchmarks.Registry.size ->
   unit ->
   fig9_row list * (string * float) list
@@ -47,6 +53,7 @@ type fig10_cell = {
 (** Fig. 10: execution-time breakdown for CDP+A, CDP+T+A, CDP+T+C+A. *)
 val fig10 :
   ?cfg:Gpusim.Config.t ->
+  ?pool:Pool.t ->
   ?size:Benchmarks.Registry.size ->
   unit ->
   (string * string * fig10_cell list) list
@@ -55,6 +62,7 @@ val fig10 :
     benchmark. *)
 val fig11 :
   ?cfg:Gpusim.Config.t ->
+  ?pool:Pool.t ->
   ?size:Benchmarks.Registry.size ->
   unit ->
   (string
@@ -68,6 +76,7 @@ val fig11 :
 val fig12 :
   ?cfg:Gpusim.Config.t ->
   ?quick:bool ->
+  ?pool:Pool.t ->
   ?size:Benchmarks.Registry.size ->
   unit ->
   fig9_row list * float
@@ -76,6 +85,7 @@ val fig12 :
     CDP+T+C+A over CDP+C+A. *)
 val fixed128 :
   ?cfg:Gpusim.Config.t ->
+  ?pool:Pool.t ->
   ?size:Benchmarks.Registry.size ->
   unit ->
   float * float

@@ -1,9 +1,23 @@
-(** Small statistics helpers for the experiment tables. *)
+(** Small statistics helpers for the experiment tables.
+
+    Degenerate inputs are handled uniformly: every aggregate returns [nan]
+    on the empty list (not [infinity]/[neg_infinity], which used to leak
+    out of [minimum]/[maximum] and read like real measurements in the
+    tables). [geomean] additionally rejects non-positive samples — the
+    geometric mean of speedups is only defined over positive reals, and
+    silently returning [0.] or [nan] has masked bad ratio computations
+    before. *)
 
 let geomean xs =
   match xs with
   | [] -> nan
   | _ ->
+      List.iter
+        (fun x ->
+          if x <= 0.0 then
+            invalid_arg
+              (Fmt.str "Stats.geomean: non-positive sample %g" x))
+        xs;
       let n = float_of_int (List.length xs) in
       exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
 
@@ -12,8 +26,13 @@ let mean xs =
   | [] -> nan
   | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let minimum xs = List.fold_left Float.min infinity xs
-let maximum xs = List.fold_left Float.max neg_infinity xs
+let minimum = function
+  | [] -> nan
+  | xs -> List.fold_left Float.min infinity xs
+
+let maximum = function
+  | [] -> nan
+  | xs -> List.fold_left Float.max neg_infinity xs
 
 (** Render a speedup: "43.0x", or "0.08x" for slowdowns. *)
 let speedup_to_string s =

@@ -1,11 +1,22 @@
-(** Statistics helpers for the experiment tables. *)
+(** Statistics helpers for the experiment tables.
 
-(** Geometric mean; [nan] on the empty list. *)
+    All aggregates agree on degenerate input: the empty list yields [nan]
+    (rendered as ["-"] by {!speedup_to_string}), never
+    [infinity]/[neg_infinity]. *)
+
+(** Geometric mean; [nan] on the empty list.
+    @raise Invalid_argument on a non-positive sample (a geomean of
+    speedups is only defined over positive reals). *)
 val geomean : float list -> float
 
+(** Arithmetic mean; [nan] on the empty list. *)
 val mean : float list -> float
+
+(** Smallest sample; [nan] on the empty list. *)
 val minimum : float list -> float
+
+(** Largest sample; [nan] on the empty list. *)
 val maximum : float list -> float
 
-(** Render a speedup: ["43.0x"], ["120x"], ["0.08x"]. *)
+(** Render a speedup: ["43.0x"], ["120x"], ["0.08x"]; [nan] is ["-"]. *)
 val speedup_to_string : float -> string

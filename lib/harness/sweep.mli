@@ -1,0 +1,50 @@
+(** The full-registry performance sweep behind [runbench --sweep]: every
+    (benchmark, dataset) pair of the Table I registry (plus the road
+    graphs) × every code version (No CDP, plain CDP, and the seven
+    optimized pass combinations at default parameters), evaluated through
+    {!Experiment.run_cells} — in parallel when a {!Pool.t} is supplied.
+
+    Everything derived from the simulator (cycles, fingerprints, speedups,
+    and therefore {!print_table} and {!write_csv}) is deterministic and
+    bit-identical across [-j] levels; wall-clock fields are measured on
+    the host and are the only non-deterministic output, confined to the
+    trailing ["wall_clock"] object of the JSON artifact. *)
+
+type cell = {
+  sw_bench : string;
+  sw_dataset : string;
+  sw_variant : string;  (** "No CDP", "CDP", "CDP+T", ..., "CDP+T+C+A". *)
+  sw_time : float;  (** Simulated cycles (deterministic). *)
+  sw_fingerprint : int;  (** Validated output fingerprint. *)
+  sw_speedup_vs_cdp : float;  (** Plain-CDP time over this cell's time. *)
+  sw_wall_s : float;  (** Host wall-clock seconds (non-deterministic). *)
+}
+
+type t = {
+  sw_size : Benchmarks.Registry.size;
+  sw_jobs : int;  (** Parallelism the sweep ran at. *)
+  sw_cells : cell list;  (** Registry order × variant order. *)
+  sw_wall_parallel_s : float;  (** Wall clock of the whole sweep. *)
+  sw_wall_sequential_est_s : float;
+      (** Sum of per-cell wall clocks: what a [-j 1] run of the same cells
+          would cost, measured without running the sweep twice. *)
+}
+
+(** The variant axis, in column order: ["No CDP"] then the eight
+    {!Variant.power_set} combinations at default parameters. *)
+val variants : unit -> (string * Variant.t) list
+
+(** Run the sweep; cells are evaluated on [pool] when given. *)
+val run : ?size:Benchmarks.Registry.size -> ?pool:Pool.t -> unit -> t
+
+(** Deterministic speedup table (one row per benchmark/dataset, one column
+    per variant, geomean footer) on stdout. *)
+val print_table : t -> unit
+
+(** The [BENCH_sweep.json] artifact; schema documented in README §"The
+    parallel sweep". *)
+val write_json : string -> t -> unit
+
+(** Deterministic long-format CSV: bench, dataset, variant, time_cycles,
+    fingerprint, speedup_vs_cdp. *)
+val write_csv : string -> t -> unit

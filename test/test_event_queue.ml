@@ -1,0 +1,123 @@
+(* Event_queue behavior: min-heap ordering, deterministic tie-breaking,
+   and the pop path clearing vacated slots so popped payloads are not
+   retained by the backing array. *)
+
+open Gpusim
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* deterministic pseudo-random permutation of [0 .. n-1] *)
+let permutation n =
+  let a = Array.init n (fun i -> i) in
+  let state = ref 123456789 in
+  let next bound =
+    state := (!state * 1103515245) + 12345;
+    abs !state mod bound
+  in
+  for i = n - 1 downto 1 do
+    let j = next (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let drain q =
+  let rec go acc =
+    if Event_queue.is_empty q then List.rev acc
+    else go (Event_queue.pop q :: acc)
+  in
+  go []
+
+let suite =
+  [
+    t "pops come out sorted by time" (fun () ->
+        let q = Event_queue.create () in
+        let perm = permutation 200 in
+        Array.iter (fun i -> Event_queue.push q (float_of_int i) i) perm;
+        Alcotest.(check int) "length" 200 (Event_queue.length q);
+        let popped = drain q in
+        Alcotest.(check (list int)) "sorted by key"
+          (List.init 200 Fun.id)
+          (List.map snd popped));
+    t "equal times pop in insertion order" (fun () ->
+        let q = Event_queue.create () in
+        List.iter
+          (fun (time, v) -> Event_queue.push q time v)
+          [ (2.0, "d"); (1.0, "a"); (1.0, "b"); (2.0, "e"); (1.0, "c") ];
+        Alcotest.(check (list string)) "ties in insertion order"
+          [ "a"; "b"; "c"; "d"; "e" ]
+          (List.map snd (drain q)));
+    t "interleaved push/pop matches a sorted reference" (fun () ->
+        let q = Event_queue.create () in
+        (* model: sorted association list of (time, seq) -> value *)
+        let model = ref [] in
+        let seq = ref 0 in
+        let push time v =
+          Event_queue.push q time v;
+          incr seq;
+          model :=
+            List.sort compare (((time, !seq), v) :: !model)
+        in
+        let pop () =
+          match !model with
+          | [] -> assert false
+          | (_, expect) :: rest ->
+              model := rest;
+              let _, got = Event_queue.pop q in
+              Alcotest.(check int) "pop agrees with model" expect got
+        in
+        let perm = permutation 60 in
+        Array.iteri
+          (fun step i ->
+            push (float_of_int (i mod 17)) i;
+            if step mod 3 = 2 then pop ())
+          perm;
+        while not (Event_queue.is_empty q) do
+          pop ()
+        done);
+    t "peek_time reports the minimum without removing" (fun () ->
+        let q = Event_queue.create () in
+        Alcotest.(check (option (float 0.0))) "empty" None
+          (Event_queue.peek_time q);
+        Event_queue.push q 5.0 'x';
+        Event_queue.push q 3.0 'y';
+        Alcotest.(check (option (float 0.0))) "min" (Some 3.0)
+          (Event_queue.peek_time q);
+        Alcotest.(check int) "nothing removed" 2 (Event_queue.length q));
+    t "pop clears the vacated slot (popped payload is collectable)"
+      (fun () ->
+        let q = Event_queue.create () in
+        let w = Weak.create 1 in
+        (* allocate, push and pop inside an opaque closure so no local of
+           this frame keeps the payload reachable afterwards *)
+        (Sys.opaque_identity (fun () ->
+             let payload = Bytes.make 64 'p' in
+             Weak.set w 0 (Some payload);
+             Event_queue.push q 1.0 payload;
+             (* force the grow path too: the backing array must not retain
+                the payload in its filler slots either *)
+             for i = 2 to 50 do
+               Event_queue.push q (float_of_int i) Bytes.empty
+             done;
+             let _, p = Event_queue.pop q in
+             assert (Bytes.length p = 64)))
+          ();
+        Gc.full_major ();
+        Alcotest.(check bool) "queue still holds later events" false
+          (Event_queue.is_empty q);
+        Alcotest.(check bool) "popped payload was collected" true
+          (Weak.get w 0 = None));
+    t "emptying the queue releases the last payload" (fun () ->
+        let q = Event_queue.create () in
+        let w = Weak.create 1 in
+        (Sys.opaque_identity (fun () ->
+             let payload = Bytes.make 64 'q' in
+             Weak.set w 0 (Some payload);
+             Event_queue.push q 1.0 payload;
+             ignore (Event_queue.pop q)))
+          ();
+        Gc.full_major ();
+        Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+        Alcotest.(check bool) "payload collected" true (Weak.get w 0 = None));
+  ]

@@ -16,6 +16,14 @@ let suite =
           (Harness.Stats.geomean [ 3.0 ]);
         Alcotest.(check bool) "empty is nan" true
           (Float.is_nan (Harness.Stats.geomean [])));
+    t "geomean rejects non-positive samples" (fun () ->
+        let raises l =
+          match Harness.Stats.geomean l with
+          | (_ : float) -> false
+          | exception Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "zero raises" true (raises [ 2.0; 0.0 ]);
+        Alcotest.(check bool) "negative raises" true (raises [ -1.0 ]));
     t "mean min max" (fun () ->
         Alcotest.(check (float 1e-9)) "mean" 2.0
           (Harness.Stats.mean [ 1.0; 2.0; 3.0 ]);
@@ -23,6 +31,17 @@ let suite =
           (Harness.Stats.minimum [ 3.0; 1.0; 2.0 ]);
         Alcotest.(check (float 1e-9)) "max" 3.0
           (Harness.Stats.maximum [ 3.0; 1.0; 2.0 ]));
+    t "degenerate stats inputs agree on nan" (fun () ->
+        (* all four aggregators answer the empty list the same way *)
+        List.iter
+          (fun (name, f) ->
+            Alcotest.(check bool) name true (Float.is_nan (f [])))
+          [
+            ("mean", Harness.Stats.mean);
+            ("minimum", Harness.Stats.minimum);
+            ("maximum", Harness.Stats.maximum);
+            ("geomean", Harness.Stats.geomean);
+          ]);
     t "speedup rendering" (fun () ->
         Alcotest.(check string) "hundreds" "120x"
           (Harness.Stats.speedup_to_string 120.4);

@@ -10,9 +10,11 @@ let () =
       ("typecheck", Test_typecheck.suite);
       ("pattern", Test_pattern.suite);
       ("memory+values+events", Test_memory.suite);
+      ("event-queue", Test_event_queue.suite);
       ("interp", Test_interp.suite);
       ("interp-edge", Test_interp_edge.suite);
       ("sched", Test_sched.suite);
+      ("trace", Test_trace.suite);
       ("eligibility", Test_eligibility.suite);
       ("thresholding", Test_thresholding.suite);
       ("coarsening", Test_coarsening.suite);
@@ -25,6 +27,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("harness", Test_harness.suite);
+      ("pool", Test_pool.suite);
       ("failures", Test_failures.suite);
       ("references", Test_references.suite);
       ("autotune+csv+ablation", Test_autotune.suite);

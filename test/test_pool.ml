@@ -1,0 +1,74 @@
+(* Harness.Pool: result determinism across parallelism levels, the
+   lowest-failing-index exception contract, and pool lifecycle. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+exception Boom of int
+
+let suite =
+  [
+    t "map results are in submission order at any parallelism" (fun () ->
+        (* a spread of job costs so completion order differs from
+           submission order under parallelism *)
+        let work i =
+          let rounds = 1000 * (1 + ((17 - i) mod 7)) in
+          let acc = ref i in
+          for k = 1 to rounds do
+            acc := (!acc * 31) + k
+          done;
+          (i, !acc)
+        in
+        let expect = List.init 17 work in
+        List.iter
+          (fun jobs ->
+            Harness.Pool.with_pool ~jobs (fun pool ->
+                Alcotest.(check (list (pair int int)))
+                  (Printf.sprintf "jobs=%d" jobs)
+                  expect
+                  (Harness.Pool.map_list pool work (List.init 17 Fun.id))))
+          [ 1; 2; 3; 4 ]);
+    t "run returns an array indexed by job" (fun () ->
+        Harness.Pool.with_pool ~jobs:3 (fun pool ->
+            Alcotest.(check (array int)) "squares"
+              (Array.init 50 (fun i -> i * i))
+              (Harness.Pool.run pool (fun i -> i * i) 50)));
+    t "more jobs than work is fine" (fun () ->
+        Harness.Pool.with_pool ~jobs:4 (fun pool ->
+            Alcotest.(check (list int)) "tiny batch" [ 0; 2 ]
+              (Harness.Pool.map_list pool (fun x -> 2 * x) [ 0; 1 ]);
+            Alcotest.(check (list int)) "empty batch" []
+              (Harness.Pool.map_list pool Fun.id [])));
+    t "lowest failing index wins, at any parallelism" (fun () ->
+        List.iter
+          (fun jobs ->
+            Harness.Pool.with_pool ~jobs (fun pool ->
+                match
+                  Harness.Pool.run pool
+                    (fun i -> if i mod 5 = 3 then raise (Boom i) else i)
+                    32
+                with
+                | (_ : int array) -> Alcotest.fail "expected Boom"
+                | exception Boom i ->
+                    Alcotest.(check int)
+                      (Printf.sprintf "jobs=%d" jobs)
+                      3 i))
+          [ 1; 2; 4 ]);
+    t "a pool survives a failing batch" (fun () ->
+        Harness.Pool.with_pool ~jobs:2 (fun pool ->
+            (match Harness.Pool.run pool (fun _ -> failwith "x") 4 with
+            | (_ : unit array) -> Alcotest.fail "expected Failure"
+            | exception Failure _ -> ());
+            Alcotest.(check (array int)) "next batch runs" [| 0; 1; 2 |]
+              (Harness.Pool.run pool Fun.id 3)));
+    t "jobs below 1 are clamped" (fun () ->
+        Harness.Pool.with_pool ~jobs:0 (fun pool ->
+            Alcotest.(check int) "clamped" 1 (Harness.Pool.jobs pool));
+        Alcotest.(check bool) "default is positive" true
+          (Harness.Pool.default_jobs () >= 1));
+    t "shutdown is idempotent" (fun () ->
+        let pool = Harness.Pool.create ~jobs:2 () in
+        Alcotest.(check (array int)) "works" [| 0; 1 |]
+          (Harness.Pool.run pool Fun.id 2);
+        Harness.Pool.shutdown pool;
+        Harness.Pool.shutdown pool);
+  ]

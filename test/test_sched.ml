@@ -50,6 +50,22 @@ let suite =
         let _, m = run_fanout ~cfg 256 in
         Alcotest.(check bool) "pending depth > 10" true
           (m.max_pending_launches > 10));
+    t "a burst of n simultaneous launches peaks at n-1 pending" (fun () ->
+        (* drive the grid-management unit directly: 5 launches issued at
+           t=0 queue behind one service slot each; the launch being
+           serviced is not pending behind itself, so the last one sees
+           exactly 4 ahead of it *)
+        let cfg = { Config.test_config with launch_service_interval = 100 } in
+        let sched = Sched.create cfg (Memory.create ()) (Metrics.create ()) in
+        let readies =
+          List.init 5 (fun _ -> Sched.process_device_launch sched ~issue:0.0)
+        in
+        Alcotest.(check int) "max pending" 4
+          sched.Sched.metrics.max_pending_launches;
+        (* service slots are spaced by the interval *)
+        Alcotest.(check bool) "readies strictly increase" true
+          (List.sort_uniq compare readies = readies
+          && List.length readies = 5));
     t "service interval drives the queue" (fun () ->
         let slow =
           { Config.test_config with launch_service_interval = 1000 }
@@ -208,8 +224,9 @@ let trace_suite =
         (* parent + 8 children *)
         Alcotest.(check int) "9 grids launched" 9 launches;
         Alcotest.(check int) "9 grids completed" 9 completions;
-        let summaries = Trace.summarize evs in
+        let summaries, orphans = Trace.summarize evs in
         Alcotest.(check int) "9 summaries" 9 (List.length summaries);
+        Alcotest.(check int) "no orphans" 0 (List.length orphans);
         List.iter
           (fun (s : Trace.grid_summary) ->
             Alcotest.(check bool) "finish after ready" true

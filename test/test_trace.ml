@@ -1,0 +1,91 @@
+(* Trace.summarize on hand-built event lists: normal accounting, grids
+   with no dispatched blocks, and orphan events from mid-run tracing. *)
+
+open Gpusim
+
+let t name f = Alcotest.test_case name `Quick f
+
+let info ?(from_host = false) ~id ~blocks ~issue ~ready kernel =
+  {
+    Trace.t_grid_id = id;
+    t_kernel = kernel;
+    t_blocks = blocks;
+    t_from_host = from_host;
+    t_issue = issue;
+    t_ready = ready;
+  }
+
+let launched i = Trace.Grid_launched i
+
+let dispatched ~id ~sm ~start ~finish =
+  Trace.Block_dispatched
+    { b_grid_id = id; b_sm = sm; b_start = start; b_finish = finish }
+
+let completed ~id ~finish =
+  Trace.Grid_completed { c_grid_id = id; c_finish = finish }
+
+let suite =
+  [
+    t "summarize accounts blocks, SMs and finish" (fun () ->
+        let evs =
+          [
+            launched (info ~id:0 ~blocks:2 ~issue:0.0 ~ready:10.0 "k");
+            dispatched ~id:0 ~sm:0 ~start:10.0 ~finish:40.0;
+            dispatched ~id:0 ~sm:1 ~start:12.0 ~finish:55.0;
+            completed ~id:0 ~finish:55.0;
+          ]
+        in
+        let summaries, orphans = Trace.summarize evs in
+        Alcotest.(check int) "one grid" 1 (List.length summaries);
+        Alcotest.(check int) "no orphans" 0 (List.length orphans);
+        let s = List.hd summaries in
+        Alcotest.(check int) "blocks seen" 2 s.Trace.g_blocks_seen;
+        Alcotest.(check int) "sms used" 2 s.g_sms_used;
+        Alcotest.(check (float 1e-9)) "first start" 10.0 s.g_first_start;
+        Alcotest.(check (float 1e-9)) "finish" 55.0 s.g_finish);
+    t "grid with no dispatched blocks finishes at t_ready, not 0" (fun () ->
+        (* tracing can stop between a grid's launch and its first block:
+           the summary must not report a bogus 0.0 finish *)
+        let evs =
+          [ launched (info ~id:3 ~blocks:8 ~issue:100.0 ~ready:250.0 "k") ]
+        in
+        let summaries, orphans = Trace.summarize evs in
+        Alcotest.(check int) "one grid" 1 (List.length summaries);
+        Alcotest.(check int) "no orphans" 0 (List.length orphans);
+        let s = List.hd summaries in
+        Alcotest.(check (float 1e-9)) "finish defaults to ready" 250.0
+          s.Trace.g_finish;
+        Alcotest.(check int) "no blocks" 0 s.g_blocks_seen;
+        Alcotest.(check bool) "no first start" true
+          (s.g_first_start = infinity));
+    t "orphan events are surfaced, in order, not dropped" (fun () ->
+        (* tracing enabled mid-run: block/completion events arrive for a
+           grid whose launch predates the trace window *)
+        let o1 = dispatched ~id:7 ~sm:0 ~start:5.0 ~finish:9.0 in
+        let o2 = completed ~id:7 ~finish:9.0 in
+        let evs =
+          [
+            o1;
+            launched (info ~id:8 ~blocks:1 ~issue:0.0 ~ready:1.0 "k");
+            o2;
+            dispatched ~id:8 ~sm:0 ~start:1.0 ~finish:2.0;
+            completed ~id:8 ~finish:2.0;
+          ]
+        in
+        let summaries, orphans = Trace.summarize evs in
+        Alcotest.(check int) "one summarized grid" 1 (List.length summaries);
+        Alcotest.(check int) "grid 8 summarized" 8
+          (List.hd summaries).Trace.g_info.t_grid_id;
+        Alcotest.(check bool) "orphans in original order" true
+          (orphans = [ o1; o2 ]));
+    t "summaries are sorted by grid id" (fun () ->
+        let evs =
+          [
+            launched (info ~id:2 ~blocks:1 ~issue:0.0 ~ready:0.0 "b");
+            launched (info ~id:1 ~blocks:1 ~issue:0.0 ~ready:0.0 "a");
+          ]
+        in
+        let summaries, _ = Trace.summarize evs in
+        Alcotest.(check (list int)) "sorted" [ 1; 2 ]
+          (List.map (fun s -> s.Trace.g_info.t_grid_id) summaries));
+  ]
