@@ -15,6 +15,8 @@
     dpfuzz --passes t,c                     # restrict to two passes
     dpfuzz --iters 50 --inject-bug          # demo: a broken coarsening
                                             # variant must be caught
+    dpfuzz --iters 200 --check              # also run the dpcheck
+                                            # sanitizer on every variant
     v}
 
     With [-j N] the seed range is evaluated on a {!Harness.Pool}; the
@@ -73,7 +75,18 @@ let inject_bug =
           "Add a deliberately broken coarsening variant (drops the \
            remainder iterations of the coarsening loop). The oracle is \
            expected to catch it: the run should exit 1 with a shrunk \
-           reproducer.")
+           reproducer. Combined with $(b,--check), also adds a \
+           memory-neutral racy variant that only the sanitizer can catch.")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Sanitize mode: additionally require every fuzzed program and \
+           every variant's output to be dpcheck-clean — no static \
+           divergence/bounds errors, and no data races when replayed \
+           under the dynamic race detector.")
 
 let progress_every =
   Arg.(
@@ -125,7 +138,7 @@ let report_failure ~shrunk_from (case : Difftest.Gen.case)
     Fmt.pr "(structurally shrunk: no longer seed-derivable; original seed \
             printed above)@."
 
-let run iters seed passes threshold cfactor config_names inject_bug
+let run iters seed passes threshold cfactor config_names inject_bug sanitize
     progress_every jobs =
   match parse_passes passes with
   | Error msg ->
@@ -150,8 +163,11 @@ let run iters seed passes threshold cfactor config_names inject_bug
           let variants =
             Difftest.Oracle.default_variants ~threshold ~cfactor
               ~with_thresholding ~with_coarsening ~with_aggregation ()
+            @ (if inject_bug then
+                 [ Difftest.Oracle.broken_coarsening ~cfactor () ]
+               else [])
             @
-            if inject_bug then [ Difftest.Oracle.broken_coarsening ~cfactor () ]
+            if inject_bug && sanitize then [ Difftest.Oracle.racy_injection () ]
             else []
           in
           let t0 = Unix.gettimeofday () in
@@ -168,7 +184,7 @@ let run iters seed passes threshold cfactor config_names inject_bug
             if i > Atomic.get first_fail then None
             else
               let case = Difftest.Gen.case_of_seed (seed + i) in
-              let outcome = Difftest.Oracle.check ~variants ~configs case in
+              let outcome = Difftest.Oracle.check ~sanitize ~variants ~configs case in
               (match outcome with
               | Fail _ ->
                   let rec lower () =
@@ -236,7 +252,7 @@ let run iters seed passes threshold cfactor config_names inject_bug
               in
               let still_fails c =
                 match
-                  Difftest.Oracle.check ~variants:failing_variant
+                  Difftest.Oracle.check ~sanitize ~variants:failing_variant
                     ~configs:failing_config c
                 with
                 | Fail _ -> true
@@ -246,7 +262,7 @@ let run iters seed passes threshold cfactor config_names inject_bug
               let small = Difftest.Shrink.minimize ~still_fails case in
               let f' =
                 match
-                  Difftest.Oracle.check ~variants:failing_variant
+                  Difftest.Oracle.check ~sanitize ~variants:failing_variant
                     ~configs:failing_config small
                 with
                 | Fail f' -> f'
@@ -268,6 +284,6 @@ let cmd =
     (Cmd.info "dpfuzz" ~version:"1.0.0" ~doc)
     Term.(
       const run $ iters $ seed $ passes $ threshold $ cfactor $ configs
-      $ inject_bug $ progress_every $ jobs)
+      $ inject_bug $ check $ progress_every $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -109,7 +109,13 @@ let promote =
 let check_only =
   Arg.(
     value & flag
-    & info [ "check" ] ~doc:"Parse and typecheck only; write nothing.")
+    & info [ "check" ]
+        ~doc:
+          "Run the dpcheck sanitizer instead of writing output: static \
+           lints (divergent barriers, warp-scope ops under divergence, \
+           constant out-of-bounds) on the input and on every pass \
+           combination's output, plus dynamic race/OOB detection for any \
+           CHECK-RUN directives in the file. Exits non-zero on findings.")
 
 let run input output threshold cfactor granularity agg_threshold promote
     report check_only =
@@ -119,7 +125,37 @@ let run input output threshold cfactor granularity agg_threshold promote
   match
     let prog = Minicu.Parser.program ~file:input src in
     Minicu.Typecheck.check prog;
-    if check_only then `Checked
+    if check_only then begin
+      let rep =
+        Analysis.Dpcheck.check ?threshold ?cfactor ?granularity ?agg_threshold
+          prog
+      in
+      let dirs = Analysis.Dynamic.directives src in
+      let dynamic =
+        if dirs = [] then []
+        else
+          (* the input first, then — if it is statically sound — every
+             pass combination's output under the same directives *)
+          let on_input =
+            List.map (fun f -> ("input", f)) (Analysis.Dynamic.run prog dirs)
+          in
+          let on_combos =
+            if Analysis.Dpcheck.error_count rep > 0 then []
+            else
+              List.concat_map
+                (fun (label, opts) ->
+                  let r = Dpopt.Pipeline.run ~opts prog in
+                  List.map
+                    (fun f -> (label, f))
+                    (Analysis.Dynamic.run ~auto_params:r.auto_params r.prog
+                       dirs))
+                (Dpopt.Pipeline.enumerate ?threshold ?cfactor ?granularity
+                   ?agg_threshold ())
+          in
+          on_input @ on_combos
+      in
+      `Checked (rep, dirs, dynamic)
+    end
     else
       let opts =
         Dpopt.Pipeline.make ?threshold ?cfactor ?granularity ?agg_threshold ()
@@ -139,9 +175,23 @@ let run input output threshold cfactor granularity agg_threshold promote
       end
       else `Result r
   with
-  | `Checked ->
-      Fmt.epr "%s: OK@." input;
-      0
+  | `Checked (rep, dirs, dynamic) ->
+      Analysis.Dpcheck.pp Fmt.stderr rep;
+      List.iter (fun (label, f) -> Fmt.epr "[%s] %s@." label f) dynamic;
+      let problems = Analysis.Dpcheck.error_count rep + List.length dynamic in
+      if problems = 0 then begin
+        Fmt.epr "%s: OK (%d pass combinations clean%s)@." input
+          (List.length rep.combos)
+          (if dirs = [] then ""
+           else
+             Fmt.str ", %d sanitized directive runs"
+               (List.length dirs * (List.length rep.combos + 1)));
+        0
+      end
+      else begin
+        Fmt.epr "%s: %d problem(s)@." input problems;
+        1
+      end
   | `Result r ->
       let text = Minicu.Pretty.program r.prog in
       (match output with
@@ -182,6 +232,9 @@ let run input output threshold cfactor granularity agg_threshold promote
       1
   | exception Minicu.Typecheck.Type_error msg ->
       Fmt.epr "%s: type error: %s@." input msg;
+      1
+  | exception Analysis.Dynamic.Bad_directive msg ->
+      Fmt.epr "%s: bad CHECK-RUN directive: %s@." input msg;
       1
 
 let cmd =

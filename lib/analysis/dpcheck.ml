@@ -1,0 +1,54 @@
+(** dpcheck driver: static lints on a program and on the output of every
+    pass combination of the optimization pipeline.
+
+    The second half is the point: a transformation that manufactures a
+    divergent barrier or an out-of-bounds constant index is a compiler
+    bug, so [dpoptc --check] runs the linter over all [2^3] pass subsets
+    and fails if any output regresses. (The dynamic race detector is the
+    complementary tool — see [Gpusim.Racecheck] and the difftest
+    oracle.) *)
+
+open Minicu
+
+type combo_report = { c_label : string; c_diags : Static.diag list }
+
+type report = {
+  input_diags : Static.diag list;
+  combos : combo_report list;
+      (** One per pass combination; empty when the input itself has
+          errors (transforming a broken kernel reports nothing new). *)
+}
+
+let check ?threshold ?cfactor ?granularity ?agg_threshold
+    (prog : Ast.program) : report =
+  let input_diags = Static.check_program prog in
+  if Static.errors input_diags <> [] then { input_diags; combos = [] }
+  else
+    let combos =
+      List.map
+        (fun (label, opts) ->
+          let r = Dpopt.Pipeline.run ~opts prog in
+          { c_label = label; c_diags = Static.check_program r.prog })
+        (Dpopt.Pipeline.enumerate ?threshold ?cfactor ?granularity
+           ?agg_threshold ())
+    in
+    { input_diags; combos }
+
+let clean r =
+  Static.errors r.input_diags = []
+  && List.for_all (fun c -> Static.errors c.c_diags = []) r.combos
+
+let error_count r =
+  List.length (Static.errors r.input_diags)
+  + List.fold_left
+      (fun acc c -> acc + List.length (Static.errors c.c_diags))
+      0 r.combos
+
+let pp ppf r =
+  List.iter (fun d -> Fmt.pf ppf "%a@." Static.pp_diag d) r.input_diags;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun d -> Fmt.pf ppf "[%s] %a@." c.c_label Static.pp_diag d)
+        c.c_diags)
+    r.combos

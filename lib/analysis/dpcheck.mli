@@ -1,0 +1,37 @@
+(** dpcheck driver: {!Static} lints on a program and on the output of
+    every pass combination of the optimization pipeline (the [dpoptc
+    --check] engine). *)
+
+type combo_report = {
+  c_label : string;  (** Pipeline label, ["CDP"] .. ["CDP+T+C+A"]. *)
+  c_diags : Static.diag list;
+}
+
+type report = {
+  input_diags : Static.diag list;
+  combos : combo_report list;
+      (** One per pass combination; empty when the input itself has
+          errors. *)
+}
+
+(** [check prog] lints [prog], then — if it is error-free — runs every
+    pass combination ({!Dpopt.Pipeline.enumerate} at the given knob
+    values) and lints each output.
+    @raise Minicu.Typecheck.Type_error if a pass produces ill-typed code
+    (a compiler bug). *)
+val check :
+  ?threshold:int ->
+  ?cfactor:int ->
+  ?granularity:Dpopt.Aggregation.granularity ->
+  ?agg_threshold:int ->
+  Minicu.Ast.program ->
+  report
+
+(** No [Error]-severity diagnostic anywhere (warnings allowed). *)
+val clean : report -> bool
+
+val error_count : report -> int
+
+(** All diagnostics, one per line; combo diagnostics prefixed
+    ["[CDP+T] "]. *)
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,162 @@
+(** Static kernel lints ("dpcheck" static half).
+
+    Three error rules and one warning, all derived from
+    {!Minicu.Divergence} plus a small constant-bounds walk:
+
+    - [E001] — [__syncthreads] (directly or via a device call) under
+      non-block-uniform control flow: some threads may never reach the
+      barrier, which the paper's transformations (and real GPUs) cannot
+      order. Exactly the condition that makes {!Dpopt.Eligibility} reject
+      aggregation.
+    - [E002] — a warp-scope operation ([__syncwarp] or a collective) under
+      thread-varying control flow: lanes of one warp disagree about
+      reaching it.
+    - [E003] — indexing an array of statically known size with a constant
+      that is out of bounds.
+    - [W101] — a kernel launch inside a loop body: legal CUDA, but the
+      launch-aggregation codegen has no per-iteration join point, so the
+      site stays unoptimized (and is a classic launch-congestion source).
+
+    The divergence rules run on kernels ([__global__]) only: device
+    functions are analyzed at their call sites, where the calling context
+    is known. The bounds rule runs on every function. *)
+
+open Minicu
+open Minicu.Ast
+
+type severity = Error | Warning
+
+type diag = {
+  severity : severity;
+  code : string;  (** ["E001"].. ["W101"]. *)
+  d_loc : Loc.t;
+  msg : string;
+}
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+
+let pp_diag ppf d =
+  Fmt.pf ppf "%a: %a[%s]: %s" Loc.pp d.d_loc pp_severity d.severity d.code
+    d.msg
+
+let is_error d = d.severity = Error
+
+(* ---- divergence rules (E001, E002, W101) ---- *)
+
+let of_event (ev : Divergence.event) : diag option =
+  let diag severity code fmt =
+    Fmt.kstr (fun msg -> Some { severity; code; d_loc = ev.ev_loc; msg }) fmt
+  in
+  match (ev.ev_kind, ev.ev_ctx) with
+  | (Divergence.Ev_sync | Divergence.Ev_sync_in_call _), Divergence.Uniform ->
+      None
+  | Divergence.Ev_sync, ctx ->
+      diag Error "E001"
+        "__syncthreads under %a control flow: threads that skip the branch \
+         never reach the barrier"
+        Divergence.pp_level ctx
+  | Divergence.Ev_sync_in_call f, ctx ->
+      diag Error "E001"
+        "call to %S, which contains __syncthreads, under %a control flow" f
+        Divergence.pp_level ctx
+  | Divergence.Ev_syncwarp, Divergence.Varying ->
+      diag Error "E002"
+        "__syncwarp under thread-varying control flow: lanes of a warp may \
+         disagree about reaching it"
+  | Divergence.Ev_collective c, Divergence.Varying ->
+      diag Error "E002"
+        "warp collective %S under thread-varying control flow: lanes of a \
+         warp may disagree about reaching it"
+        c
+  | (Divergence.Ev_syncwarp | Divergence.Ev_collective _), _ -> None
+  | Divergence.Ev_launch k, _ when ev.ev_in_loop ->
+      diag Warning "W101"
+        "launch of %S inside a loop: launch aggregation cannot transform \
+         this site, and per-iteration launches congest the launch queue"
+        k
+  | Divergence.Ev_launch _, _ -> None
+
+(* ---- constant out-of-bounds indexing (E003) ---- *)
+
+(* Arrays whose element count is statically known: shared-memory
+   declarations with a constant (after folding) size. Scoping follows the
+   statement tree; shadowing drops the size. *)
+let rec bounds_stmts env acc (ss : stmt list) =
+  let _, acc = List.fold_left bounds_stmt (env, acc) ss in
+  acc
+
+and bounds_stmt (env, acc) (s : stmt) =
+  let check_expr acc e =
+    Ast_util.fold_expr
+      (fun acc e ->
+        match e with
+        | Index (Var x, idx) -> (
+            match (List.assoc_opt x env, Ast_util.simplify_expr idx) with
+            | Some n, Int_lit i when i < 0 || i >= n ->
+                {
+                  severity = Error;
+                  code = "E003";
+                  d_loc = s.sloc;
+                  msg =
+                    Fmt.str
+                      "index %d out of bounds for %S, which has %d elements"
+                      i x n;
+                }
+                :: acc
+            | _ -> acc)
+        | _ -> acc)
+      acc e
+  in
+  let check_opt acc = function Some e -> check_expr acc e | None -> acc in
+  match s.sdesc with
+  | Decl_shared (_, x, size) -> (
+      let acc = check_expr acc size in
+      match Ast_util.simplify_expr size with
+      | Int_lit n when n >= 0 -> ((x, n) :: env, acc)
+      | _ -> (List.remove_assoc x env, acc))
+  | Decl (_, x, init) ->
+      let acc = check_opt acc init in
+      (List.remove_assoc x env, acc)
+  | Assign (lv, e) -> (env, check_expr (check_expr acc lv) e)
+  | If (c, a, b) ->
+      let acc = check_expr acc c in
+      let acc = bounds_stmts env acc a in
+      (env, bounds_stmts env acc b)
+  | While (c, body) ->
+      let acc = check_expr acc c in
+      (env, bounds_stmts env acc body)
+  | For (init, cond, step, body) ->
+      let env', acc =
+        match init with Some i -> bounds_stmt (env, acc) i | None -> (env, acc)
+      in
+      let acc = check_opt acc cond in
+      let _, acc =
+        match step with Some st -> bounds_stmt (env', acc) st | None -> (env', acc)
+      in
+      (env, bounds_stmts env' acc body)
+  | Return e -> (env, check_opt acc e)
+  | Expr_stmt e -> (env, check_expr acc e)
+  | Launch l ->
+      let acc = check_expr (check_expr acc l.l_grid) l.l_block in
+      (env, List.fold_left check_expr acc l.l_args)
+  | Sync | Syncwarp | Threadfence | Break | Continue -> (env, acc)
+
+let constant_bounds (f : func) : diag list =
+  List.rev (bounds_stmts [] [] f.f_body)
+
+(* ---- entry points ---- *)
+
+let check_func (prog : program) (f : func) : diag list =
+  let divergence =
+    if f.f_kind = Global then
+      List.filter_map of_event (Divergence.events prog f)
+    else []
+  in
+  divergence @ constant_bounds f
+
+let check_program (prog : program) : diag list =
+  List.concat_map (check_func prog) prog
+
+let errors diags = List.filter is_error diags

@@ -1,0 +1,39 @@
+(** Static kernel lints (the static half of dpcheck).
+
+    - [E001] — [__syncthreads] (directly or through a device call) under
+      non-block-uniform control flow.
+    - [E002] — a warp-scope operation under thread-varying control flow.
+    - [E003] — constant index out of bounds for an array of statically
+      known size (shared-memory declarations with constant sizes).
+    - [W101] — a kernel launch inside a loop body (legal, but immune to
+      launch aggregation and a classic launch-congestion source).
+
+    Divergence rules run on [__global__] kernels only — device functions
+    are judged at their call sites ({!Minicu.Divergence.Ev_sync_in_call}).
+    The analysis is deterministic and diagnostics come out in source
+    order, so they can be pinned as golden test expectations. *)
+
+type severity = Error | Warning
+
+type diag = {
+  severity : severity;
+  code : string;  (** ["E001"].. ["W101"]. *)
+  d_loc : Minicu.Loc.t;
+  msg : string;
+}
+
+val pp_severity : Format.formatter -> severity -> unit
+
+(** Renders ["file:line:col: error[E001]: ..."]. *)
+val pp_diag : Format.formatter -> diag -> unit
+
+val is_error : diag -> bool
+
+(** All diagnostics of one function, in source order. *)
+val check_func : Minicu.Ast.program -> Minicu.Ast.func -> diag list
+
+(** All diagnostics of the program, in function then source order. *)
+val check_program : Minicu.Ast.program -> diag list
+
+(** The [Error]-severity subset. *)
+val errors : diag list -> diag list

@@ -178,6 +178,38 @@ let broken_coarsening ?(cfactor = 2) () : variant =
         { c_prog = prog; c_auto = to_device_auto r.auto_params });
   }
 
+(** A memory-neutral miscompile only the sanitizer can see: every kernel
+    gains a prologue in which all threads of the block store their own id
+    to the same [__shared__] scratch cell with no ordering barrier.
+    Driver buffers and launch metrics are untouched, so the plain oracle
+    passes this variant; [check ~sanitize:true] must catch the
+    write-write race (and shrink the case). *)
+let racy_injection () : variant =
+  let prologue =
+    [
+      Ast.stmt (Ast.Decl_shared (Ast.TInt, "dpfuzz_scratch", Ast.Int_lit 1));
+      Ast.stmt
+        (Ast.Assign
+           ( Ast.Index (Ast.Var "dpfuzz_scratch", Ast.Int_lit 0),
+             Ast.Member (Ast.Var "threadIdx", "x") ));
+    ]
+  in
+  {
+    v_label = "CDP[racy: unsynchronized shared scratch]";
+    v_opts = Some Dpopt.Pipeline.none;
+    v_compile =
+      (fun prog ->
+        let r = Dpopt.Pipeline.run ~opts:Dpopt.Pipeline.none prog in
+        let prog =
+          List.map
+            (fun (f : Ast.func) ->
+              if f.f_kind <> Ast.Global then f
+              else { f with f_body = prologue @ f.f_body })
+            r.prog
+        in
+        { c_prog = prog; c_auto = to_device_auto r.auto_params });
+  }
+
 (** {1 Simulator configurations} *)
 
 (** Deterministic device models the oracle replays each variant under. The
@@ -202,6 +234,9 @@ type observation = {
   obs_device_launches : int;
   obs_host_launches : int;
   obs_serialized : int;
+  obs_races : string list;
+      (** Dynamic race reports; only populated when the simulator runs
+          with {!Gpusim.Config.t.check} set (the oracle's sanitize mode). *)
 }
 
 (** [run ~cfg compiled case] — load, drive and observe one variant. The
@@ -240,6 +275,7 @@ let run ~cfg (c : compiled) (case : Gen.case) : observation =
     obs_device_launches = m.device_launches;
     obs_host_launches = m.host_launches;
     obs_serialized = m.serialized_launches;
+    obs_races = m.race_reports;
   }
 
 (* First bit-level difference between two memory snapshots, if any. *)
@@ -327,11 +363,25 @@ type outcome = Pass | Fail of failure | Invalid of string
 let baseline_variant =
   pipeline_variant (Dpopt.Pipeline.label Dpopt.Pipeline.none, Dpopt.Pipeline.none)
 
-(** [check ?variants ?configs case] — compile every variant once, then for
-    each configuration run the baseline and every variant and compare.
-    Returns the first failure found. *)
-let check ?(variants = default_variants ()) ?(configs = sim_configs)
-    (case : Gen.case) : outcome =
+(** [check ?sanitize ?variants ?configs case] — compile every variant
+    once, then for each configuration run the baseline and every variant
+    and compare. Returns the first failure found.
+
+    With [~sanitize:true] (dpfuzz's [--check] mode) the oracle also
+    requires every program — the fuzzed input and every variant's output
+    — to be sanitizer-clean: no static divergence/bounds errors
+    ({!Analysis.Static}) and no dynamic races (every run replays with
+    {!Gpusim.Config.t.check} set). A racy or divergent variant fails even
+    when its device memory is bit-identical to the baseline. *)
+let check ?(sanitize = false) ?(variants = default_variants ())
+    ?(configs = sim_configs) (case : Gen.case) : outcome =
+  let configs =
+    if sanitize then
+      List.map
+        (fun (n, c) -> (n, { c with Gpusim.Config.check = true }))
+        configs
+    else configs
+  in
   match
     let prog = Gen.build case in
     Typecheck.check prog;
@@ -350,11 +400,54 @@ let check ?(variants = default_variants ()) ?(configs = sim_configs)
                 (v, try Ok (v.v_compile prog) with exn -> Error exn))
               variants
           in
+          (* Sanitize mode, static half: the fuzzed program and every
+             variant's output must be free of divergence/bounds errors.
+             Config-independent, so checked once, up front. *)
+          let static_fail =
+            if not sanitize then None
+            else
+              let first_error p =
+                match Analysis.Static.(errors (check_program p)) with
+                | [] -> None
+                | d :: _ -> Some (Fmt.str "%a" Analysis.Static.pp_diag d)
+              in
+              match first_error prog with
+              | Some d ->
+                  Some
+                    {
+                      f_variant = baseline_variant.v_label;
+                      f_config = "(static)";
+                      f_reason = "static sanitizer: " ^ d;
+                    }
+              | None ->
+                  List.find_map
+                    (fun (v, c) ->
+                      match c with
+                      | Error _ -> None (* reported as a compile failure below *)
+                      | Ok c ->
+                          Option.map
+                            (fun d ->
+                              {
+                                f_variant = v.v_label;
+                                f_config = "(static)";
+                                f_reason = "static sanitizer: " ^ d;
+                              })
+                            (first_error c.c_prog))
+                    compiled
+          in
           let check_config (cfg_label, cfg) =
             match run ~cfg base_compiled case with
             | exception exn ->
                 Some (`Invalid (Fmt.str "baseline run raised under %s: %s"
                                   cfg_label (Printexc.to_string exn)))
+            | base when base.obs_races <> [] ->
+                Some
+                  (`Fail
+                     {
+                       f_variant = baseline_variant.v_label;
+                       f_config = cfg_label;
+                       f_reason = "race detected: " ^ List.hd base.obs_races;
+                     })
             | base ->
                 List.find_map
                   (fun (v, c) ->
@@ -384,10 +477,18 @@ let check ?(variants = default_variants ()) ?(configs = sim_configs)
                             | None -> (
                                 match metric_diff ~v ~base got with
                                 | Some d -> fail ("launch metrics: " ^ d)
-                                | None -> None))))
+                                | None ->
+                                    if got.obs_races <> [] then
+                                      fail
+                                        ("race detected: "
+                                        ^ List.hd got.obs_races)
+                                    else None))))
                   compiled
           in
-          match List.find_map check_config configs with
-          | Some (`Fail f) -> Fail f
-          | Some (`Invalid msg) -> Invalid msg
-          | None -> Pass))
+          match static_fail with
+          | Some f -> Fail f
+          | None -> (
+              match List.find_map check_config configs with
+              | Some (`Fail f) -> Fail f
+              | Some (`Invalid msg) -> Invalid msg
+              | None -> Pass)))

@@ -680,7 +680,8 @@ let transform ?(opts = default_options) (prog : program) : result =
                       | None -> [ s ]
                       | Some child -> (
                           match
-                            Eligibility.aggregation_site p ~child:l.l_kernel
+                            Eligibility.aggregation_site ~prog p
+                              ~child:l.l_kernel
                           with
                           | Ineligible reason ->
                               report p.f_name l.l_kernel false reason;

@@ -97,8 +97,13 @@ let contains_return ss =
     - the launch must not sit inside a loop (it would execute repeatedly);
     - the parent must not return early (a thread that exits never reaches
       the group counter / barrier, and its group's aggregated launch would
-      be lost). *)
-let aggregation_site (parent : func) ~(child : string) : verdict =
+      be lost);
+    - the parent must not already contain a divergent barrier
+      ({!Minicu.Divergence}): the epilogue appends block/warp
+      synchronization after the capture sites, and a parent whose barriers
+      are not block-uniform gives it no well-defined join point. *)
+let aggregation_site ?(prog : program = []) (parent : func) ~(child : string)
+    : verdict =
   if launch_in_loop ~kernel:child parent.f_body then
     Ineligible
       (Fmt.str
@@ -111,4 +116,13 @@ let aggregation_site (parent : func) ~(child : string) : verdict =
          "parent kernel %S returns early; threads that exit would never \
           reach the aggregation epilogue"
          parent.f_name)
-  else Eligible
+  else
+    match Divergence.divergent_barriers prog parent with
+    | [] -> Eligible
+    | ev :: _ ->
+        Ineligible
+          (Fmt.str
+             "parent kernel %S has a divergent barrier at %a (%a control \
+              flow); the aggregation epilogue cannot establish a \
+              block-uniform join point"
+             parent.f_name Loc.pp ev.ev_loc Divergence.pp_level ev.ev_ctx)

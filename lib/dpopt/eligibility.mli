@@ -17,9 +17,12 @@ val coarsening_child : Minicu.Ast.program -> Minicu.Ast.func -> verdict
 
 (** Can the launch of [child] inside [parent] be aggregated? The generated
     epilogue needs a block-uniform join point every thread reaches exactly
-    once, so launches inside loops and parents with early returns are
-    rejected. *)
-val aggregation_site : Minicu.Ast.func -> child:string -> verdict
+    once, so launches inside loops, parents with early returns, and parents
+    whose existing barriers are divergent (per {!Minicu.Divergence}, which
+    needs [prog] to resolve device calls; defaults to the empty program)
+    are rejected. *)
+val aggregation_site :
+  ?prog:Minicu.Ast.program -> Minicu.Ast.func -> child:string -> verdict
 
 (** Is the (any) launch of [kernel] nested inside a loop in [body]? *)
 val launch_in_loop : kernel:string -> Minicu.Ast.stmt list -> bool

@@ -46,6 +46,9 @@ type bctx = {
           first thread to reach the declaration; uniform across the block). *)
   mutable launches : launch_req list;  (** Launches issued by this block. *)
   is_host_ctx : bool;  (** True when running a host followup. *)
+  racecheck : Racecheck.t option;
+      (** Per-block dynamic race detector; [Some] only when [Config.check]
+          is set and this is a device block. *)
 }
 
 type tctx = {
@@ -61,6 +64,30 @@ let charge_tag (t : tctx) idx (c : float) =
   let idx = if idx = Metrics.tag_default then t.default_idx else idx in
   t.costs.(idx) <- t.costs.(idx) +. c;
   t.total <- t.total +. c
+
+(* Sanitizer hooks. These are only reachable from closures compiled under
+   [Config.check]; unchecked runs never execute them. *)
+
+let check_access (t : tctx) ~kind ~loc (ptr : Value.ptr) =
+  match t.blk.racecheck with
+  | None -> ()
+  | Some rc ->
+      let x, y, z = t.tidx in
+      let bx, by, _ = t.blk.bdim in
+      let tid = x + (y * bx) + (z * bx * by) in
+      Racecheck.record rc ~tid ~kind ~loc ptr
+
+let access_failed (t : tctx) ~loc msg =
+  t.blk.metrics.oob_detected <- t.blk.metrics.oob_detected + 1;
+  raise (Value.Runtime_error (Fmt.str "%a: %s" Loc.pp loc msg))
+
+let checked_load (t : tctx) ~loc ptr =
+  try Memory.load t.blk.mem ptr
+  with Value.Runtime_error msg -> access_failed t ~loc msg
+
+let checked_store (t : tctx) ~loc ptr v =
+  try Memory.store t.blk.mem ptr v
+  with Value.Runtime_error msg -> access_failed t ~loc msg
 
 (* Control-flow exceptions of the interpreted language. *)
 exception Ret of Value.t
@@ -149,6 +176,9 @@ type cenv = {
   mutable shared_ids : int;  (** Fresh ids for shared-memory declarations. *)
   cfg : Config.t;
   fname : string;
+  mutable cur_loc : Loc.t;
+      (** Source location of the statement being compiled; captured by the
+          sanitizer closures so dynamic reports carry file:line. *)
 }
 
 let bind env x =
@@ -313,10 +343,19 @@ let rec compile_expr (env : cenv) (e : expr) : cexpr =
       fun t -> if Value.as_bool (cc t) then ca t else cb t
   | Index (p, i) ->
       let cp = compile_expr env p and ci = compile_expr env i in
-      fun t ->
-        let ptr = Value.as_ptr (cp t) in
-        let i = Value.as_int (ci t) in
-        Memory.load t.blk.mem { ptr with off = ptr.off + i }
+      if not env.cfg.check then
+        fun t ->
+          let ptr = Value.as_ptr (cp t) in
+          let i = Value.as_int (ci t) in
+          Memory.load t.blk.mem { ptr with off = ptr.off + i }
+      else
+        let loc = env.cur_loc in
+        fun t ->
+          let ptr = Value.as_ptr (cp t) in
+          let i = Value.as_int (ci t) in
+          let ptr = { ptr with Value.off = ptr.off + i } in
+          check_access t ~kind:Racecheck.Read ~loc ptr;
+          checked_load t ~loc ptr
   | Cast (TInt, a) ->
       let ca = compile_expr env a in
       fun t -> Value.Int (Value.as_int (ca t))
@@ -398,19 +437,39 @@ and compile_call env f args : cexpr =
             else Value.Int (max (Value.as_int old) (Value.as_int v))
         | _ -> v
       in
-      fun t ->
-        let p = Value.as_ptr (arg 0 t) in
-        let v = arg 1 t in
-        let old = Memory.load t.blk.mem p in
-        Memory.store t.blk.mem p (combine old v);
-        old
+      if not env.cfg.check then
+        fun t ->
+          let p = Value.as_ptr (arg 0 t) in
+          let v = arg 1 t in
+          let old = Memory.load t.blk.mem p in
+          Memory.store t.blk.mem p (combine old v);
+          old
+      else
+        let loc = env.cur_loc in
+        fun t ->
+          let p = Value.as_ptr (arg 0 t) in
+          let v = arg 1 t in
+          check_access t ~kind:Racecheck.Atomic ~loc p;
+          let old = checked_load t ~loc p in
+          checked_store t ~loc p (combine old v);
+          old
   | "atomicCAS" ->
-      fun t ->
-        let p = Value.as_ptr (arg 0 t) in
-        let cmp = arg 1 t and v = arg 2 t in
-        let old = Memory.load t.blk.mem p in
-        if Value.as_int old = Value.as_int cmp then Memory.store t.blk.mem p v;
-        old
+      if not env.cfg.check then
+        fun t ->
+          let p = Value.as_ptr (arg 0 t) in
+          let cmp = arg 1 t and v = arg 2 t in
+          let old = Memory.load t.blk.mem p in
+          if Value.as_int old = Value.as_int cmp then Memory.store t.blk.mem p v;
+          old
+      else
+        let loc = env.cur_loc in
+        fun t ->
+          let p = Value.as_ptr (arg 0 t) in
+          let cmp = arg 1 t and v = arg 2 t in
+          check_access t ~kind:Racecheck.Atomic ~loc p;
+          let old = checked_load t ~loc p in
+          if Value.as_int old = Value.as_int cmp then checked_store t ~loc p v;
+          old
   | "malloc" ->
       fun t ->
         let n = Value.as_int (arg 0 t) in
@@ -459,10 +518,20 @@ let compile_store env (lv : expr) : cexpr -> cstmt =
       fun cv t -> t.frame.(s) <- cv t
   | Index (p, i) ->
       let cp = compile_expr env p and ci = compile_expr env i in
-      fun cv t ->
-        let ptr = Value.as_ptr (cp t) in
-        let i = Value.as_int (ci t) in
-        Memory.store t.blk.mem { ptr with off = ptr.off + i } (cv t)
+      if not env.cfg.check then
+        fun cv t ->
+          let ptr = Value.as_ptr (cp t) in
+          let i = Value.as_int (ci t) in
+          Memory.store t.blk.mem { ptr with off = ptr.off + i } (cv t)
+      else
+        let loc = env.cur_loc in
+        fun cv t ->
+          let ptr = Value.as_ptr (cp t) in
+          let i = Value.as_int (ci t) in
+          let ptr = { ptr with Value.off = ptr.off + i } in
+          let v = cv t in
+          check_access t ~kind:Racecheck.Write ~loc ptr;
+          checked_store t ~loc ptr v
   | Member (Var x, f) when not (is_reserved_var x) ->
       let s = slot_of env x "member assignment" in
       fun cv t ->
@@ -484,12 +553,17 @@ let compile_store env (lv : expr) : cexpr -> cstmt =
         t.frame.(s) <- Value.Dim3 d
   | Member (Index (p, i), f) ->
       let cp = compile_expr env p and ci = compile_expr env i in
+      let sloc = env.cur_loc and check = env.cfg.check in
       fun cv t ->
         let ptr = Value.as_ptr (cp t) in
         let idx = Value.as_int (ci t) in
         let loc = { ptr with Value.off = ptr.Value.off + idx } in
+        if check then check_access t ~kind:Racecheck.Write ~loc:sloc loc;
+        let load m p =
+          if check then checked_load t ~loc:sloc p else Memory.load m p
+        in
         let x', y', z' =
-          match Memory.load t.blk.mem loc with
+          match load t.blk.mem loc with
           | Value.Dim3 d -> d
           | Value.Unit | Value.Int 0 -> (1, 1, 1)
           | v -> Value.error "member assignment on non-dim3 %a" Value.pp v
@@ -502,7 +576,8 @@ let compile_store env (lv : expr) : cexpr -> cstmt =
           | "z" -> (x', y', n)
           | _ -> Value.error "dim3 has no member %S" f
         in
-        Memory.store t.blk.mem loc (Value.Dim3 d)
+        if check then checked_store t ~loc:sloc loc (Value.Dim3 d)
+        else Memory.store t.blk.mem loc (Value.Dim3 d)
   | _ -> Value.error "in %s: invalid assignment target" env.fname
 
 let default_value : ty -> Value.t = function
@@ -525,6 +600,7 @@ let rec compile_stmts env (ss : stmt list) : cstmt =
   | _ -> fun t -> Array.iter (fun c -> c t) compiled
 
 and compile_stmt env (s : stmt) : cstmt =
+  env.cur_loc <- s.sloc;
   let cfg = env.cfg in
   let tag = Metrics.index_of_tag s.stag in
   let charged cost k =
@@ -722,6 +798,7 @@ let compile (cfg : Config.t) (prog : program) : cprog =
             shared_ids = 0;
             cfg;
             fname = f.f_name;
+            cur_loc = Loc.dummy;
           }
         in
         List.iter (fun p -> ignore (bind env p.p_name)) f.f_params;

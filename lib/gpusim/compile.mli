@@ -36,6 +36,9 @@ type bctx = {
   shared : (int, Value.ptr) Hashtbl.t;
   mutable launches : launch_req list;
   is_host_ctx : bool;
+  racecheck : Racecheck.t option;
+      (** Per-block dynamic race detector; [Some] only when [Config.check]
+          is set and this is a device block. *)
 }
 
 (** Per-thread execution context. *)

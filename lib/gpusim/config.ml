@@ -39,6 +39,13 @@ type t = {
       (** The grid-management unit processes one pending launch per this many
           cycles; queueing behind it is the congestion the paper describes. *)
   block_sched_overhead : int;  (** Cycles to dispatch one block onto an SM. *)
+  (* ---- sanitizer ---- *)
+  check : bool;
+      (** Enable the dynamic sanitizer ({!Racecheck}): per-block shadow
+          logging of memory accesses with barrier-epoch tags, plus source
+          locations on out-of-bounds reports. Off by default; the
+          instrumentation is chosen at closure-compile time, so runs with
+          [check = false] pay nothing. *)
 }
 
 let default =
@@ -62,6 +69,7 @@ let default =
     host_launch_latency = 600;
     launch_service_interval = 500;
     block_sched_overhead = 120;
+    check = false;
   }
 
 (** A tiny configuration for unit tests: one SM, cheap launches, so tests

@@ -35,6 +35,11 @@ type t = {
       (** The grid-management unit serves one pending launch per this many
           cycles; queueing here is the paper's launch congestion. *)
   block_sched_overhead : int;
+  (* sanitizer *)
+  check : bool;
+      (** Enable the dynamic sanitizer ({!Racecheck}). Off by default;
+          instrumentation is chosen at closure-compile time, so
+          [check = false] runs pay nothing. *)
 }
 
 val default : t

@@ -117,6 +117,11 @@ let run_block (cprog : cprog) (kernel : cfunc) ~(args : Value.t list)
   let bx, by, bz = bdim in
   let nthreads = bx * by * bz in
   if nthreads <= 0 then Value.error "empty block dimension";
+  let ws = cfg.warp_size in
+  let nwarps = (nthreads + ws - 1) / ws in
+  let racecheck =
+    if cfg.check then Some (Racecheck.create ~warp_size:ws ~nwarps) else None
+  in
   let blk =
     {
       mem;
@@ -128,6 +133,7 @@ let run_block (cprog : cprog) (kernel : cfunc) ~(args : Value.t list)
       shared = Hashtbl.create 4;
       launches = [];
       is_host_ctx = false;
+      racecheck;
     }
   in
   let arg_values = Array.of_list args in
@@ -160,8 +166,6 @@ let run_block (cprog : cprog) (kernel : cfunc) ~(args : Value.t list)
             try kernel.cf_body t with Ret _ -> ()))
       threads
   in
-  let ws = cfg.warp_size in
-  let nwarps = (nthreads + ws - 1) / ws in
   (* Advance one warp until every lane is S_done or S_sync. *)
   let rec advance_warp w =
     let lo = w * ws and hi = min ((w + 1) * ws) nthreads in
@@ -192,6 +196,11 @@ let run_block (cprog : cprog) (kernel : cfunc) ~(args : Value.t list)
           | Not_started _ -> assert false
         done;
         let results = eval_warp_op reqs in
+        (* the collective orders this warp's accesses across it: new warp
+           epoch before the lanes resume (continue runs them immediately) *)
+        (match blk.racecheck with
+        | Some rc -> Racecheck.bump_wepoch rc w
+        | None -> ());
         List.iter
           (fun (i, v) ->
             match states.(i) with
@@ -215,7 +224,11 @@ let run_block (cprog : cprog) (kernel : cfunc) ~(args : Value.t list)
       advance_warp w
     done;
     if not (all_done ()) then begin
-      (* all remaining threads are at the barrier: release them *)
+      (* all remaining threads are at the barrier: release them; the new
+         barrier epoch starts before any continuation runs *)
+      (match blk.racecheck with
+      | Some rc -> Racecheck.bump_epoch rc
+      | None -> ());
       let waiting = ref 0 in
       Array.iteri
         (fun i st ->
@@ -231,6 +244,9 @@ let run_block (cprog : cprog) (kernel : cfunc) ~(args : Value.t list)
     end
   in
   block_loop ();
+  (match blk.racecheck with
+  | Some rc -> Racecheck.commit rc ~kernel:kernel.cf_name ~bidx metrics
+  | None -> ());
   (* free shared-memory buffers *)
   Hashtbl.iter (fun _ p -> Memory.free mem p) blk.shared;
   (* cost aggregation: per-warp, per-tag maxima *)
@@ -284,6 +300,7 @@ let run_host_stmts (kernel : cfunc) (followup : cstmt) ~(args : Value.t list)
       shared = Hashtbl.create 1;
       launches = [];
       is_host_ctx = true;
+      racecheck = None;
     }
   in
   let frame = Array.make (max kernel.cf_nslots 1) Value.Unit in

@@ -44,6 +44,14 @@ type t = {
       (** Child grids serialized in their parent thread by thresholding.
           Incremented by the [child_serial] device functions via a counter
           builtin; 0 when thresholding is off. *)
+  mutable races_detected : int;
+      (** Intra-block data-race conflicts found by {!Racecheck}; always 0
+          unless [Config.check] is set. *)
+  mutable oob_detected : int;
+      (** Out-of-bounds accesses observed under [Config.check] before the
+          run aborted. *)
+  mutable race_reports : string list;
+      (** Rendered race reports, deduplicated per address and capped. *)
 }
 
 let create () =
@@ -64,6 +72,9 @@ let create () =
     threads_executed = 0;
     max_pending_launches = 0;
     serialized_launches = 0;
+    races_detected = 0;
+    oob_detected = 0;
+    race_reports = [];
   }
 
 (** [charge m idx cycles] adds parallelism-scaled compute cycles to the
@@ -92,8 +103,15 @@ let pp ppf m =
      launch busy     %12.0f@,\
      grids launched  %8d (device %d, host %d)@,\
      blocks          %8d  threads %d@,\
-     max pending     %8d  serialized launches %d@]"
+     max pending     %8d  serialized launches %d%a@]"
     m.makespan b.parent_cycles b.child_cycles b.agg_cycles b.disagg_cycles
     b.launch_cycles m.grids_launched m.device_launches m.host_launches
     m.blocks_executed m.threads_executed m.max_pending_launches
     m.serialized_launches
+    (fun ppf m ->
+      if m.races_detected > 0 || m.oob_detected > 0 then begin
+        Fmt.pf ppf "@,races detected  %8d  out-of-bounds %d" m.races_detected
+          m.oob_detected;
+        List.iter (fun r -> Fmt.pf ppf "@,  %s" r) m.race_reports
+      end)
+    m

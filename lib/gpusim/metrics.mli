@@ -36,6 +36,13 @@ type t = {
   mutable max_pending_launches : int;
   mutable serialized_launches : int;
       (** Child grids serialized in their parent thread by thresholding. *)
+  mutable races_detected : int;
+      (** Intra-block data-race conflicts found by {!Racecheck}; always 0
+          unless [Config.check] is set. *)
+  mutable oob_detected : int;
+      (** Out-of-bounds accesses observed under [Config.check]. *)
+  mutable race_reports : string list;
+      (** Rendered race reports, deduplicated per address and capped. *)
 }
 
 val create : unit -> t

@@ -89,7 +89,14 @@ type tag =
 
 (** {1 Statements} *)
 
-type stmt = { sdesc : stmt_desc; stag : tag }
+type stmt = {
+  sdesc : stmt_desc;
+  stag : tag;
+  sloc : (Loc.t[@equal fun _ _ -> true] [@opaque]);
+      (** Source location of the statement's first token; {!Loc.dummy} for
+          compiler-generated code. Exempt from derived equality so
+          parse/pretty round-trips compare structurally. *)
+}
 
 and stmt_desc =
   | Decl of ty * string * expr option  (** [int x = e;] *)
@@ -147,7 +154,8 @@ type program = func list [@@deriving show { with_path = false }, eq]
 
 (** {1 Constructors} *)
 
-let stmt ?(tag = Tag_none) sdesc = { sdesc; stag = tag }
+let stmt ?(tag = Tag_none) ?(loc = Loc.dummy) sdesc =
+  { sdesc; stag = tag; sloc = loc }
 
 let retag tag s = { s with stag = tag }
 
@@ -165,7 +173,7 @@ let rec retag_deep tag s =
     | While (c, b) -> While (c, deep b)
     | d -> d
   in
-  { sdesc; stag = t }
+  { s with sdesc; stag = t }
 
 let int_lit n = Int_lit n
 let var x = Var x

@@ -76,7 +76,13 @@ type tag =
 
 (** {1 Statements} *)
 
-type stmt = { sdesc : stmt_desc; stag : tag }
+type stmt = {
+  sdesc : stmt_desc;
+  stag : tag;
+  sloc : (Loc.t[@equal fun _ _ -> true] [@opaque]);
+      (** Statement's source location ({!Loc.dummy} when generated); exempt
+          from derived equality so round-trips compare structurally. *)
+}
 
 and stmt_desc =
   | Decl of ty * string * expr option
@@ -127,7 +133,7 @@ type program = func list [@@deriving show, eq]
 
 (** {1 Constructors and helpers} *)
 
-val stmt : ?tag:tag -> stmt_desc -> stmt
+val stmt : ?tag:tag -> ?loc:Loc.t -> stmt_desc -> stmt
 val retag : tag -> stmt -> stmt
 
 (** [retag_deep tag s] retags [s] and all nested statements, preserving

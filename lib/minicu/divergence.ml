@@ -1,0 +1,295 @@
+(** Thread-divergence analysis over MiniCU kernels.
+
+    Classifies every expression and control-flow context of a kernel at one
+    of three uniformity levels relative to a thread block:
+
+    - {!Uniform}: the value (or branch decision) is identical for every
+      thread of the block — literals, parameters, [blockIdx]/[blockDim]/
+      [gridDim], and anything computed only from those;
+    - {!Warp_uniform}: identical within each warp but possibly different
+      across warps — results of the warp collectives ([warp_sum],
+      [warp_max], [warp_bcast]);
+    - {!Varying}: potentially different per thread — anything derived from
+      [threadIdx], [warp_scan_excl], atomics (the returned old value
+      depends on interleaving), or device [malloc].
+
+    The analysis is flow-insensitive on variables (a variable's level is
+    the join over every assignment, including the context level at the
+    assignment, iterated to a fixpoint) and optimistic on memory loads: a
+    load through a {!Uniform} address is treated as {!Uniform}. That
+    under-approximates divergence — a uniform-address load may observe
+    racy data — but keeps the analysis quiet on the block-uniform
+    shared-flag idiom ([while (flag[0]) {... __syncthreads(); ...}]) that
+    KLAP-style promoted kernels rely on; the dynamic race detector
+    ({!Gpusim.Racecheck}) covers the data side at run time.
+
+    Consumers: the static sanitizer ([lib/analysis]) turns the collected
+    {!event}s into diagnostics; {!Dpopt.Eligibility} refuses to aggregate
+    parents whose barriers are already divergent. *)
+
+open Ast
+
+type level = Uniform | Warp_uniform | Varying
+
+let join a b =
+  match (a, b) with
+  | Varying, _ | _, Varying -> Varying
+  | Warp_uniform, _ | _, Warp_uniform -> Warp_uniform
+  | Uniform, Uniform -> Uniform
+
+let pp_level ppf = function
+  | Uniform -> Fmt.string ppf "block-uniform"
+  | Warp_uniform -> Fmt.string ppf "warp-uniform"
+  | Varying -> Fmt.string ppf "thread-varying"
+
+(** A statement of interest together with the uniformity level of the
+    control flow enclosing it. *)
+type event = {
+  ev_kind : kind;
+  ev_ctx : level;  (** Join of every enclosing branch/loop condition. *)
+  ev_loc : Loc.t;
+  ev_in_loop : bool;  (** Lexically inside a [for]/[while] body. *)
+}
+
+and kind =
+  | Ev_sync  (** [__syncthreads()] — needs a {!Uniform} context. *)
+  | Ev_syncwarp  (** [__syncwarp()] — needs at most {!Warp_uniform}. *)
+  | Ev_collective of string  (** Warp-collective call — as [Ev_syncwarp]. *)
+  | Ev_launch of string  (** Launch of the named kernel. *)
+  | Ev_sync_in_call of string
+      (** Call to a device function that (transitively) contains a block
+          barrier; divergence at the call site is divergence at that
+          barrier. *)
+
+(* ------------------------------------------------------------------ *)
+(* Per-function summaries                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Does [f] (transitively through device calls) execute a block barrier? *)
+let contains_sync_deep (prog : program) (f : func) : bool =
+  let seen = ref [] in
+  let rec go (f : func) =
+    if List.mem f.f_name !seen then false
+    else begin
+      seen := f.f_name :: !seen;
+      Ast_util.contains_sync f.f_body
+      || Ast_util.fold_exprs_in_stmts
+           (fun acc e ->
+             acc
+             ||
+             match e with
+             | Call (g, _) when not (Builtins.is_builtin g) -> (
+                 match find_func prog g with
+                 | Some gf when gf.f_kind = Device -> go gf
+                 | _ -> false)
+             | _ -> false)
+           false f.f_body
+    end
+  in
+  go f
+
+(* Intrinsic level of calling [f]: Varying if its body can produce a
+   thread-dependent value independent of the arguments. *)
+let intrinsic_call_level (prog : program) (name : string) : level =
+  match find_func prog name with
+  | None -> Varying (* unknown callee: be conservative *)
+  | Some f ->
+      let tainted =
+        Ast_util.fold_exprs_in_stmts
+          (fun acc e ->
+            acc
+            ||
+            match e with
+            | Var "threadIdx" | Member (Var "threadIdx", _) -> true
+            | Index _ -> true (* loads inside callees: conservative *)
+            | Call (g, _) -> (
+                match Builtins.find g with
+                | Some b ->
+                    b.b_cost = Builtins.Atomic
+                    || b.b_cost = Builtins.Warp_collective
+                    || b.b_cost = Builtins.Alloc
+                | None -> not (Builtins.is_builtin g))
+            | _ -> false)
+          false f.f_body
+      in
+      if tainted then Varying else Uniform
+
+(* ------------------------------------------------------------------ *)
+(* The walk                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  prog : program;
+  vars : (string, level) Hashtbl.t;
+  mutable events : event list;  (** Reversed during the walk. *)
+  mutable changed : bool;  (** Variable level grew this iteration. *)
+  mutable record : bool;  (** Emit events (final iteration only). *)
+}
+
+let var_level env x =
+  if x = "threadIdx" then Varying
+  else if is_reserved_var x then Uniform
+  else match Hashtbl.find_opt env.vars x with Some l -> l | None -> Uniform
+
+let raise_var env x l =
+  let cur = var_level env x in
+  let nl = join cur l in
+  if nl <> cur then begin
+    Hashtbl.replace env.vars x nl;
+    env.changed <- true
+  end
+
+let rec expr_level env (e : expr) : level =
+  match e with
+  | Int_lit _ | Float_lit _ | Bool_lit _ -> Uniform
+  | Var x -> var_level env x
+  | Member (Var "threadIdx", _) -> Varying
+  | Member (a, _) -> expr_level env a
+  | Unop (_, a) | Cast (_, a) -> expr_level env a
+  | Binop (_, a, b) -> join (expr_level env a) (expr_level env b)
+  | Ternary (c, a, b) ->
+      join (expr_level env c) (join (expr_level env a) (expr_level env b))
+  | Index (p, i) ->
+      (* optimistic: a uniform-address load yields a uniform value *)
+      join (expr_level env p) (expr_level env i)
+  | Dim3_ctor (x, y, z) ->
+      join (expr_level env x) (join (expr_level env y) (expr_level env z))
+  | Addr_of a -> expr_level env a
+  | Call (f, args) -> (
+      let argl =
+        List.fold_left (fun acc a -> join acc (expr_level env a)) Uniform args
+      in
+      match Builtins.find f with
+      | Some b -> (
+          match b.b_cost with
+          | Builtins.Warp_collective ->
+              if f = "warp_scan_excl" then Varying
+              else Warp_uniform (* sum/max/bcast: same for all lanes *)
+          | Builtins.Atomic | Builtins.Alloc -> Varying
+          | Builtins.Arith | Builtins.Mem -> argl)
+      | None -> join argl (intrinsic_call_level env.prog f))
+
+let emit env kind ~ctx ~loc ~in_loop =
+  if env.record then
+    env.events <-
+      { ev_kind = kind; ev_ctx = ctx; ev_loc = loc; ev_in_loop = in_loop }
+      :: env.events
+
+(* Collect collective calls and barrier-containing device calls inside the
+   expressions of a statement. *)
+let expr_events env ~ctx ~loc ~in_loop (e : expr) =
+  ignore
+    (Ast_util.fold_expr
+       (fun () e ->
+         match e with
+         | Call (g, _) -> (
+             match Builtins.find g with
+             | Some b ->
+                 if b.b_cost = Builtins.Warp_collective then
+                   emit env (Ev_collective g) ~ctx ~loc ~in_loop
+             | None -> (
+                 match find_func env.prog g with
+                 | Some gf
+                   when gf.f_kind = Device && contains_sync_deep env.prog gf
+                   ->
+                     emit env (Ev_sync_in_call g) ~ctx ~loc ~in_loop
+                 | _ -> ()))
+         | _ -> ())
+       () e)
+
+let rec walk_stmts env ~ctx ~in_loop ss =
+  List.iter (walk_stmt env ~ctx ~in_loop) ss
+
+and walk_stmt env ~ctx ~in_loop (s : stmt) =
+  let loc = s.sloc in
+  let ee e = expr_events env ~ctx ~loc ~in_loop e in
+  match s.sdesc with
+  | Decl (_, x, init) ->
+      Option.iter ee init;
+      let l =
+        match init with Some e -> expr_level env e | None -> Uniform
+      in
+      raise_var env x (join ctx l)
+  | Decl_shared (_, x, size) ->
+      ee size;
+      (* the shared pointer itself is block-uniform *)
+      raise_var env x Uniform
+  | Assign (lv, e) ->
+      ee lv;
+      ee e;
+      let l = join ctx (expr_level env e) in
+      let rec target = function
+        | Var x -> raise_var env x l
+        | Member (a, _) -> target a
+        | Index _ -> () (* memory, not a variable *)
+        | _ -> ()
+      in
+      target lv
+  | If (c, a, b) ->
+      ee c;
+      let ctx' = join ctx (expr_level env c) in
+      walk_stmts env ~ctx:ctx' ~in_loop a;
+      walk_stmts env ~ctx:ctx' ~in_loop b
+  | While (c, body) ->
+      ee c;
+      let ctx' = join ctx (expr_level env c) in
+      walk_stmts env ~ctx:ctx' ~in_loop:true body
+  | For (init, cond, step, body) ->
+      Option.iter (walk_stmt env ~ctx ~in_loop) init;
+      Option.iter ee cond;
+      let ctx' =
+        join ctx
+          (match cond with Some c -> expr_level env c | None -> Uniform)
+      in
+      Option.iter (walk_stmt env ~ctx:ctx' ~in_loop:true) step;
+      walk_stmts env ~ctx:ctx' ~in_loop:true body
+  | Return e -> Option.iter ee e
+  | Expr_stmt e -> ee e
+  | Launch l ->
+      ee l.l_grid;
+      ee l.l_block;
+      List.iter ee l.l_args;
+      emit env (Ev_launch l.l_kernel) ~ctx ~loc ~in_loop
+  | Sync -> emit env Ev_sync ~ctx ~loc ~in_loop
+  | Syncwarp -> emit env Ev_syncwarp ~ctx ~loc ~in_loop
+  | Threadfence | Break | Continue -> ()
+
+(** [events prog f] — every barrier, warp collective, barrier-containing
+    device call and launch in [f]'s body, in source order, each with the
+    uniformity level of its enclosing control flow. Parameters are assumed
+    {!Uniform} (launch configuration and arguments are grid-wide). *)
+let events (prog : program) (f : func) : event list =
+  let env =
+    {
+      prog;
+      vars = Hashtbl.create 16;
+      events = [];
+      changed = false;
+      record = false;
+    }
+  in
+  List.iter (fun (p : param) -> Hashtbl.replace env.vars p.p_name Uniform)
+    f.f_params;
+  (* fixpoint on variable levels (levels only grow; the lattice has height
+     2, so this terminates quickly) *)
+  let rec fix n =
+    env.changed <- false;
+    walk_stmts env ~ctx:Uniform ~in_loop:false f.f_body;
+    if env.changed && n < 8 then fix (n + 1)
+  in
+  fix 0;
+  env.record <- true;
+  walk_stmts env ~ctx:Uniform ~in_loop:false f.f_body;
+  List.rev env.events
+
+(** [divergent_barriers prog f] — the subset of {!events} that the block
+    executor cannot order: [__syncthreads] under non-uniform control flow,
+    and warp-scope operations under thread-varying control flow. *)
+let divergent_barriers (prog : program) (f : func) : event list =
+  List.filter
+    (fun ev ->
+      match ev.ev_kind with
+      | Ev_sync | Ev_sync_in_call _ -> ev.ev_ctx <> Uniform
+      | Ev_syncwarp | Ev_collective _ -> ev.ev_ctx = Varying
+      | Ev_launch _ -> false)
+    (events prog f)

@@ -1,0 +1,54 @@
+(** Thread-divergence analysis over MiniCU kernels.
+
+    Classifies control-flow contexts at three uniformity levels relative to
+    a thread block and reports every synchronization-sensitive statement
+    (barriers, warp collectives, launches, barrier-containing device calls)
+    with the level of its enclosing control flow.
+
+    The analysis is flow-insensitive on variables (join over all
+    assignments, to a fixpoint) and {e optimistic on memory loads}: a load
+    through a block-uniform address counts as block-uniform, which keeps
+    the shared-flag loop idiom of promoted kernels quiet but can miss
+    data-dependent divergence — the dynamic race detector
+    ({!Gpusim.Racecheck}) covers that side at run time.
+
+    Used by the static sanitizer ([lib/analysis]) and by
+    {!Dpopt.Eligibility} (aggregation refuses parents with divergent
+    barriers). *)
+
+type level =
+  | Uniform  (** Same for every thread of the block. *)
+  | Warp_uniform  (** Same within each warp ([warp_sum] results, ...). *)
+  | Varying  (** Potentially per-thread ([threadIdx], atomics, ...). *)
+
+val join : level -> level -> level
+val pp_level : Format.formatter -> level -> unit
+
+type event = {
+  ev_kind : kind;
+  ev_ctx : level;  (** Join of every enclosing branch/loop condition. *)
+  ev_loc : Loc.t;
+  ev_in_loop : bool;  (** Lexically inside a [for]/[while] body. *)
+}
+
+and kind =
+  | Ev_sync  (** [__syncthreads()] — needs a {!Uniform} context. *)
+  | Ev_syncwarp  (** [__syncwarp()] — needs at most {!Warp_uniform}. *)
+  | Ev_collective of string  (** Warp-collective call — as [Ev_syncwarp]. *)
+  | Ev_launch of string  (** Launch of the named kernel. *)
+  | Ev_sync_in_call of string
+      (** Call to a device function that transitively contains a block
+          barrier. *)
+
+(** Does [f], transitively through device calls, execute [__syncthreads]? *)
+val contains_sync_deep : Ast.program -> Ast.func -> bool
+
+(** [events prog f] — all events of [f]'s body in source order. Kernel
+    parameters are assumed {!Uniform} (launch arguments are grid-wide). *)
+val events : Ast.program -> Ast.func -> event list
+
+(** The subset of {!events} the block executor cannot order:
+    [__syncthreads] (directly or via a device call) under non-uniform
+    control flow, and warp-scope operations under thread-varying control
+    flow. *)
+val divergent_barriers : Ast.program -> Ast.func -> event list

@@ -227,6 +227,10 @@ let is_lvalue = function Var _ | Index _ | Member _ -> true | _ -> false
    expression-statement position: declaration, assignment, compound
    assignment, increment/decrement, or a bare expression. *)
 let rec parse_simple st : stmt =
+  (* shadow the constructor so every statement built below carries the
+     location of its first token *)
+  let loc = peek_loc st in
+  let stmt d = Ast.stmt ~loc d in
   if is_type_start (peek st) && peek st <> Lexer.KW_DIM3 then parse_decl st
   else if peek st = Lexer.KW_DIM3 && (match peek2 st with Lexer.IDENT _ -> true | Lexer.STAR -> true | _ -> false)
   then parse_decl st
@@ -261,6 +265,8 @@ let rec parse_simple st : stmt =
     | _ -> stmt (Expr_stmt lv)
 
 and parse_decl st : stmt =
+  let loc = peek_loc st in
+  let stmt d = Ast.stmt ~loc d in
   let ty = parse_ty st in
   let name = expect_ident st in
   if peek st = Lexer.ASSIGN then (
@@ -270,6 +276,8 @@ and parse_decl st : stmt =
   else stmt (Decl (ty, name, None))
 
 let rec parse_stmt st : stmt =
+  let loc = peek_loc st in
+  let stmt d = Ast.stmt ~loc d in
   match peek st with
   | Lexer.KW_SHARED ->
       advance st;

@@ -1,0 +1,255 @@
+(* dpcheck tests: static lints (divergent barriers, warp-scope ops,
+   constant OOB), the pass-combination driver (all 14 benchmarks stay
+   clean under all 8 combos — pinned), and the dynamic race detector
+   (seeded races caught with locations, barrier-separated accesses clean,
+   OOB reports carry file:line, detector off by default). *)
+
+open Gpusim
+module Static = Analysis.Static
+module Dpcheck = Analysis.Dpcheck
+module Dynamic = Analysis.Dynamic
+
+let t name f = Alcotest.test_case name `Quick f
+let parse ?(file = "test.minicu") src = Minicu.Parser.program ~file src
+let codes ds = List.map (fun d -> d.Static.code) ds
+
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+let check_codes name src expected =
+  t name (fun () ->
+      let ds = Static.check_program (parse src) in
+      Alcotest.(check (list string)) name expected (codes ds))
+
+(* ---- static lints ---- *)
+
+let divergent_sync_src =
+  "__global__ void k(int* d) {\n\
+  \  if (threadIdx.x < 16) {\n\
+  \    __syncthreads();\n\
+  \  }\n\
+   }\n"
+
+let static_tests =
+  [
+    t "divergent __syncthreads is E001 with file:line" (fun () ->
+        match Static.check_program (parse divergent_sync_src) with
+        | [ d ] ->
+            Alcotest.(check string) "code" "E001" d.code;
+            Alcotest.(check bool) "error" true (Static.is_error d);
+            Alcotest.(check string) "file" "test.minicu" d.d_loc.file;
+            Alcotest.(check int) "line" 3 d.d_loc.line
+        | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+    check_codes "uniform barrier is clean"
+      "__global__ void k(int* d) { if (blockIdx.x == 0) { __syncthreads(); } \
+       d[threadIdx.x] = 1; }"
+      [];
+    check_codes "top-level barrier is clean"
+      "__global__ void k(int* d) { d[threadIdx.x] = 1; __syncthreads(); d[0] \
+       = 2; }"
+      [];
+    t "barrier via device call under divergence is E001" (fun () ->
+        let src =
+          "__device__ void helper(int* d) { __syncthreads(); }\n\
+           __global__ void k(int* d) { if (threadIdx.x < 4) { helper(d); } }\n"
+        in
+        match Static.check_program (parse src) with
+        | [ d ] ->
+            Alcotest.(check string) "code" "E001" d.code;
+            Alcotest.(check bool) "names callee" true
+              (contains d.msg "helper")
+        | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+    check_codes "__syncwarp under thread-varying control flow is E002"
+      "__global__ void k(int* d) { if (threadIdx.x % 2 == 0) { __syncwarp(); \
+       } }"
+      [ "E002" ];
+    check_codes "warp collective under thread-varying control flow is E002"
+      "__global__ void k(int* d) { int s = 0; if (threadIdx.x < 1) { s = \
+       warp_sum(1); } d[0] = s; }"
+      [ "E002" ];
+    check_codes "warp collective at top level is clean"
+      "__global__ void k(int* d) { int s = warp_sum(threadIdx.x); \
+       d[threadIdx.x] = s; }"
+      [];
+    t "constant OOB on a sized shared array is E003" (fun () ->
+        let src =
+          "__global__ void k(int* d) {\n\
+          \  __shared__ int sh[4];\n\
+          \  sh[7] = 1;\n\
+          \  d[0] = sh[2];\n\
+           }\n"
+        in
+        match Static.check_program (parse src) with
+        | [ d ] ->
+            Alcotest.(check string) "code" "E003" d.code;
+            Alcotest.(check int) "line" 3 d.d_loc.line;
+            Alcotest.(check bool) "mentions index" true
+              (contains d.msg "7")
+        | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+    check_codes "in-bounds constant indexing is clean"
+      "__global__ void k(int* d) { __shared__ int sh[4]; sh[3] = 1; d[0] = \
+       sh[0]; }"
+      [];
+    t "launch in a loop is W101, a warning" (fun () ->
+        let src =
+          "__global__ void child(int* d) { d[0] = 1; }\n\
+           __global__ void k(int* d) {\n\
+          \  for (int i = 0; i < 4; i = i + 1) {\n\
+          \    child<<<1, 1>>>(d);\n\
+          \  }\n\
+           }\n"
+        in
+        let ds = Static.check_program (parse src) in
+        Alcotest.(check (list string)) "codes" [ "W101" ] (codes ds);
+        Alcotest.(check bool) "not an error" true (Static.errors ds = []));
+    check_codes "launch in a divergent branch (no loop) is clean"
+      "__global__ void child(int* d) { d[0] = 1; }\n\
+       __global__ void k(int* d) { if (threadIdx.x < 4) { child<<<1, \
+       1>>>(d); } }"
+      [];
+  ]
+
+(* ---- the dpcheck driver over pass combinations ---- *)
+
+let driver_tests =
+  [
+    t "divergent-barrier kernel: errors reported, combos skipped" (fun () ->
+        let r = Dpcheck.check (parse divergent_sync_src) in
+        Alcotest.(check bool) "not clean" false (Dpcheck.clean r);
+        Alcotest.(check int) "one error" 1 (Dpcheck.error_count r);
+        Alcotest.(check int) "no combos" 0 (List.length r.combos));
+    t "nested parent/child: clean under all 8 combos" (fun () ->
+        let r = Dpcheck.check (parse Test_helpers.nested_src) in
+        Alcotest.(check bool) "clean" true (Dpcheck.clean r);
+        Alcotest.(check int) "8 combos" 8 (List.length r.combos));
+    t "all 14 benchmarks clean under all 8 pass combinations" (fun () ->
+        List.iter
+          (fun (spec : Benchmarks.Bench_common.spec) ->
+            let prog =
+              Minicu.Parser.program ~file:(spec.name ^ ".minicu") spec.cdp_src
+            in
+            let r = Dpcheck.check prog in
+            Alcotest.(check int)
+              (spec.name ^ "/" ^ spec.dataset ^ " combos")
+              8 (List.length r.combos);
+            if not (Dpcheck.clean r) then
+              Alcotest.failf "%s/%s not clean:@.%a" spec.name spec.dataset
+                Dpcheck.pp r)
+          (Benchmarks.Registry.all ()));
+  ]
+
+(* ---- dynamic race detector ---- *)
+
+let racy_src =
+  "__global__ void k(int* d) {\n\
+  \  __shared__ int sh[1];\n\
+  \  sh[0] = threadIdx.x;\n\
+  \  d[threadIdx.x] = sh[0];\n\
+   }\n"
+
+let barrier_fixed_src =
+  "__global__ void k(int* d) {\n\
+  \  __shared__ int sh[1];\n\
+  \  if (threadIdx.x == 0) {\n\
+  \    sh[0] = 42;\n\
+  \  }\n\
+  \  __syncthreads();\n\
+  \  d[threadIdx.x] = sh[0];\n\
+   }\n"
+
+let run_checked ?(check = true) ?(block = (64, 1, 1)) ~kernel src =
+  let cfg = { Config.test_config with check } in
+  let dev = Device.create ~cfg () in
+  Device.load_program dev (parse src);
+  let out = Device.alloc_int_zeros dev 64 in
+  Device.launch dev ~kernel ~grid:(1, 1, 1) ~block ~args:[ Value.Ptr out ];
+  ignore (Device.sync dev);
+  Device.metrics dev
+
+let dynamic_tests =
+  [
+    t "write-write race on shared memory is detected with location" (fun () ->
+        let m = run_checked ~kernel:"k" racy_src in
+        Alcotest.(check bool) "races > 0" true (m.races_detected > 0);
+        match m.race_reports with
+        | r :: _ ->
+            Alcotest.(check bool) "mentions line 3" true
+              (contains r "test.minicu:3")
+        | [] -> Alcotest.fail "expected a race report");
+    t "barrier-separated accesses are race-free" (fun () ->
+        let m = run_checked ~kernel:"k" barrier_fixed_src in
+        Alcotest.(check int) "no races" 0 m.races_detected);
+    t "single-thread block never races" (fun () ->
+        let m = run_checked ~block:(1, 1, 1) ~kernel:"k" racy_src in
+        Alcotest.(check int) "no races" 0 m.races_detected);
+    t "detector is off by default" (fun () ->
+        let m = run_checked ~check:false ~kernel:"k" racy_src in
+        Alcotest.(check int) "no races recorded" 0 m.races_detected;
+        Alcotest.(check (list string)) "no reports" [] m.race_reports);
+    t "atomic updates to one cell do not race" (fun () ->
+        let m =
+          run_checked ~kernel:"k"
+            "__global__ void k(int* d) { atomicAdd(&d[0], 1); }\n"
+        in
+        Alcotest.(check int) "no races" 0 m.races_detected);
+    t "warp-scope exchange through __syncwarp is race-free" (fun () ->
+        let m =
+          run_checked ~block:(8, 1, 1) ~kernel:"k"
+            "__global__ void k(int* d) {\n\
+            \  d[threadIdx.x] = threadIdx.x;\n\
+            \  __syncwarp();\n\
+            \  d[0] = d[7 - threadIdx.x] + d[threadIdx.x];\n\
+             }\n"
+        in
+        ignore m.races_detected;
+        (* cross-warp-epoch read-after-write must not be reported; the
+           same-epoch write-write on d[0] must be *)
+        Alcotest.(check bool) "ww race on d[0] found" true
+          (m.races_detected > 0));
+    t "OOB access reports file:line and bumps the counter" (fun () ->
+        let cfg = { Config.test_config with check = true } in
+        let dev = Device.create ~cfg () in
+        Device.load_program dev
+          (parse "__global__ void k(int* d) { d[99] = 1; }\n");
+        let out = Device.alloc_int_zeros dev 8 in
+        Device.launch dev ~kernel:"k" ~grid:(1, 1, 1) ~block:(1, 1, 1)
+          ~args:[ Value.Ptr out ];
+        (match Device.sync dev with
+        | _ -> Alcotest.fail "expected an OOB error"
+        | exception Value.Runtime_error msg ->
+            Alcotest.(check bool) "has location" true
+              (contains msg "test.minicu:1"));
+        Alcotest.(check int) "oob counter" 1 (Device.metrics dev).oob_detected);
+  ]
+
+(* ---- CHECK-RUN directives ---- *)
+
+let directive_tests =
+  [
+    t "directives parse grids, blocks and args" (fun () ->
+        let src =
+          "// CHECK-RUN: k grid=2,2 block=32 args=ptr:64,int:8,float:1.5\n\
+           __global__ void k(int* d, int n, float x) { }\n"
+        in
+        match Dynamic.directives src with
+        | [ d ] ->
+            Alcotest.(check string) "kernel" "k" d.dr_kernel;
+            Alcotest.(check bool) "grid" true (d.dr_grid = (2, 2, 1));
+            Alcotest.(check bool) "block" true (d.dr_block = (32, 1, 1));
+            Alcotest.(check int) "args" 3 (List.length d.dr_args)
+        | ds -> Alcotest.failf "expected one directive, got %d" (List.length ds));
+    t "directive run flags the seeded racy kernel" (fun () ->
+        let src = "// CHECK-RUN: k grid=1 block=64 args=ptr:64\n" ^ racy_src in
+        let findings = Dynamic.run (parse src) (Dynamic.directives src) in
+        Alcotest.(check bool) "found" true (findings <> []));
+    t "directive run is clean on the fixed kernel" (fun () ->
+        let src =
+          "// CHECK-RUN: k grid=1 block=64 args=ptr:64\n" ^ barrier_fixed_src
+        in
+        let findings = Dynamic.run (parse src) (Dynamic.directives src) in
+        Alcotest.(check (list string)) "clean" [] findings);
+  ]
+
+let suite = static_tests @ driver_tests @ dynamic_tests @ directive_tests

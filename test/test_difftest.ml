@@ -77,6 +77,52 @@ let suite =
         if lines > 10 then
           Alcotest.failf "shrunk reproducer has %d non-empty lines:\n%s" lines
             (Gen.source small));
+    t "sanitize mode passes honest variants" (fun () ->
+        for seed = 0 to 9 do
+          match
+            Oracle.check ~sanitize:true ~configs:unit_config
+              (Gen.case_of_seed seed)
+          with
+          | Pass -> ()
+          | Fail f ->
+              Alcotest.failf "seed %d: sanitize false positive: %a" seed
+                Oracle.pp_failure f
+          | Invalid msg ->
+              Alcotest.failf "seed %d: generator produced an invalid case: %s"
+                seed msg
+        done);
+    t "an injected racy variant is caught by sanitize mode and shrunk"
+      (fun () ->
+        let variants = [ Oracle.racy_injection () ] in
+        (* Without sanitize mode the variant is memory-neutral: the plain
+           oracle must NOT flag it. *)
+        (match
+           Oracle.check ~variants ~configs:unit_config (Gen.case_of_seed 0)
+         with
+        | Pass | Invalid _ -> ()
+        | Fail f ->
+            Alcotest.failf
+              "racy variant failed the plain (non-sanitize) oracle: %a"
+              Oracle.pp_failure f);
+        let check = Oracle.check ~sanitize:true ~variants ~configs:unit_config in
+        let rec scan seed =
+          if seed > 100 then
+            Alcotest.fail "racy variant survived 100 sanitized cases undetected"
+          else
+            match check (Gen.case_of_seed seed) with
+            | Fail f -> (Gen.case_of_seed seed, f)
+            | Pass | Invalid _ -> scan (seed + 1)
+        in
+        let case, f = scan 0 in
+        Alcotest.(check bool) "race report in the failure reason" true
+          (has_prefix ~prefix:"race detected: " f.f_reason);
+        let still_fails c =
+          match check c with Fail _ -> true | Pass | Invalid _ -> false
+        in
+        let small = Shrink.minimize ~still_fails case in
+        Alcotest.(check bool) "shrunk case still fails" true (still_fails small);
+        Alcotest.(check bool) "shrinking made progress" true
+          (Shrink.case_size small < Shrink.case_size case));
     t "shrink candidates are strictly smaller" (fun () ->
         for seed = 0 to 9 do
           let case = Gen.case_of_seed seed in

@@ -28,6 +28,8 @@ let () =
       ("benchmarks", Test_benchmarks.suite);
       ("harness", Test_harness.suite);
       ("pool", Test_pool.suite);
+      ("analysis", Test_analysis.suite);
+      ("corpus", Test_corpus.suite);
       ("failures", Test_failures.suite);
       ("references", Test_references.suite);
       ("autotune+csv+ablation", Test_autotune.suite);

@@ -45,13 +45,21 @@ let gen_expr =
                 [
                   map2
                     (fun op (a, b) -> Binop (op, a, b))
+                    (* every constructor of {!Ast.binop}: the audit must
+                       cover each precedence tier, in particular the
+                       bitwise tiers and [Mod]/[Gt]/[Ge]/[Shr] that an
+                       earlier revision of this generator omitted *)
                     (oneofl
-                       [ Add; Sub; Mul; Div; Lt; Le; Eq; Ne; LAnd; LOr; Shl ])
+                       [
+                         Add; Sub; Mul; Div; Mod; Lt; Le; Gt; Ge; Eq; Ne;
+                         LAnd; LOr; BAnd; BOr; BXor; Shl; Shr;
+                       ])
                     (pair sub sub);
                   map (fun a -> Unop (Neg, a)) sub;
                   map (fun a -> Unop (Not, a)) sub;
                   map3 (fun c a b -> Ternary (c, a, b)) sub sub sub;
                   map2 (fun p i -> Index (Var p, i)) gen_ptr_name sub;
+                  map2 (fun p i -> Addr_of (Index (Var p, i))) gen_ptr_name sub;
                   map2 (fun a b -> Call ("min", [ a; b ])) sub sub;
                   map (fun a -> Cast (TInt, a)) sub;
                   map (fun a -> Cast (TFloat, a)) sub;
@@ -62,7 +70,7 @@ let gen_expr =
 let arbitrary_expr = QCheck.make ~print:Pretty.expr_to_string gen_expr
 
 let expr_roundtrip_prop =
-  QCheck.Test.make ~count:500 ~name:"pretty/parse round-trip on random exprs"
+  QCheck.Test.make ~count:1000 ~name:"pretty/parse round-trip on random exprs"
     arbitrary_expr (fun e ->
       let printed = Pretty.expr_to_string e in
       match Parser.expr_of_string printed with
