@@ -117,15 +117,110 @@ let check_only =
            combination's output, plus dynamic race/OOB detection for any \
            CHECK-RUN directives in the file. Exits non-zero on findings.")
 
+let predict =
+  Arg.(
+    value & flag
+    & info [ "predict" ]
+        ~doc:
+          "Instead of writing output, score all 8 pass combinations with \
+           the analytical cost model (lib/costmodel) against a synthetic \
+           workload profile ($(b,--items), $(b,--mean-size), $(b,--skew), \
+           $(b,--rounds), $(b,--parent-block)) and print the predicted \
+           ranking with per-term breakdowns. $(b,-T)/$(b,-C)/$(b,-A) set \
+           the knob values the combinations use.")
+
+let items =
+  Arg.(
+    value & opt int 1024
+    & info [ "items" ] ~docv:"N"
+        ~doc:"Parent work items of the synthetic profile ($(b,--predict)).")
+
+let mean_size =
+  Arg.(
+    value & opt int 64
+    & info [ "mean-size" ] ~docv:"N"
+        ~doc:"Mean child-grid size of the synthetic profile.")
+
+let skew =
+  Arg.(
+    value & opt float 0.5
+    & info [ "skew" ] ~docv:"S"
+        ~doc:"Size-distribution skew in [0, 1]: 0 uniform, 1 heavy-tailed.")
+
+let rounds =
+  Arg.(
+    value & opt int 1
+    & info [ "rounds" ] ~docv:"N"
+        ~doc:"Host launches of the parent kernel over the modelled run.")
+
+let parent_block =
+  Arg.(
+    value & opt int 128
+    & info [ "parent-block" ] ~docv:"N"
+        ~doc:"Threads per block of the parent launches.")
+
+(* Score all 8 pass combinations with the cost model against a synthetic
+   profile; the parent kernel is the first __global__ with a launch site. *)
+let run_predict ~input ~prog ~threshold ~cfactor ~granularity ~agg_threshold
+    ~items ~mean_size ~skew ~rounds ~parent_block =
+  match
+    List.find_opt
+      (fun (f : Minicu.Ast.func) ->
+        f.f_kind = Minicu.Ast.Global
+        && Minicu.Ast_util.launch_sites f.f_body <> [])
+      prog
+  with
+  | None ->
+      Fmt.epr "%s: no kernel with a device launch site; nothing to predict@."
+        input;
+      1
+  | Some parent ->
+      let profile =
+        Costmodel.Profile.synthetic ~rounds ~parent_block ~items:(max 1 items)
+          ~mean:(max 1 mean_size) ~skew ()
+      in
+      let coeffs = Costmodel.Table.current in
+      let scored =
+        List.map
+          (fun (label, opts) ->
+            let f =
+              Costmodel.Feature.extract ~prog ~parent_kernel:parent.f_name
+                ~profile ~opts ~label ()
+            in
+            (label, Costmodel.Model.predict coeffs f,
+             Costmodel.Model.breakdown coeffs f))
+          (Dpopt.Pipeline.enumerate ?threshold ?cfactor ?granularity
+             ?agg_threshold ())
+      in
+      let ranking =
+        List.stable_sort (fun (_, a, _) (_, b, _) -> Float.compare a b) scored
+      in
+      Fmt.pr
+        "=== predicted ranking: %s (parent %s; %d items, mean size %d, skew \
+         %.2f, %d round%s; model v%d) ===@."
+        input parent.f_name items mean_size skew rounds
+        (if rounds = 1 then "" else "s")
+        coeffs.Costmodel.Model.version;
+      List.iteri
+        (fun i (label, cycles, bd) ->
+          Fmt.pr "%2d. %-12s %12.0f cycles  [%a]@." (i + 1) label cycles
+            Costmodel.Model.pp_breakdown bd)
+        ranking;
+      0
+
 let run input output threshold cfactor granularity agg_threshold promote
-    report check_only =
+    report check_only predict items mean_size skew rounds parent_block =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
   let src = In_channel.with_open_text input In_channel.input_all in
   match
     let prog = Minicu.Parser.program ~file:input src in
     Minicu.Typecheck.check prog;
-    if check_only then begin
+    if predict then
+      `Code
+        (run_predict ~input ~prog ~threshold ~cfactor ~granularity
+           ~agg_threshold ~items ~mean_size ~skew ~rounds ~parent_block)
+    else if check_only then begin
       let rep =
         Analysis.Dpcheck.check ?threshold ?cfactor ?granularity ?agg_threshold
           prog
@@ -175,6 +270,7 @@ let run input output threshold cfactor granularity agg_threshold promote
       end
       else `Result r
   with
+  | `Code n -> n
   | `Checked (rep, dirs, dynamic) ->
       Analysis.Dpcheck.pp Fmt.stderr rep;
       List.iter (fun (label, f) -> Fmt.epr "[%s] %s@." label f) dynamic;
@@ -246,6 +342,7 @@ let cmd =
     (Cmd.info "dpoptc" ~version:"1.0.0" ~doc)
     Term.(
       const run $ input $ output $ threshold $ cfactor $ granularity
-      $ agg_threshold $ promote $ report $ check_only)
+      $ agg_threshold $ promote $ report $ check_only $ predict $ items
+      $ mean_size $ skew $ rounds $ parent_block)
 
 let () = exit (Cmd.eval' cmd)

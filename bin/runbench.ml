@@ -88,6 +88,37 @@ let csv_out =
     & info [ "csv" ] ~docv:"FILE"
         ~doc:"Also write the sweep as long-format CSV.")
 
+let costmodel_out =
+  Arg.(
+    value
+    & opt string "BENCH_costmodel.json"
+    & info [ "costmodel-out" ] ~docv:"FILE"
+        ~doc:
+          "Where $(b,--sweep) writes the cost-model artifact (rank \
+           correlation and surrogate-tuning runs saved per benchmark).")
+
+let calibrate =
+  Arg.(
+    value & flag
+    & info [ "calibrate" ]
+        ~doc:
+          "Fit the analytical cost model (lib/costmodel): run every \
+           registry benchmark under the standard calibration corpus (8 \
+           pass combinations x 2 knob sets), fit the coefficient table by \
+           weighted non-negative least squares, print it as OCaml source \
+           for lib/costmodel/table.ml, and report per-benchmark rank \
+           correlation of the fitted model over the default-knob combos.")
+
+let only =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "only" ] ~docv:"BENCH,..."
+        ~doc:
+          "With $(b,--calibrate): restrict to these benchmark names \
+           (comma-separated, e.g. $(b,BFS,BT)). The $(b,@model) alias uses \
+           this for its two-benchmark calibrate-and-validate smoke.")
+
 let no_cdp = Arg.(value & flag & info [ "no-cdp" ] ~doc:"Run the non-CDP version.")
 
 let threshold =
@@ -116,18 +147,23 @@ let trace =
           "Print a per-grid execution timeline (launch issue, queue wait, \
            execution span, blocks, SM footprint).")
 
-let run_sweep ~jobs ~size ~out ~csv_out =
+let run_sweep ~jobs ~size ~out ~csv_out ~costmodel_out =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Harness.Pool.default_jobs ()
   in
   Fmt.epr "sweep: %d worker domain%s@." jobs (if jobs = 1 then "" else "s");
-  let t =
+  let t, cm =
     Harness.Pool.with_pool ~jobs (fun pool ->
-        Harness.Sweep.run ~size ~pool ())
+        let t = Harness.Sweep.run ~size ~pool () in
+        let cm = Harness.Costreport.collect ~size ~pool () in
+        (t, cm))
   in
   Harness.Sweep.print_table t;
+  Harness.Costreport.print_table cm;
   Harness.Sweep.write_json out t;
   Fmt.epr "wrote %s@." out;
+  Harness.Costreport.write_json costmodel_out cm;
+  Fmt.epr "wrote %s@." costmodel_out;
   (match csv_out with
   | None -> ()
   | Some p ->
@@ -139,6 +175,59 @@ let run_sweep ~jobs ~size ~out ~csv_out =
            speedup %.2fx)@."
     t.sw_wall_parallel_s t.sw_jobs t.sw_wall_sequential_est_s
     (t.sw_wall_sequential_est_s /. t.sw_wall_parallel_s);
+  0
+
+let run_calibrate ~jobs ~size ~only =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Harness.Pool.default_jobs ()
+  in
+  let specs =
+    Benchmarks.Registry.all ~size () @ Benchmarks.Registry.road ~size ()
+  in
+  let specs =
+    match only with
+    | None -> specs
+    | Some names ->
+        let names = List.map String.uppercase_ascii names in
+        List.filter
+          (fun (s : Benchmarks.Bench_common.spec) ->
+            List.mem (String.uppercase_ascii s.name) names)
+          specs
+  in
+  Fmt.epr "calibrate: %d spec%s x 8 combos x 2 knob sets, %d worker domain%s@."
+    (List.length specs)
+    (if List.length specs = 1 then "" else "s")
+    jobs
+    (if jobs = 1 then "" else "s");
+  let per_spec =
+    Harness.Pool.with_pool ~jobs (fun pool ->
+        Harness.Pool.map_list pool Costmodel.Calibrate.collect_corpus specs)
+  in
+  let samples = List.concat per_spec in
+  let coeffs =
+    Costmodel.Calibrate.fit_coeffs
+      ~version:Costmodel.Table.current.Costmodel.Model.version samples
+  in
+  Fmt.pr "(* fitted on %d samples; paste into lib/costmodel/table.ml *)@."
+    (List.length samples);
+  Costmodel.Calibrate.print_table Fmt.stdout coeffs;
+  Fmt.pr "@.%-6s %-10s %9s %9s@." "bench" "dataset" "spearman" "kendall";
+  let rhos =
+    List.map2
+      (fun (spec : Benchmarks.Bench_common.spec) ss ->
+        (* validate on the default-knob half of the corpus: the 8 pass
+           combinations the acceptance metric is defined over *)
+        let ss = List.filteri (fun i _ -> i < 8) ss in
+        let meas = List.map (fun s -> s.Costmodel.Calibrate.s_measured) ss in
+        let pred = List.map (Costmodel.Calibrate.predict_sample coeffs) ss in
+        let rho = Harness.Stats.spearman pred meas in
+        Fmt.pr "%-6s %-10s %9.3f %9.3f@." spec.name spec.dataset rho
+          (Harness.Stats.kendall_tau pred meas);
+        rho)
+      specs per_spec
+  in
+  Fmt.pr "mean spearman over %d benchmark cells: %.3f@." (List.length rhos)
+    (Harness.Stats.mean rhos);
   0
 
 let run_one bench dataset no_cdp threshold cfactor granularity size trace =
@@ -186,9 +275,10 @@ let run_one bench dataset no_cdp threshold cfactor granularity size trace =
           Fmt.epr "VALIDATION FAILURE: %s@." msg;
           2)
 
-let run bench dataset sweep jobs out csv_out no_cdp threshold cfactor
-    granularity size trace =
-  if sweep then run_sweep ~jobs ~size ~out ~csv_out
+let run bench dataset sweep calibrate only jobs out csv_out costmodel_out
+    no_cdp threshold cfactor granularity size trace =
+  if calibrate then run_calibrate ~jobs ~size ~only
+  else if sweep then run_sweep ~jobs ~size ~out ~csv_out ~costmodel_out
   else
     match (bench, dataset) with
     | Some bench, Some dataset ->
@@ -202,7 +292,8 @@ let cmd =
     (Cmd.info "runbench" ~version:"1.0.0"
        ~doc:"run one paper benchmark in the GPU simulator")
     Term.(
-      const run $ bench $ dataset $ sweep $ jobs $ out $ csv_out $ no_cdp
-      $ threshold $ cfactor $ granularity $ size $ trace)
+      const run $ bench $ dataset $ sweep $ calibrate $ only $ jobs $ out
+      $ csv_out $ costmodel_out $ no_cdp $ threshold $ cfactor $ granularity
+      $ size $ trace)
 
 let () = exit (Cmd.eval' cmd)

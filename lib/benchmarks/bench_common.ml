@@ -6,6 +6,18 @@
     works against either, and a pure-OCaml reference implementation used by
     the test suite to validate every transformed variant's output. *)
 
+(* Nested-parallelism profile of a whole benchmark run, consumed by the
+   cost model (lib/costmodel). One array entry per parent work item in
+   processing order; computed from the dataset when the spec is built, so
+   it reflects the workload itself, never a simulation. Drivers whose item
+   stream is execution-order dependent (BFS/SSSP worklists) record the
+   closest statically-computable stand-in; see each benchmark. *)
+type workload = {
+  wl_child_sizes : int array;
+  wl_rounds : int;
+  wl_parent_block : int;
+}
+
 type spec = {
   name : string;  (** Benchmark name (paper Table I): BFS, BT, ... *)
   dataset : string;  (** Dataset name: KRON, CNR, T0032-C16, ... *)
@@ -15,6 +27,7 @@ type spec = {
   max_child_threads : int;
       (** Largest dynamic launch size in the CDP version; the threshold is
           not tuned beyond this (Section VII) except for Fig. 12. *)
+  workload : workload;
   run : Gpusim.Device.t -> int;
       (** Drive the loaded program to completion (all launches and syncs);
           returns the output fingerprint. *)

@@ -3,6 +3,22 @@
     works against either, and a pure-OCaml reference used to validate every
     transformed variant's output. *)
 
+(** The nested-parallelism shape of a benchmark run, as the cost model
+    ({e lib/costmodel}) consumes it: one entry per parent work item over the
+    whole application run, in processing order. [wl_child_sizes.(i)] is the
+    child-thread count item [i] wants (0 when the parent thread does no
+    nested work); [wl_rounds] is how many host-side parent-grid launches the
+    driver performs; [wl_parent_block] is the driver's parent block size.
+    Profiles are computed from the dataset at spec-construction time — they
+    describe the workload, not a simulation. Iterative drivers whose item
+    stream depends on execution order (BFS frontiers, SSSP worklists) use
+    the closest statically-computable stand-in, documented per benchmark. *)
+type workload = {
+  wl_child_sizes : int array;
+  wl_rounds : int;
+  wl_parent_block : int;
+}
+
 type spec = {
   name : string;  (** BFS, BT, MSTF, MSTV, SP, SSSP, TC. *)
   dataset : string;  (** KRON, CNR, ROAD, T0032-C16, ... *)
@@ -12,6 +28,7 @@ type spec = {
   max_child_threads : int;
       (** Largest dynamic launch size; bounds threshold tuning
           (Section VII). *)
+  workload : workload;  (** Nested-parallelism profile for the cost model. *)
   run : Gpusim.Device.t -> int;
       (** Drive the loaded program to completion; returns the output
           fingerprint. *)

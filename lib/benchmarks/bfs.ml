@@ -112,6 +112,37 @@ let run (g : Workloads.Csr.t) dev =
   done;
   Bench_common.array_hash (Device.read_ints dev d_labels g.n)
 
+(* Workload profile: replay the reference BFS level by level. Each level
+   is one host launch of [bfs_parent]; each frontier vertex is one parent
+   work item whose child size is its out-degree. *)
+let workload (g : Workloads.Csr.t) : Bench_common.workload =
+  let labels = Array.make g.n (-1) in
+  labels.(source_vertex) <- 0;
+  let sizes = ref [] in
+  let rounds = ref 0 in
+  let frontier = ref [ source_vertex ] in
+  while !frontier <> [] do
+    incr rounds;
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        sizes := (g.row.(v + 1) - g.row.(v)) :: !sizes;
+        for e = g.row.(v) to g.row.(v + 1) - 1 do
+          let u = g.col.(e) in
+          if labels.(u) = -1 then begin
+            labels.(u) <- labels.(v) + 1;
+            next := u :: !next
+          end
+        done)
+      !frontier;
+    frontier := List.rev !next
+  done;
+  {
+    wl_child_sizes = Array.of_list (List.rev !sizes);
+    wl_rounds = !rounds;
+    wl_parent_block = 128;
+  }
+
 let spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
   {
     name = "BFS";
@@ -120,6 +151,7 @@ let spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
     no_cdp_src;
     parent_kernel = "bfs_parent";
     max_child_threads = Workloads.Csr.max_degree dataset.graph;
+    workload = workload dataset.graph;
     run = run dataset.graph;
     reference = reference dataset.graph;
   }

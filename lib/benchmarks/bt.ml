@@ -141,6 +141,25 @@ let run (d : Workloads.Bezier.t) dev =
   let np = Device.read_ints dev d_np n_lines in
   cs + Bench_common.array_hash np
 
+(* Workload profile: one host launch; one parent item per line whose child
+   size is the tessellation point count from the curvature formula. *)
+let workload (d : Workloads.Bezier.t) : Bench_common.workload =
+  let sizes =
+    Array.map
+      (fun (l : Workloads.Bezier.line) ->
+        let x0, y0 = l.p0 and x1, y1 = l.p1 and x2, y2 = l.p2 in
+        let dx = x2 -. x0 and dy = y2 -. y0 in
+        let len = Float.sqrt ((dx *. dx) +. (dy *. dy)) in
+        let len = if len < 1e-9 then 1e-9 else len in
+        let curv =
+          Float.abs (((x1 -. x0) *. dy) -. ((y1 -. y0) *. dx)) /. len
+        in
+        max 2
+          (min d.max_tessellation (int_of_float (curv *. d.curvature_scale))))
+      d.lines
+  in
+  { wl_child_sizes = sizes; wl_rounds = 1; wl_parent_block = 128 }
+
 let spec ~(dataset : Workloads.Bezier.t) : Bench_common.spec =
   {
     name = "BT";
@@ -149,6 +168,7 @@ let spec ~(dataset : Workloads.Bezier.t) : Bench_common.spec =
     no_cdp_src;
     parent_kernel = "bt_parent";
     max_child_threads = dataset.max_tessellation;
+    workload = workload dataset;
     run = run dataset;
     reference = reference dataset;
   }

@@ -156,7 +156,7 @@ let merge_round (g : Workloads.Csr.t) comp best =
   !added, !merged
 
 (* Run Boruvka entirely on the host (the reference and the state generator
-   for MSTV). Returns (total weight, final component array). *)
+   for MSTV). Returns (total weight, final component array, rounds run). *)
 let host_boruvka ?(max_rounds = max_int) (g : Workloads.Csr.t) =
   let comp = Array.init g.n Fun.id in
   let total = ref 0 in
@@ -179,12 +179,12 @@ let host_boruvka ?(max_rounds = max_int) (g : Workloads.Csr.t) =
     continue_ := merged
   done;
   flatten comp;
-  (!total, comp)
+  (!total, comp, !rounds)
 
 (* ---------- MSTF ---------- *)
 
 let mstf_reference (g : Workloads.Csr.t) () =
-  let total, comp = host_boruvka g in
+  let total, comp, _ = host_boruvka g in
   total + Bench_common.array_hash comp
 
 let mstf_run (g : Workloads.Csr.t) dev =
@@ -219,7 +219,7 @@ let mstf_run (g : Workloads.Csr.t) dev =
 let mstv_rounds = 2
 
 let mstv_reference (g : Workloads.Csr.t) () =
-  let _, comp = host_boruvka ~max_rounds:mstv_rounds g in
+  let _, comp, _ = host_boruvka ~max_rounds:mstv_rounds g in
   let flags = Array.make (Workloads.Csr.m g) 0 in
   let cross = ref 0 in
   for v = 0 to g.n - 1 do
@@ -234,7 +234,7 @@ let mstv_reference (g : Workloads.Csr.t) () =
 
 let mstv_run (g : Workloads.Csr.t) dev =
   let open Gpusim in
-  let _, comp = host_boruvka ~max_rounds:mstv_rounds g in
+  let _, comp, _ = host_boruvka ~max_rounds:mstv_rounds g in
   let d_row, d_col, _ = Bench_common.upload_graph dev g in
   let d_comp = Device.alloc_ints dev comp in
   let d_flags = Device.alloc_int_zeros dev (Workloads.Csr.m g) in
@@ -247,6 +247,24 @@ let mstv_run (g : Workloads.Csr.t) dev =
   let cross = (Device.read_ints dev d_cross 1).(0) in
   cross + Bench_common.array_hash (Device.read_ints dev d_flags (Workloads.Csr.m g))
 
+let degrees (g : Workloads.Csr.t) =
+  Array.init g.n (fun v -> g.row.(v + 1) - g.row.(v))
+
+(* Workload profiles. Both find and verify launch over all n vertices with
+   child size = out-degree; MSTF repeats that once per Boruvka round, MSTV
+   runs the verify kernel once. *)
+let mstf_workload (g : Workloads.Csr.t) : Bench_common.workload =
+  let _, _, rounds = host_boruvka g in
+  let per_round = degrees g in
+  {
+    wl_child_sizes = Array.concat (List.init rounds (fun _ -> per_round));
+    wl_rounds = rounds;
+    wl_parent_block = 128;
+  }
+
+let mstv_workload (g : Workloads.Csr.t) : Bench_common.workload =
+  { wl_child_sizes = degrees g; wl_rounds = 1; wl_parent_block = 128 }
+
 let mstf_spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
   {
     name = "MSTF";
@@ -255,6 +273,7 @@ let mstf_spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
     no_cdp_src = find_no_cdp_src;
     parent_kernel = "mst_find_parent";
     max_child_threads = Workloads.Csr.max_degree dataset.graph;
+    workload = mstf_workload dataset.graph;
     run = mstf_run dataset.graph;
     reference = mstf_reference dataset.graph;
   }
@@ -267,6 +286,7 @@ let mstv_spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
     no_cdp_src = verify_no_cdp_src;
     parent_kernel = "mst_verify_parent";
     max_child_threads = Workloads.Csr.max_degree dataset.graph;
+    workload = mstv_workload dataset.graph;
     run = mstv_run dataset.graph;
     reference = mstv_reference dataset.graph;
   }

@@ -12,8 +12,8 @@ val verify_cdp_src : string
 val verify_no_cdp_src : string
 
 (** Host-side Boruvka (reference and MSTV state generator):
-    (total MST weight, final component array). *)
-val host_boruvka : ?max_rounds:int -> Workloads.Csr.t -> int * int array
+    (total MST weight, final component array, rounds run). *)
+val host_boruvka : ?max_rounds:int -> Workloads.Csr.t -> int * int array * int
 
 val mstf_reference : Workloads.Csr.t -> unit -> int
 val mstf_run : Workloads.Csr.t -> Gpusim.Device.t -> int

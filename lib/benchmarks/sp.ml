@@ -174,6 +174,12 @@ let spec ~(formula : Workloads.Sat.t) : Bench_common.spec =
     done;
     !m
   in
+  (* Workload profile: [rounds] host launches, each visiting every variable
+     with child size = its clause-occurrence count. *)
+  let per_round =
+    Array.init formula.n_vars (fun v -> a.o_row.(v + 1) - a.o_row.(v))
+  in
+  let sizes = Array.concat (List.init rounds (fun _ -> per_round)) in
   {
     name = "SP";
     dataset = formula.name;
@@ -181,6 +187,8 @@ let spec ~(formula : Workloads.Sat.t) : Bench_common.spec =
     no_cdp_src;
     parent_kernel = "sp_parent";
     max_child_threads = max_occ;
+    workload =
+      { wl_child_sizes = sizes; wl_rounds = rounds; wl_parent_block = 128 };
     run = run formula;
     reference = reference formula;
   }

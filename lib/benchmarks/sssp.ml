@@ -135,6 +135,46 @@ let run (g : Workloads.Csr.t) dev =
   done;
   Bench_common.array_hash (Device.read_ints dev d_dist g.n)
 
+(* Workload profile: the exact worklist contents depend on how atomics
+   interleave, so use the closest statically-computable stand-in — a
+   sequential replay of the same worklist relaxation (dist + in-queue
+   dedup, one fixed interleaving). Unlike a plain BFS replay it counts
+   re-relaxations, which dominate the item count on skewed graphs. *)
+let workload (g : Workloads.Csr.t) : Bench_common.workload =
+  let dist = Array.make g.n inf in
+  dist.(source_vertex) <- 0;
+  let inq = Array.make g.n false in
+  let sizes = ref [] in
+  let rounds = ref 0 in
+  let frontier = ref [ source_vertex ] in
+  while !frontier <> [] && !rounds < 4 * g.n do
+    incr rounds;
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        inq.(v) <- false;
+        sizes := (g.row.(v + 1) - g.row.(v)) :: !sizes;
+        let dv = dist.(v) in
+        for e = g.row.(v) to g.row.(v + 1) - 1 do
+          let u = g.col.(e) in
+          let alt = dv + g.weight.(e) in
+          if alt < dist.(u) then begin
+            dist.(u) <- alt;
+            if not inq.(u) then begin
+              inq.(u) <- true;
+              next := u :: !next
+            end
+          end
+        done)
+      !frontier;
+    frontier := List.rev !next
+  done;
+  {
+    wl_child_sizes = Array.of_list (List.rev !sizes);
+    wl_rounds = !rounds;
+    wl_parent_block = 128;
+  }
+
 let spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
   {
     name = "SSSP";
@@ -143,6 +183,7 @@ let spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
     no_cdp_src;
     parent_kernel = "sssp_parent";
     max_child_threads = Workloads.Csr.max_degree dataset.graph;
+    workload = workload dataset.graph;
     run = run dataset.graph;
     reference = reference dataset.graph;
   }

@@ -145,6 +145,10 @@ let run (g : Workloads.Csr.t) ~cap dev =
 let spec ?(cap = 6000) ~(dataset : Workloads.Graph_gen.named) () :
     Bench_common.spec =
   let g = Workloads.Csr.sort_neighbors dataset.graph in
+  (* Workload profile: one launch; one parent item per capped edge (u, v)
+     with child size = deg(u). *)
+  let e_src, _ = edge_list ~cap g in
+  let sizes = Array.map (fun u -> g.row.(u + 1) - g.row.(u)) e_src in
   {
     name = "TC";
     dataset = dataset.name;
@@ -152,6 +156,7 @@ let spec ?(cap = 6000) ~(dataset : Workloads.Graph_gen.named) () :
     no_cdp_src;
     parent_kernel = "tc_parent";
     max_child_threads = Workloads.Csr.max_degree g;
+    workload = { wl_child_sizes = sizes; wl_rounds = 1; wl_parent_block = 128 };
     run = run g ~cap;
     reference = reference g ~cap;
   }

@@ -1,0 +1,71 @@
+(** The analytical model: predicted cycles = Σ βᵢ · termᵢ over the
+    extracted features, with β the calibrated coefficient vector. Terms
+    mirror machine mechanisms exactly where the simulator's law is known
+    (entry cost, queue service), so a well-calibrated β stays near 1
+    there; β absorbs the approximation error of the compute terms
+    (lockstep max, assumed trip counts, round averaging). *)
+
+let term_names =
+  [|
+    "parent";
+    "serial";
+    "child";
+    "entry";
+    "issue";
+    "service";
+    "latency";
+    "host";
+    "sched";
+    "capture";
+    "disagg";
+    "div";
+  |]
+
+let n_terms = Array.length term_names
+
+let terms (f : Feature.t) : float array =
+  [|
+    f.t_parent;
+    f.t_serial;
+    f.t_child;
+    f.t_entry;
+    f.t_issue;
+    f.t_service;
+    f.t_latency;
+    f.t_host;
+    f.t_sched;
+    f.t_capture;
+    f.t_disagg;
+    f.t_div;
+  |]
+
+type coeffs = {
+  version : int;  (** Bumped whenever term semantics or the fit change. *)
+  beta : float array;  (** Length {!n_terms}, non-negative. *)
+}
+
+let check_coeffs c =
+  if Array.length c.beta <> n_terms then
+    invalid_arg
+      (Printf.sprintf "Model: coefficient table has %d terms, expected %d"
+         (Array.length c.beta) n_terms)
+
+let predict (c : coeffs) (f : Feature.t) : float =
+  check_coeffs c;
+  let x = terms f in
+  let acc = ref 0.0 in
+  for i = 0 to n_terms - 1 do
+    acc := !acc +. (c.beta.(i) *. x.(i))
+  done;
+  !acc
+
+let breakdown (c : coeffs) (f : Feature.t) : (string * float) list =
+  check_coeffs c;
+  let x = terms f in
+  List.init n_terms (fun i -> (term_names.(i), c.beta.(i) *. x.(i)))
+
+let pp_breakdown ppf (b : (string * float) list) =
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:(Fmt.any " ")
+       (fun ppf (name, v) -> Fmt.pf ppf "%s=%.0f" name v))
+    (List.filter (fun (_, v) -> v > 0.5) b)

@@ -1,0 +1,26 @@
+(** The analytical model: predicted cycles = Σ βᵢ · termᵢ over extracted
+    features, β calibrated against simulator runs ({!Calibrate}, checked
+    in as {!Table.current}). *)
+
+(** Names of the model terms, in the order {!terms} emits them. *)
+val term_names : string array
+
+val n_terms : int
+
+(** The raw term vector of a feature record (length {!n_terms}). *)
+val terms : Feature.t -> float array
+
+type coeffs = {
+  version : int;  (** Bumped whenever term semantics or the fit change. *)
+  beta : float array;  (** Length {!n_terms}, non-negative. *)
+}
+
+(** Predicted simulated cycles.
+    @raise Invalid_argument on a wrong-length coefficient vector. *)
+val predict : coeffs -> Feature.t -> float
+
+(** Per-term contribution (βᵢ · termᵢ), in {!term_names} order. *)
+val breakdown : coeffs -> Feature.t -> (string * float) list
+
+(** One-line rendering of a breakdown (sub-cycle terms omitted). *)
+val pp_breakdown : Format.formatter -> (string * float) list -> unit

@@ -1,0 +1,41 @@
+(** The checked-in calibrated coefficient table.
+
+    Produced by [runbench --calibrate] (weighted non-negative least
+    squares over {!Calibrate.collect_corpus} — all registry benchmarks ×
+    the 8 pass combinations × the two standard knob sets on [small]
+    datasets, under {!Gpusim.Config.default}) and pasted here via
+    {!Calibrate.print_table}. Bump [version] whenever the term semantics
+    in {!Feature}/{!Model} change, and refit. *)
+
+(* Fitted on 288 samples: 18 registry benchmark cells (small datasets,
+   including the road graphs) x 8 pass combinations x 2 knob sets
+   (threshold 64 / cfactor 8 / block granularity, and cfactor 1 / grid
+   granularity), under Gpusim.Config.default. Within-benchmark Spearman
+   over the default-knob combos at fit time: mean 0.90 (min 0.74 —
+   DESIGN.md section 8 lists the known inversions).
+
+   Reading the fit: service sits at ~1 because the queue term mirrors
+   the grid-management unit's law exactly; entry/parent are large
+   because the static walker undercounts padded warps and guard costs;
+   child/capture collapse to 0 because they are collinear with
+   disagg/service on this corpus (the fit keeps the per-child-warp
+   disagg term instead). *)
+let current : Model.coeffs =
+  {
+    Model.version = 2;
+    beta =
+      [|
+        6.53818 (* parent *);
+        0.429144 (* serial *);
+        0. (* child *);
+        36.457 (* entry *);
+        0.0339684 (* issue *);
+        1.01786 (* service *);
+        0.449085 (* latency *);
+        1.66899 (* host *);
+        0.659558 (* sched *);
+        0. (* capture *);
+        5.84876 (* disagg *);
+        6.68455 (* div *);
+      |];
+  }

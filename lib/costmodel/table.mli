@@ -1,0 +1,5 @@
+(** The checked-in calibrated coefficient table: fitted by
+    [runbench --calibrate] over the registry's [small] datasets and pasted
+    here via {!Calibrate.print_table}. *)
+
+val current : Model.coeffs

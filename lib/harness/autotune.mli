@@ -2,7 +2,12 @@
     (the paper cites OpenTuner in Section VIII-C; this is a self-contained
     stand-in): random sampling, then greedy neighborhood descent, under a
     simulator-run budget. Deterministic given [seed]; every evaluation
-    validates the benchmark output. *)
+    validates the benchmark output.
+
+    With [~surrogate] the search scores the whole parameter grid with the
+    analytical cost model — no simulator runs — then spends at most half
+    the budget on the simulator: a frontier of best-predicted points with
+    distinct thresholds plus greedy descent from the frontier's winner. *)
 
 type space = {
   thresholds : int list;
@@ -12,17 +17,50 @@ type space = {
 
 val default_space : Benchmarks.Bench_common.spec -> space
 
+type surrogate_report = {
+  sr_grid : int;  (** Parameter points scored by the model. *)
+  sr_simulated : int;  (** Simulator runs spent (frontier + descent). *)
+  sr_saved_vs_budget : int;  (** [budget - sr_simulated], floored at 0. *)
+  sr_best_rank : int;
+      (** Predicted rank of the simulated winner (0 = the model's own top
+          choice). *)
+  sr_predicted : (Variant.params * float) list;
+      (** Full predicted ranking, ascending by predicted cycles. *)
+}
+
 type outcome = {
   best_params : Variant.params;
   best_time : float;
-  runs_used : int;
-  trace : (Variant.params * float) list;  (** Evaluation order. *)
+  runs_used : int;  (** Simulator runs actually performed. *)
+  cache_hits : int;
+      (** Evaluations answered from the params-keyed memo instead of the
+          simulator. *)
+  trace : (Variant.params * float) list;  (** Simulator evaluation order. *)
+  surrogate : surrogate_report option;  (** Present iff [~surrogate]. *)
 }
 
+(** Knobs of passes the combo disables are pinned to
+    {!Variant.default_params} — such points denote the same experiment and
+    share one memo entry. *)
+val normalize : Variant.combo -> Variant.params -> Variant.params
+
+(** Every distinct experiment of the space for this combo (disabled knobs
+    pinned to defaults), in deterministic grid order. *)
+val enumerate_params : Variant.combo -> space -> Variant.params list
+
+(** [search ?budget ?seed ?space ?surrogate ?topk spec combo] — at most
+    [budget] simulator runs (default 12). With [~surrogate], scores the
+    whole grid with the model, then spends at most [budget / 2] simulator
+    runs — a frontier of the [topk] (default [max 1 (budget / 3)])
+    best-predicted points with distinct thresholds, plus greedy descent
+    from the frontier's winner; the outcome then carries a
+    {!surrogate_report}. *)
 val search :
   ?budget:int ->
   ?seed:int ->
   ?space:space ->
+  ?surrogate:Costmodel.Model.coeffs ->
+  ?topk:int ->
   Benchmarks.Bench_common.spec ->
   Variant.combo ->
   outcome

@@ -34,6 +34,78 @@ let maximum = function
   | [] -> nan
   | xs -> List.fold_left Float.max neg_infinity xs
 
+(* Average ranks (1-based; ties get the mean of their rank range), so tied
+   samples don't bias the rank correlations. *)
+let ranks (xs : float array) : float array =
+  let n = Array.length xs in
+  let idx = Array.init n Fun.id in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    (* positions !i..!j hold equal values: average their 1-based ranks *)
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Stats.spearman: length mismatch";
+  match xs with
+  | [] -> nan
+  | [ _ ] -> nan
+  | _ ->
+      let rx = ranks (Array.of_list xs) and ry = ranks (Array.of_list ys) in
+      let n = Array.length rx in
+      let fn = float_of_int n in
+      let mean = (fn +. 1.0) /. 2.0 in
+      let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+      for i = 0 to n - 1 do
+        let dx = rx.(i) -. mean and dy = ry.(i) -. mean in
+        sxy := !sxy +. (dx *. dy);
+        sxx := !sxx +. (dx *. dx);
+        syy := !syy +. (dy *. dy)
+      done;
+      (* all-tied input has zero rank variance: correlation is undefined *)
+      if !sxx = 0.0 || !syy = 0.0 then nan
+      else !sxy /. sqrt (!sxx *. !syy)
+
+let kendall_tau xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Stats.kendall_tau: length mismatch";
+  match xs with
+  | [] | [ _ ] -> nan
+  | _ ->
+      let x = Array.of_list xs and y = Array.of_list ys in
+      let n = Array.length x in
+      let concordant = ref 0 and discordant = ref 0 in
+      let tx = ref 0 and ty = ref 0 in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          let dx = compare x.(i) x.(j) and dy = compare y.(i) y.(j) in
+          if dx = 0 && dy = 0 then ()
+          else if dx = 0 then incr tx
+          else if dy = 0 then incr ty
+          else if dx * dy > 0 then incr concordant
+          else incr discordant
+        done
+      done;
+      (* tau-b: tie-corrected denominator *)
+      let c = float_of_int !concordant and d = float_of_int !discordant in
+      let denom =
+        sqrt
+          ((c +. d +. float_of_int !tx) *. (c +. d +. float_of_int !ty))
+      in
+      if denom = 0.0 then nan else (c -. d) /. denom
+
 (** Render a speedup: "43.0x", or "0.08x" for slowdowns. *)
 let speedup_to_string s =
   if Float.is_nan s then "-"

@@ -18,5 +18,16 @@ val minimum : float list -> float
 (** Largest sample; [nan] on the empty list. *)
 val maximum : float list -> float
 
+(** Spearman rank correlation between two paired samples, tie-corrected
+    (average ranks). [nan] on fewer than two pairs or when either side is
+    all-tied (zero rank variance).
+    @raise Invalid_argument on a length mismatch. *)
+val spearman : float list -> float list -> float
+
+(** Kendall's τ-b rank correlation (tie-corrected). [nan] on fewer than
+    two pairs or an all-tied side.
+    @raise Invalid_argument on a length mismatch. *)
+val kendall_tau : float list -> float list -> float
+
 (** Render a speedup: ["43.0x"], ["120x"], ["0.08x"]; [nan] is ["-"]. *)
 val speedup_to_string : float -> string

@@ -7,10 +7,15 @@ type cell = {
   sw_dataset : string;
   sw_variant : string;
   sw_time : float;
+  sw_predicted : float;
   sw_fingerprint : int;
   sw_speedup_vs_cdp : float;
   sw_wall_s : float;
 }
+
+(* JSON/CSV artifact schema version; see README. v2 added the "kind"
+   discriminator, the schema column in the CSV, and predicted_cycles. *)
+let schema_version = 2
 
 type t = {
   sw_size : Benchmarks.Registry.size;
@@ -26,6 +31,13 @@ let variants () : (string * Variant.t) list =
 let size_label = function
   | Benchmarks.Registry.Small -> "small"
   | Benchmarks.Registry.Medium -> "medium"
+
+(* Static model score for a cell; the model only covers CDP variants. *)
+let predict spec = function
+  | Variant.No_cdp -> nan
+  | Variant.Cdp opts ->
+      Costmodel.Model.predict Costmodel.Table.current
+        (Costmodel.Feature.of_spec spec ~opts ())
 
 let run ?(size = Benchmarks.Registry.Small) ?pool () : t =
   let specs = Benchmarks.Registry.all ~size () @ Benchmarks.Registry.road ~size () in
@@ -48,7 +60,7 @@ let run ?(size = Benchmarks.Registry.Small) ?pool () : t =
   in
   let sw_cells =
     List.concat_map
-      (fun (_, group) ->
+      (fun (spec, group) ->
         let cdp_time =
           match
             List.find_opt
@@ -59,12 +71,13 @@ let run ?(size = Benchmarks.Registry.Small) ?pool () : t =
           | None -> nan
         in
         List.map2
-          (fun (label, _) ((m : Experiment.measurement), wall) ->
+          (fun (label, v) ((m : Experiment.measurement), wall) ->
             {
               sw_bench = m.bench;
               sw_dataset = m.dataset;
               sw_variant = label;
               sw_time = m.time;
+              sw_predicted = predict spec v;
               sw_fingerprint = m.fingerprint;
               sw_speedup_vs_cdp = cdp_time /. m.time;
               sw_wall_s = wall;
@@ -113,6 +126,7 @@ let print_table t =
     (List.length t.sw_cells) (size_label t.sw_size);
   pf "%-6s %-10s" "Bench" "Dataset";
   List.iter (fun l -> pf " %9s" l) labels;
+  pf " %7s" "rho";
   pf "@.";
   let rs = rows t in
   List.iter
@@ -121,6 +135,14 @@ let print_table t =
       List.iter
         (fun c -> pf " %9s" (Stats.speedup_to_string c.sw_speedup_vs_cdp))
         cs;
+      (* predicted-vs-measured rank agreement over the CDP variants *)
+      let preds = List.filter (fun c -> not (Float.is_nan c.sw_predicted)) cs in
+      let rho =
+        Stats.spearman
+          (List.map (fun c -> c.sw_predicted) preds)
+          (List.map (fun c -> c.sw_time) preds)
+      in
+      pf " %7.2f" rho;
       pf "@.")
     rs;
   pf "%-6s %-10s" "geo" "mean";
@@ -153,19 +175,23 @@ let write_json path t =
   Out_channel.with_open_text path (fun oc ->
       let p fmt = Printf.fprintf oc fmt in
       p "{\n";
-      p "  \"schema\": \"dpopt.sweep/1\",\n";
+      p "  \"schema\": %d,\n" schema_version;
+      p "  \"kind\": \"dpopt.sweep\",\n";
       p "  \"size\": %s,\n" (json_string (size_label t.sw_size));
       p "  \"cells\": [\n";
       List.iteri
         (fun i c ->
           p
             "    {\"bench\": %s, \"dataset\": %s, \"variant\": %s, \
-             \"time_cycles\": %.0f, \"fingerprint\": %d, \
-             \"speedup_vs_cdp\": %.4f}%s\n"
+             \"time_cycles\": %.0f, \"predicted_cycles\": %s, \
+             \"fingerprint\": %d, \"speedup_vs_cdp\": %.4f}%s\n"
             (json_string c.sw_bench)
             (json_string c.sw_dataset)
             (json_string c.sw_variant)
-            c.sw_time c.sw_fingerprint c.sw_speedup_vs_cdp
+            c.sw_time
+            (if Float.is_nan c.sw_predicted then "null"
+             else Printf.sprintf "%.0f" c.sw_predicted)
+            c.sw_fingerprint c.sw_speedup_vs_cdp
             (if i = List.length t.sw_cells - 1 then "" else ","))
         t.sw_cells;
       p "  ],\n";
@@ -186,13 +212,16 @@ let write_json path t =
 let write_csv path t =
   Csv.write_rows path
     ~header:
-      [ "bench"; "dataset"; "variant"; "time_cycles"; "fingerprint";
-        "speedup_vs_cdp" ]
+      [ "schema"; "bench"; "dataset"; "variant"; "time_cycles";
+        "predicted_cycles"; "fingerprint"; "speedup_vs_cdp" ]
     (List.map
        (fun c ->
          [
+           string_of_int schema_version;
            c.sw_bench; c.sw_dataset; c.sw_variant;
            Printf.sprintf "%.0f" c.sw_time;
+           (if Float.is_nan c.sw_predicted then ""
+            else Printf.sprintf "%.0f" c.sw_predicted);
            string_of_int c.sw_fingerprint;
            Printf.sprintf "%.4f" c.sw_speedup_vs_cdp;
          ])

@@ -15,10 +15,17 @@ type cell = {
   sw_dataset : string;
   sw_variant : string;  (** "No CDP", "CDP", "CDP+T", ..., "CDP+T+C+A". *)
   sw_time : float;  (** Simulated cycles (deterministic). *)
+  sw_predicted : float;
+      (** Cost-model prediction ({!Costmodel.Table.current}); [nan] for
+          "No CDP", which the model does not cover. *)
   sw_fingerprint : int;  (** Validated output fingerprint. *)
   sw_speedup_vs_cdp : float;  (** Plain-CDP time over this cell's time. *)
   sw_wall_s : float;  (** Host wall-clock seconds (non-deterministic). *)
 }
+
+(** Version stamped into the JSON ["schema"] field and the CSV [schema]
+    column (currently 2). *)
+val schema_version : int
 
 type t = {
   sw_size : Benchmarks.Registry.size;
@@ -38,13 +45,15 @@ val variants : unit -> (string * Variant.t) list
 val run : ?size:Benchmarks.Registry.size -> ?pool:Pool.t -> unit -> t
 
 (** Deterministic speedup table (one row per benchmark/dataset, one column
-    per variant, geomean footer) on stdout. *)
+    per variant, a predicted-vs-measured Spearman column, geomean footer)
+    on stdout. *)
 val print_table : t -> unit
 
 (** The [BENCH_sweep.json] artifact; schema documented in README §"The
     parallel sweep". *)
 val write_json : string -> t -> unit
 
-(** Deterministic long-format CSV: bench, dataset, variant, time_cycles,
-    fingerprint, speedup_vs_cdp. *)
+(** Deterministic long-format CSV: schema, bench, dataset, variant,
+    time_cycles, predicted_cycles (empty for "No CDP"), fingerprint,
+    speedup_vs_cdp. *)
 val write_csv : string -> t -> unit

@@ -155,6 +155,41 @@ let launches_of ss =
        (fun acc s -> match s.sdesc with Launch l -> l :: acc | _ -> acc)
        [] ss)
 
+(** [launch_sites ss] — every launch paired with its loop-nesting depth
+    (0 = not inside any loop), in program order. The depth feeds the cost
+    model's launch-intensity features: a launch at depth [d] can fire many
+    times per parent thread. *)
+let launch_sites ss =
+  let rec go_stmts depth acc ss = List.fold_left (go_stmt depth) acc ss
+  and go_stmt depth acc s =
+    match s.sdesc with
+    | Launch l -> (l, depth) :: acc
+    | If (_, a, b) -> go_stmts depth (go_stmts depth acc a) b
+    | For (init, _, step, body) ->
+        let acc =
+          match init with Some s -> go_stmt depth acc s | None -> acc
+        in
+        let acc =
+          match step with Some s -> go_stmt depth acc s | None -> acc
+        in
+        go_stmts (depth + 1) acc body
+    | While (_, body) -> go_stmts (depth + 1) acc body
+    | _ -> acc
+  in
+  List.rev (go_stmts 0 [] ss)
+
+(** [max_loop_depth ss] — deepest loop nesting in [ss] (0 = loop-free). *)
+let max_loop_depth ss =
+  let rec go_stmts depth ss =
+    List.fold_left (fun m s -> max m (go_stmt depth s)) depth ss
+  and go_stmt depth s =
+    match s.sdesc with
+    | If (_, a, b) -> max (go_stmts depth a) (go_stmts depth b)
+    | For (_, _, _, body) | While (_, body) -> go_stmts (depth + 1) body
+    | _ -> depth
+  in
+  go_stmts 0 ss
+
 (** [declared_names ss] — every name bound by a declaration in [ss]. *)
 let declared_names ss =
   List.rev

@@ -44,6 +44,14 @@ val contains_shared : Ast.stmt list -> bool
 (** Every launch, in program order. *)
 val launches_of : Ast.stmt list -> Ast.launch list
 
+(** Every launch paired with its loop-nesting depth (0 = not inside any
+    loop), in program order. Feeds the cost model's launch-intensity
+    features. *)
+val launch_sites : Ast.stmt list -> (Ast.launch * int) list
+
+(** Deepest loop nesting (0 = loop-free). *)
+val max_loop_depth : Ast.stmt list -> int
+
 (** Every declared name, in program order. *)
 val declared_names : Ast.stmt list -> string list
 

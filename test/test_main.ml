@@ -33,4 +33,5 @@ let () =
       ("failures", Test_failures.suite);
       ("references", Test_references.suite);
       ("autotune+csv+ablation", Test_autotune.suite);
+      ("costmodel", Test_costmodel.suite);
     ]

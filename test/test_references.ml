@@ -63,7 +63,7 @@ let suite =
            (* tie-break weights so the MST weight is determined: Boruvka
               packs edge ids; Kruskal ignores them — totals agree even with
               ties because all MSTs share the same total weight *)
-           let boruvka_total, _ = Benchmarks.Mst.host_boruvka g in
+           let boruvka_total, _, _ = Benchmarks.Mst.host_boruvka g in
            boruvka_total = kruskal g));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~count:25
