@@ -17,6 +17,9 @@
                                             # variant must be caught
     dpfuzz --iters 200 --check              # also run the dpcheck
                                             # sanitizer on every variant
+    dpfuzz --iters 200 --engine both        # cross-engine differential:
+                                            # every variant under both the
+                                            # closure and bytecode engines
     v}
 
     With [-j N] the seed range is evaluated on a {!Harness.Pool}; the
@@ -66,6 +69,17 @@ let configs =
     & opt (list string) (List.map fst Difftest.Oracle.sim_configs)
     & info [ "configs" ] ~docv:"C"
         ~doc:"Simulator configurations to replay under (unit, volta, one-sm).")
+
+let engine =
+  Arg.(
+    value & opt string "closure"
+    & info [ "engine" ] ~docv:"E"
+        ~doc:
+          "Execution engine(s) to replay under: $(b,closure), $(b,bytecode), \
+           or $(b,both). With $(b,both) the oracle runs every variant under \
+           both engines against the closure-engine baseline — a \
+           cross-engine differential fuzz that catches bytecode-engine \
+           miscompiles even when they are transformation-independent.")
 
 let inject_bug =
   Arg.(
@@ -138,13 +152,19 @@ let report_failure ~shrunk_from (case : Difftest.Gen.case)
     Fmt.pr "(structurally shrunk: no longer seed-derivable; original seed \
             printed above)@."
 
-let run iters seed passes threshold cfactor config_names inject_bug sanitize
-    progress_every jobs =
-  match parse_passes passes with
-  | Error msg ->
+let parse_engines = function
+  | "closure" -> Ok [ Difftest.Oracle.closure_engine ]
+  | "bytecode" -> Ok [ Difftest.Oracle.bytecode_engine ]
+  | "both" -> Ok Difftest.Oracle.all_engines
+  | s -> Error (Fmt.str "unknown engine %S (expected closure|bytecode|both)" s)
+
+let run iters seed passes threshold cfactor config_names engine_name inject_bug
+    sanitize progress_every jobs =
+  match (parse_passes passes, parse_engines engine_name) with
+  | Error msg, _ | _, Error msg ->
       Fmt.epr "dpfuzz: %s@." msg;
       2
-  | Ok (with_thresholding, with_coarsening, with_aggregation) -> (
+  | Ok (with_thresholding, with_coarsening, with_aggregation), Ok engines -> (
       let configs =
         List.filter
           (fun (name, _) -> List.mem name config_names)
@@ -184,7 +204,9 @@ let run iters seed passes threshold cfactor config_names inject_bug sanitize
             if i > Atomic.get first_fail then None
             else
               let case = Difftest.Gen.case_of_seed (seed + i) in
-              let outcome = Difftest.Oracle.check ~sanitize ~variants ~configs case in
+              let outcome =
+                Difftest.Oracle.check ~sanitize ~engines ~variants ~configs case
+              in
               (match outcome with
               | Fail _ ->
                   let rec lower () =
@@ -234,8 +256,10 @@ let run iters seed passes threshold cfactor config_names inject_bug sanitize
           (match fail with
           | None ->
               Fmt.pr
-                "dpfuzz: %d cases x %d variants x %d configs: all equivalent%s@."
+                "dpfuzz: %d cases x %d variants x %d configs x %d engines: \
+                 all equivalent%s@."
                 iters (List.length variants) (List.length configs)
+                (List.length engines)
                 (if !invalid > 0 then
                    Fmt.str " (%d invalid cases skipped)" !invalid
                  else "");
@@ -250,10 +274,20 @@ let run iters seed passes threshold cfactor config_names inject_bug sanitize
               let failing_config =
                 List.filter (fun (n, _) -> n = f.f_config) configs
               in
+              (* Shrink under the failing engine only — but keep the
+                 baseline engine in front so cross-engine comparisons
+                 still compare against the same baseline. *)
+              let failing_engines =
+                match f.f_engine with
+                | Some e when e <> fst (List.hd engines) ->
+                    [ List.hd engines ]
+                    @ List.filter (fun (n, _) -> n = e) engines
+                | _ -> [ List.hd engines ]
+              in
               let still_fails c =
                 match
-                  Difftest.Oracle.check ~sanitize ~variants:failing_variant
-                    ~configs:failing_config c
+                  Difftest.Oracle.check ~sanitize ~engines:failing_engines
+                    ~variants:failing_variant ~configs:failing_config c
                 with
                 | Fail _ -> true
                 | Pass | Invalid _ -> false
@@ -262,8 +296,8 @@ let run iters seed passes threshold cfactor config_names inject_bug sanitize
               let small = Difftest.Shrink.minimize ~still_fails case in
               let f' =
                 match
-                  Difftest.Oracle.check ~sanitize ~variants:failing_variant
-                    ~configs:failing_config small
+                  Difftest.Oracle.check ~sanitize ~engines:failing_engines
+                    ~variants:failing_variant ~configs:failing_config small
                 with
                 | Fail f' -> f'
                 | Pass | Invalid _ -> f (* unreachable: minimize preserves failure *)
@@ -284,6 +318,6 @@ let cmd =
     (Cmd.info "dpfuzz" ~version:"1.0.0" ~doc)
     Term.(
       const run $ iters $ seed $ passes $ threshold $ cfactor $ configs
-      $ inject_bug $ check $ progress_every $ jobs)
+      $ engine $ inject_bug $ check $ progress_every $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -106,6 +106,26 @@ let promote =
           "Also apply KLAP's promotion to eligible self-recursive \
            single-block kernels (the Section IX pattern T/C/A cannot help).")
 
+let engine_conv =
+  let parse s =
+    match Gpusim.Config.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error (`Msg (Fmt.str "unknown engine %S (expected closure | bytecode)" s))
+  in
+  Arg.conv (parse, Gpusim.Config.pp_engine)
+
+let engine =
+  Arg.(
+    value & opt engine_conv Gpusim.Config.default.engine
+    & info [ "engine" ] ~docv:"E"
+        ~doc:
+          "Simulator execution engine for $(b,--check) dynamic runs: \
+           $(b,closure) (closure-tree interpreter) or $(b,bytecode) (flat \
+           bytecode/register VM). Both are semantically identical; the \
+           sanitizer's race and bounds findings do not depend on the \
+           choice.")
+
 let check_only =
   Arg.(
     value & flag
@@ -209,9 +229,10 @@ let run_predict ~input ~prog ~threshold ~cfactor ~granularity ~agg_threshold
       0
 
 let run input output threshold cfactor granularity agg_threshold promote
-    report check_only predict items mean_size skew rounds parent_block =
+    report check_only engine predict items mean_size skew rounds parent_block =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
+  let dyn_cfg = { Gpusim.Config.test_config with engine } in
   let src = In_channel.with_open_text input In_channel.input_all in
   match
     let prog = Minicu.Parser.program ~file:input src in
@@ -232,7 +253,9 @@ let run input output threshold cfactor granularity agg_threshold promote
           (* the input first, then — if it is statically sound — every
              pass combination's output under the same directives *)
           let on_input =
-            List.map (fun f -> ("input", f)) (Analysis.Dynamic.run prog dirs)
+            List.map
+              (fun f -> ("input", f))
+              (Analysis.Dynamic.run ~cfg:dyn_cfg prog dirs)
           in
           let on_combos =
             if Analysis.Dpcheck.error_count rep > 0 then []
@@ -242,8 +265,8 @@ let run input output threshold cfactor granularity agg_threshold promote
                   let r = Dpopt.Pipeline.run ~opts prog in
                   List.map
                     (fun f -> (label, f))
-                    (Analysis.Dynamic.run ~auto_params:r.auto_params r.prog
-                       dirs))
+                    (Analysis.Dynamic.run ~cfg:dyn_cfg
+                       ~auto_params:r.auto_params r.prog dirs))
                 (Dpopt.Pipeline.enumerate ?threshold ?cfactor ?granularity
                    ?agg_threshold ())
           in
@@ -342,7 +365,7 @@ let cmd =
     (Cmd.info "dpoptc" ~version:"1.0.0" ~doc)
     Term.(
       const run $ input $ output $ threshold $ cfactor $ granularity
-      $ agg_threshold $ promote $ report $ check_only $ predict $ items
-      $ mean_size $ skew $ rounds $ parent_block)
+      $ agg_threshold $ promote $ report $ check_only $ engine $ predict
+      $ items $ mean_size $ skew $ rounds $ parent_block)
 
 let () = exit (Cmd.eval' cmd)

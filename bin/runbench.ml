@@ -147,6 +147,24 @@ let trace =
           "Print a per-grid execution timeline (launch issue, queue wait, \
            execution span, blocks, SM footprint).")
 
+let engine_conv =
+  let parse s =
+    match Gpusim.Config.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error (`Msg (Fmt.str "unknown engine %S (expected closure | bytecode)" s))
+  in
+  Arg.conv (parse, Gpusim.Config.pp_engine)
+
+let engine =
+  Arg.(
+    value & opt engine_conv Gpusim.Config.default.engine
+    & info [ "engine" ] ~docv:"E"
+        ~doc:
+          "Simulator execution engine for single-cell runs: $(b,closure) or \
+           $(b,bytecode). Simulated cycles, metrics and output fingerprints \
+           are identical under both; only host wall clock differs.")
+
 let run_sweep ~jobs ~size ~out ~csv_out ~costmodel_out =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Harness.Pool.default_jobs ()
@@ -230,12 +248,14 @@ let run_calibrate ~jobs ~size ~only =
     (Harness.Stats.mean rhos);
   0
 
-let run_one bench dataset no_cdp threshold cfactor granularity size trace =
+let run_one bench dataset no_cdp threshold cfactor granularity size trace
+    engine =
   match Benchmarks.Registry.find ~size ~name:bench ~dataset () with
   | None ->
       Fmt.epr "unknown benchmark/dataset pair %s/%s@." bench dataset;
       1
   | Some spec -> (
+      let cfg = { Gpusim.Config.default with engine } in
       let variant =
         if no_cdp then Harness.Variant.No_cdp
         else
@@ -249,12 +269,12 @@ let run_one bench dataset no_cdp threshold cfactor granularity size trace =
           | Harness.Variant.No_cdp -> `No_cdp
           | Harness.Variant.Cdp o -> `Cdp o
         in
-        let dev = Benchmarks.Bench_common.load_variant spec v in
+        let dev = Benchmarks.Bench_common.load_variant ~cfg spec v in
         Gpusim.Device.enable_trace dev;
         ignore (spec.run dev);
         Fmt.pr "%a@." Gpusim.Trace.timeline (Gpusim.Device.trace_events dev)
       end;
-      match Harness.Experiment.run spec variant with
+      match Harness.Experiment.run ~cfg spec variant with
       | m ->
           Fmt.pr "%s / %s under %s@." m.bench m.dataset m.variant;
           Fmt.pr "simulated time: %.0f cycles@." m.time;
@@ -276,13 +296,14 @@ let run_one bench dataset no_cdp threshold cfactor granularity size trace =
           2)
 
 let run bench dataset sweep calibrate only jobs out csv_out costmodel_out
-    no_cdp threshold cfactor granularity size trace =
+    no_cdp threshold cfactor granularity size trace engine =
   if calibrate then run_calibrate ~jobs ~size ~only
   else if sweep then run_sweep ~jobs ~size ~out ~csv_out ~costmodel_out
   else
     match (bench, dataset) with
     | Some bench, Some dataset ->
         run_one bench dataset no_cdp threshold cfactor granularity size trace
+          engine
     | _ ->
         Fmt.epr "runbench: BENCH and DATASET are required unless --sweep@.";
         2
@@ -294,6 +315,6 @@ let cmd =
     Term.(
       const run $ bench $ dataset $ sweep $ calibrate $ only $ jobs $ out
       $ csv_out $ costmodel_out $ no_cdp $ threshold $ cfactor $ granularity
-      $ size $ trace)
+      $ size $ trace $ engine)
 
 let () = exit (Cmd.eval' cmd)

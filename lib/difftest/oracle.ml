@@ -226,6 +226,20 @@ let sim_configs : (string * Gpusim.Config.t) list =
     );
   ]
 
+(** {1 Execution engines}
+
+    The engine axis of {!check}: the baseline runs under the {e first}
+    engine in the list, every variant runs under {e every} engine, and all
+    runs must agree. With [all_engines] that is a cross-engine
+    differential test — the identity variant under the bytecode engine is
+    compared bit-for-bit against the closure-engine baseline, so an
+    engine-level miscompile is caught even when both engines transform
+    consistently ([dpfuzz --engine=both]). *)
+
+let closure_engine = ("closure", Gpusim.Config.Closure)
+let bytecode_engine = ("bytecode", Gpusim.Config.Bytecode)
+let all_engines = [ closure_engine; bytecode_engine ]
+
 (** {1 Running and comparing} *)
 
 (** What the oracle observes from one run. *)
@@ -348,11 +362,15 @@ let metric_diff ~(v : variant) ~(base : observation) (got : observation) =
 type failure = {
   f_variant : string;
   f_config : string;
+  f_engine : string option;
+      (** [None] for engine-independent failures (static sanitizer). *)
   f_reason : string;
 }
 
 let pp_failure ppf f =
-  Fmt.pf ppf "variant %s under config %s: %s" f.f_variant f.f_config f.f_reason
+  Fmt.pf ppf "variant %s under config %s%a: %s" f.f_variant f.f_config
+    Fmt.(option (fmt ", engine %s"))
+    f.f_engine f.f_reason
 
 (** Outcome of checking one case. [Invalid] means the {e generator} (or a
     shrinking step) produced a program the baseline itself cannot compile
@@ -363,9 +381,10 @@ type outcome = Pass | Fail of failure | Invalid of string
 let baseline_variant =
   pipeline_variant (Dpopt.Pipeline.label Dpopt.Pipeline.none, Dpopt.Pipeline.none)
 
-(** [check ?sanitize ?variants ?configs case] — compile every variant
-    once, then for each configuration run the baseline and every variant
-    and compare. Returns the first failure found.
+(** [check ?sanitize ?engines ?variants ?configs case] — compile every
+    variant once, then for each configuration run the baseline (under the
+    first engine of [engines]) and every variant under every engine, and
+    compare. Returns the first failure found.
 
     With [~sanitize:true] (dpfuzz's [--check] mode) the oracle also
     requires every program — the fuzzed input and every variant's output
@@ -373,8 +392,11 @@ let baseline_variant =
     ({!Analysis.Static}) and no dynamic races (every run replays with
     {!Gpusim.Config.t.check} set). A racy or divergent variant fails even
     when its device memory is bit-identical to the baseline. *)
-let check ?(sanitize = false) ?(variants = default_variants ())
-    ?(configs = sim_configs) (case : Gen.case) : outcome =
+let check ?(sanitize = false) ?(engines = [ closure_engine ])
+    ?(variants = default_variants ()) ?(configs = sim_configs)
+    (case : Gen.case) : outcome =
+  let engines = match engines with [] -> [ closure_engine ] | l -> l in
+  let base_engine_label, base_engine = List.hd engines in
   let configs =
     if sanitize then
       List.map
@@ -417,6 +439,7 @@ let check ?(sanitize = false) ?(variants = default_variants ())
                     {
                       f_variant = baseline_variant.v_label;
                       f_config = "(static)";
+                      f_engine = None;
                       f_reason = "static sanitizer: " ^ d;
                     }
               | None ->
@@ -430,13 +453,18 @@ let check ?(sanitize = false) ?(variants = default_variants ())
                               {
                                 f_variant = v.v_label;
                                 f_config = "(static)";
+                                f_engine = None;
                                 f_reason = "static sanitizer: " ^ d;
                               })
                             (first_error c.c_prog))
                     compiled
           in
           let check_config (cfg_label, cfg) =
-            match run ~cfg base_compiled case with
+            match
+              run
+                ~cfg:{ cfg with Gpusim.Config.engine = base_engine }
+                base_compiled case
+            with
             | exception exn ->
                 Some (`Invalid (Fmt.str "baseline run raised under %s: %s"
                                   cfg_label (Printexc.to_string exn)))
@@ -446,43 +474,57 @@ let check ?(sanitize = false) ?(variants = default_variants ())
                      {
                        f_variant = baseline_variant.v_label;
                        f_config = cfg_label;
+                       f_engine = Some base_engine_label;
                        f_reason = "race detected: " ^ List.hd base.obs_races;
                      })
             | base ->
                 List.find_map
                   (fun (v, c) ->
-                    let fail reason =
-                      Some
-                        (`Fail
-                           {
-                             f_variant = v.v_label;
-                             f_config = cfg_label;
-                             f_reason = reason;
-                           })
-                    in
                     match c with
                     | Error exn ->
-                        fail
-                          (Fmt.str "compilation raised: %s"
-                             (Printexc.to_string exn))
-                    | Ok c -> (
-                        match run ~cfg c case with
-                        | exception exn ->
-                            fail
-                              (Fmt.str "execution raised: %s"
-                                 (Printexc.to_string exn))
-                        | got -> (
-                            match mem_diff base.obs_mem got.obs_mem with
-                            | Some d -> fail ("device memory differs: " ^ d)
-                            | None -> (
-                                match metric_diff ~v ~base got with
-                                | Some d -> fail ("launch metrics: " ^ d)
-                                | None ->
-                                    if got.obs_races <> [] then
-                                      fail
-                                        ("race detected: "
-                                        ^ List.hd got.obs_races)
-                                    else None))))
+                        Some
+                          (`Fail
+                             {
+                               f_variant = v.v_label;
+                               f_config = cfg_label;
+                               f_engine = None;
+                               f_reason =
+                                 Fmt.str "compilation raised: %s"
+                                   (Printexc.to_string exn);
+                             })
+                    | Ok c ->
+                        List.find_map
+                          (fun (engine_label, engine) ->
+                            let fail reason =
+                              Some
+                                (`Fail
+                                   {
+                                     f_variant = v.v_label;
+                                     f_config = cfg_label;
+                                     f_engine = Some engine_label;
+                                     f_reason = reason;
+                                   })
+                            in
+                            match
+                              run ~cfg:{ cfg with Gpusim.Config.engine } c case
+                            with
+                            | exception exn ->
+                                fail
+                                  (Fmt.str "execution raised: %s"
+                                     (Printexc.to_string exn))
+                            | got -> (
+                                match mem_diff base.obs_mem got.obs_mem with
+                                | Some d -> fail ("device memory differs: " ^ d)
+                                | None -> (
+                                    match metric_diff ~v ~base got with
+                                    | Some d -> fail ("launch metrics: " ^ d)
+                                    | None ->
+                                        if got.obs_races <> [] then
+                                          fail
+                                            ("race detected: "
+                                            ^ List.hd got.obs_races)
+                                        else None)))
+                          engines)
                   compiled
           in
           match static_fail with

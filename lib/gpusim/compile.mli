@@ -84,6 +84,16 @@ val find_func_exn : cprog -> string -> cfunc
 (** Static cost (cycles) of evaluating [e] once, assuming full evaluation. *)
 val expr_cost : Config.t -> Minicu.Ast.expr -> int
 
+(** Dynamic semantics of a binary operator on runtime values (C-style:
+    float wins, pointers admit arithmetic). Shared with the bytecode
+    engine ({!Bytecode}/{!Vm}) so both engines agree case-for-case.
+    @raise Value.Runtime_error on division by zero or type mismatches. *)
+val eval_binop : Minicu.Ast.binop -> Value.t -> Value.t -> Value.t
+
+(** Recognizes generated thresholding serial entry points ("..._serial",
+    "..._serial_<n>"); shared with the bytecode engine. *)
+val has_serial_suffix : string -> bool
+
 (** [compile cfg prog] typechecks and compiles a whole program; functions
     may reference each other in any order. *)
 val compile : Config.t -> Minicu.Ast.program -> cprog

@@ -6,7 +6,27 @@
     effects (launch congestion, hardware underutilization, divergence), not
     the absolute values. All times are in cycles of a nominal SM clock. *)
 
+(** Which execution engine runs device code. [Closure] is the original
+    closure-tree interpreter ({!Compile}/{!Exec}); [Bytecode] lowers kernel
+    bodies to a flat instruction array over an unboxed register file
+    ({!Bytecode}/{!Vm}). Both engines are semantically identical — the
+    cross-engine differential suite pins bit-identical memory dumps and
+    launch metrics — but bytecode avoids per-step boxing and fibers. *)
+type engine = Closure | Bytecode
+
+let pp_engine ppf = function
+  | Closure -> Fmt.string ppf "closure"
+  | Bytecode -> Fmt.string ppf "bytecode"
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "closure" -> Some Closure
+  | "bytecode" -> Some Bytecode
+  | _ -> None
+
 type t = {
+  (* ---- execution engine ---- *)
+  engine : engine;
   (* ---- machine shape ---- *)
   num_sms : int;  (** Streaming multiprocessors. *)
   warp_size : int;  (** Threads per warp (32 on all NVIDIA GPUs). *)
@@ -50,6 +70,7 @@ type t = {
 
 let default =
   {
+    engine = Closure;
     num_sms = 32;
     warp_size = 32;
     sm_warp_parallelism = 4;

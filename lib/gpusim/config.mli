@@ -6,7 +6,18 @@
     underutilization, divergence), not the absolute values. All times are
     cycles of a nominal SM clock. *)
 
+(** Which execution engine runs device code: the closure-tree interpreter
+    ([Compile]/[Exec]) or the flat bytecode/register VM ([Bytecode]/[Vm]).
+    Semantics are identical (pinned by the cross-engine differential
+    suite); bytecode avoids per-step boxing and fibers. *)
+type engine = Closure | Bytecode
+
+val pp_engine : Format.formatter -> engine -> unit
+val engine_of_string : string -> engine option
+
 type t = {
+  (* execution engine *)
+  engine : engine;
   (* machine shape *)
   num_sms : int;
   warp_size : int;

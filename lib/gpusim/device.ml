@@ -46,10 +46,14 @@ let memory t = t.mem
 let config t = t.cfg
 
 (** [load_program t prog ~auto_params] typechecks and compiles [prog] onto
-    the device. [auto_params] maps kernel names to the runtime-allocated
-    trailing parameters their transformed signatures expect. *)
+    the device, under the engine selected by {!Config.engine}.
+    [auto_params] maps kernel names to the runtime-allocated trailing
+    parameters their transformed signatures expect. *)
 let load_program ?(auto_params = []) t (prog : Minicu.Ast.program) =
-  t.sched.cprog <- Some (Compile.compile t.cfg prog);
+  (t.sched.prog <-
+     (match t.cfg.engine with
+     | Config.Closure -> Some (Sched.P_closure (Compile.compile t.cfg prog))
+     | Config.Bytecode -> Some (Sched.P_bytecode (Bytecode.compile t.cfg prog))));
   t.auto_params <- auto_params
 
 (** {1 Memory management} *)
@@ -106,7 +110,7 @@ let launch ?(role = `Parent) t ~kernel ~(grid : dim3) ~(block : dim3)
           specs
   in
   let args = args @ auto in
-  let expected = cf.Compile.cf_nparams in
+  let expected = Sched.kernel_nparams cf in
   if List.length args <> expected then
     Value.error
       "launch of %S: expected %d arguments (%d user + %d auto), got %d user"

@@ -7,6 +7,15 @@
     (lockstep execution makes the straggler the critical path); a block's
     cost is the sum over warps, scaled by {!Config.sm_warp_parallelism}. *)
 
+(** Evaluate one warp collective over the suspended live lanes; input and
+    output are (lane index, request/result) pairs in lane order. Shared
+    with the bytecode engine ({!Vm}) so collective semantics (including
+    the divergent-collective error) are engine-independent.
+    @raise Value.Runtime_error on divergent collectives or a broadcast
+    from a dead lane. *)
+val eval_warp_op :
+  (int * Compile.warp_req) list -> (int * Value.t) list
+
 type result = {
   r_launches : Compile.launch_req list;  (** In issue order. *)
   r_compute_cycles : float;

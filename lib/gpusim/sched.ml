@@ -20,9 +20,25 @@
 
 type dim3 = int * int * int
 
+(** A loaded program / resolved kernel, under either execution engine
+    ({!Config.engine}). The two engines are observationally identical;
+    the scheduler only needs name/arity/followup access, routed through
+    the accessors below. *)
+type prog = P_closure of Compile.cprog | P_bytecode of Bytecode.prog
+
+type kernel = K_closure of Compile.cfunc | K_bytecode of Bytecode.func
+
+let kernel_name = function
+  | K_closure cf -> cf.Compile.cf_name
+  | K_bytecode bf -> bf.Bytecode.bf_name
+
+let kernel_nparams = function
+  | K_closure cf -> cf.Compile.cf_nparams
+  | K_bytecode bf -> bf.Bytecode.bf_nparams
+
 type grid = {
   g_id : int;
-  g_kernel : Compile.cfunc;
+  g_kernel : kernel;
   g_grid : dim3;
   g_block : dim3;
   g_args : Value.t list;
@@ -37,13 +53,15 @@ type t = {
   cfg : Config.t;
   mem : Memory.t;
   metrics : Metrics.t;
-  mutable cprog : Compile.cprog option;
+  mutable prog : prog option;
   events : event Event_queue.t;
   sms : float array;  (** Per-SM earliest-free time. *)
   mutable launch_q_free : float;  (** Grid-management unit earliest-free. *)
   mutable clock : float;
   mutable next_grid_id : int;
   trace : Trace.t;
+  scratch : Vm.scratch;
+      (** Reusable per-block thread arena for the bytecode engine. *)
 }
 
 let create (cfg : Config.t) (mem : Memory.t) (metrics : Metrics.t) =
@@ -51,31 +69,34 @@ let create (cfg : Config.t) (mem : Memory.t) (metrics : Metrics.t) =
     cfg;
     mem;
     metrics;
-    cprog = None;
+    prog = None;
     events = Event_queue.create ();
     sms = Array.make cfg.num_sms 0.0;
     launch_q_free = 0.0;
     clock = 0.0;
     next_grid_id = 0;
     trace = Trace.create ();
+    scratch = Vm.create_scratch ();
   }
 
-let cprog_exn t =
-  match t.cprog with
+let prog_exn t =
+  match t.prog with
   | Some p -> p
   | None -> Value.error "no program loaded on the device"
 
 (** Enqueue all blocks of a grid, schedulable from [ready]. [issue] is when
     the launch was issued (for tracing queue waits); defaults to [ready]. *)
-let launch_grid ?issue ?(from_host = false) t ~(kernel : Compile.cfunc)
+let launch_grid ?issue ?(from_host = false) t ~(kernel : kernel)
     ~(grid : dim3) ~(block : dim3) ~(args : Value.t list) ~(ready : float)
     ~(default_idx : int) =
   let gx, gy, gz = grid in
   let nblocks = gx * gy * gz in
-  if nblocks <= 0 then Value.error "launch of %S with empty grid" kernel.cf_name;
+  if nblocks <= 0 then
+    Value.error "launch of %S with empty grid" (kernel_name kernel);
   if Value.dim3_total block > t.cfg.max_threads_per_block then
     Value.error "launch of %S with %d threads per block (max %d)"
-      kernel.cf_name (Value.dim3_total block) t.cfg.max_threads_per_block;
+      (kernel_name kernel) (Value.dim3_total block)
+      t.cfg.max_threads_per_block;
   let g =
     {
       g_id = t.next_grid_id;
@@ -94,7 +115,7 @@ let launch_grid ?issue ?(from_host = false) t ~(kernel : Compile.cfunc)
     (Trace.Grid_launched
        {
          t_grid_id = g.g_id;
-         t_kernel = kernel.cf_name;
+         t_kernel = kernel_name kernel;
          t_blocks = nblocks;
          t_from_host = from_host;
          t_issue = Option.value issue ~default:ready;
@@ -141,10 +162,17 @@ let process_host_launch t ~issue =
   ready
 
 let resolve_kernel t name =
-  let cf = Compile.find_func_exn (cprog_exn t) name in
-  if cf.cf_kind <> Minicu.Ast.Global then
-    Value.error "%S is not a __global__ kernel" name;
-  cf
+  match prog_exn t with
+  | P_closure cp ->
+      let cf = Compile.find_func_exn cp name in
+      if cf.Compile.cf_kind <> Minicu.Ast.Global then
+        Value.error "%S is not a __global__ kernel" name;
+      K_closure cf
+  | P_bytecode bp ->
+      let bf = Bytecode.find_func_exn bp name in
+      if bf.Bytecode.bf_kind <> Minicu.Ast.Global then
+        Value.error "%S is not a __global__ kernel" name;
+      K_bytecode bf
 
 let dispatch_launch_req t ~(base : float) (lr : Compile.launch_req) =
   let kernel = resolve_kernel t lr.lr_kernel in
@@ -157,20 +185,33 @@ let dispatch_launch_req t ~(base : float) (lr : Compile.launch_req) =
     ~default_idx:Metrics.tag_child
 
 let grid_completed t (g : grid) =
-  match g.g_kernel.cf_followup with
-  | None -> ()
-  | Some followup ->
-      (* Grid-granularity aggregation: the host performs the aggregated
-         launch once the parent grid has drained (Section V-A). *)
-      let launches =
-        Exec.run_host_stmts g.g_kernel followup ~args:g.g_args ~grid:g.g_grid
-          ~block:g.g_block ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics
-      in
-      List.iter
-        (fun (lr : Compile.launch_req) ->
-          dispatch_launch_req t ~base:g.g_last_finish
-            { lr with lr_from_host = true })
-        launches
+  (* Grid-granularity aggregation: the host performs the aggregated
+     launch once the parent grid has drained (Section V-A). *)
+  let launches =
+    match g.g_kernel with
+    | K_closure cf -> (
+        match cf.Compile.cf_followup with
+        | None -> []
+        | Some followup ->
+            Exec.run_host_stmts cf followup ~args:g.g_args ~grid:g.g_grid
+              ~block:g.g_block ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics)
+    | K_bytecode bf -> (
+        match bf.Bytecode.bf_followup with
+        | None -> []
+        | Some entry ->
+            let bp =
+              match prog_exn t with
+              | P_bytecode bp -> bp
+              | P_closure _ -> assert false
+            in
+            Vm.run_host_stmts bp bf ~entry ~args:g.g_args ~grid:g.g_grid
+              ~block:g.g_block ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics)
+  in
+  List.iter
+    (fun (lr : Compile.launch_req) ->
+      dispatch_launch_req t ~base:g.g_last_finish
+        { lr with lr_from_host = true })
+    launches
 
 let step t =
   let te, Block_ready (g, bidx) = Event_queue.pop t.events in
@@ -181,9 +222,16 @@ let step t =
   done;
   let start = Float.max te t.sms.(!sm) in
   let r =
-    Exec.run_block (cprog_exn t) g.g_kernel ~args:g.g_args ~gdim:g.g_grid
-      ~bdim:g.g_block ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics
-      ~default_idx:g.g_default_idx
+    match (prog_exn t, g.g_kernel) with
+    | P_closure cp, K_closure cf ->
+        Exec.run_block cp cf ~args:g.g_args ~gdim:g.g_grid ~bdim:g.g_block
+          ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics
+          ~default_idx:g.g_default_idx
+    | P_bytecode bp, K_bytecode bf ->
+        Vm.run_block t.scratch bp bf ~args:g.g_args ~gdim:g.g_grid
+          ~bdim:g.g_block ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics
+          ~default_idx:g.g_default_idx
+    | (P_closure _ | P_bytecode _), _ -> assert false
   in
   let sched = float_of_int t.cfg.block_sched_overhead in
   let finish = start +. sched +. r.r_compute_cycles in

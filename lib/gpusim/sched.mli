@@ -9,9 +9,18 @@
 
 type dim3 = int * int * int
 
+(** A loaded program / resolved kernel under either execution engine
+    ({!Config.engine}); {!Device.load_program} picks the variant. *)
+type prog = P_closure of Compile.cprog | P_bytecode of Bytecode.prog
+
+type kernel = K_closure of Compile.cfunc | K_bytecode of Bytecode.func
+
+val kernel_name : kernel -> string
+val kernel_nparams : kernel -> int
+
 type grid = {
   g_id : int;
-  g_kernel : Compile.cfunc;
+  g_kernel : kernel;
   g_grid : dim3;
   g_block : dim3;
   g_args : Value.t list;
@@ -26,13 +35,15 @@ type t = {
   cfg : Config.t;
   mem : Memory.t;
   metrics : Metrics.t;
-  mutable cprog : Compile.cprog option;
+  mutable prog : prog option;
   events : event Event_queue.t;
   sms : float array;
   mutable launch_q_free : float;
   mutable clock : float;
   mutable next_grid_id : int;
   trace : Trace.t;  (** Off by default; see {!Trace.enable}. *)
+  scratch : Vm.scratch;
+      (** Reusable per-block thread arena for the bytecode engine. *)
 }
 
 val create : Config.t -> Memory.t -> Metrics.t -> t
@@ -43,7 +54,7 @@ val launch_grid :
   ?issue:float ->
   ?from_host:bool ->
   t ->
-  kernel:Compile.cfunc ->
+  kernel:kernel ->
   grid:dim3 ->
   block:dim3 ->
   args:Value.t list ->
@@ -64,7 +75,7 @@ val process_device_launch : t -> issue:float -> float
 
 (** Resolve a kernel by name. @raise Value.Runtime_error if it is missing
     or not [__global__]. *)
-val resolve_kernel : t -> string -> Compile.cfunc
+val resolve_kernel : t -> string -> kernel
 
 (** Drain all pending work; returns (and records) the simulated clock. *)
 val run_to_idle : t -> float

@@ -1,0 +1,343 @@
+(* Cross-engine differential suite: the bytecode VM must be
+   observationally identical to the closure interpreter.
+
+   Four layers, ordered by how bugs have historically surfaced:
+
+     1. golden disassembly of the corpus fixtures — ISA/encoding changes
+        become reviewable diffs (CORPUS_PROMOTE=1 rewrites);
+     2. hand-written edge-semantics fixtures (NaN/inf, division by zero,
+        checked shared-array OOB, atomics ordering) — where unboxing bugs
+        hide: both engines must produce bit-identical memory, metrics,
+        and *exceptions*;
+     3. sanitizer parity — dpcheck's dynamic findings (race reports, OOB)
+        must be byte-identical under both engines;
+     4. the benchmark matrix — every Table I benchmark under all 8 pass
+        combos, plus the full Small registry under the complete pipeline,
+        asserting bit-identical memory dumps, launch metrics, and
+        simulated time.
+
+   Comparisons go through a printed representation in which every float
+   (memory values, metric cycle counters, simulated time) is rendered as
+   its IEEE-754 bit pattern, so NaNs compare equal to themselves and
+   nothing is lost to rounding. *)
+
+open Gpusim
+
+let t name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+(* ------------------------------------------------------------------ *)
+(* Bit-exact observation reprs                                         *)
+(* ------------------------------------------------------------------ *)
+
+let value_repr : Value.t -> string = function
+  | Value.Float f -> Fmt.str "F:%Lx" (Int64.bits_of_float f)
+  | v -> Fmt.str "%a" Value.pp v
+
+let dump_repr (dump : Value.t array list) =
+  String.concat "\n"
+    (List.mapi
+       (fun i buf ->
+         Fmt.str "buf%d: %s" i
+           (String.concat " " (Array.to_list (Array.map value_repr buf))))
+       dump)
+
+let metrics_repr (m : Metrics.t) =
+  let b = m.Metrics.breakdown in
+  let bits = Int64.bits_of_float in
+  Fmt.str
+    "parent=%Lx child=%Lx agg=%Lx disagg=%Lx launch=%Lx makespan=%Lx \
+     grids=%d dev=%d host=%d blocks=%d threads=%d pend=%d ser=%d races=%d \
+     oob=%d reports=%a"
+    (bits b.Metrics.parent_cycles)
+    (bits b.Metrics.child_cycles)
+    (bits b.Metrics.agg_cycles)
+    (bits b.Metrics.disagg_cycles)
+    (bits b.Metrics.launch_cycles)
+    (bits m.Metrics.makespan) m.Metrics.grids_launched
+    m.Metrics.device_launches m.Metrics.host_launches
+    m.Metrics.blocks_executed m.Metrics.threads_executed
+    m.Metrics.max_pending_launches m.Metrics.serialized_launches
+    m.Metrics.races_detected m.Metrics.oob_detected
+    Fmt.(Dump.list string)
+    m.Metrics.race_reports
+
+let observe_device dev =
+  Fmt.str "time=%Lx\n%s\n%s"
+    (Int64.bits_of_float (Device.time dev))
+    (metrics_repr (Device.metrics dev))
+    (dump_repr (Device.dump_memory dev ~first:(Device.buffer_count dev)))
+
+(* ------------------------------------------------------------------ *)
+(* Layer 1: golden disassembly of corpus fixtures                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Representative shapes: arithmetic + casts, barriers in loops, warp
+   collectives, control flow, device-function calls, float builtins,
+   rotated loops, dim3 manipulation, a nested launch, and a divergent
+   barrier. The encoding is mode-dependent, so the loops fixture is also
+   pinned under the checked (sanitizer) configuration. *)
+let disasm_fixtures =
+  [
+    ("atomics", false);
+    ("barriers", false);
+    ("collectives", false);
+    ("controlflow", false);
+    ("device_calls", false);
+    ("dim3s", false);
+    ("floats", false);
+    ("loops", false);
+    ("loops_checked", true);
+    ("nested", false);
+    ("bad_divergent_barrier", false);
+  ]
+
+let disasm_tests =
+  List.map
+    (fun (base, checked) ->
+      let file =
+        (if base = "loops_checked" then "loops" else base) ^ ".minicu"
+      in
+      t (base ^ ": disassembly matches golden") (fun () ->
+          let src =
+            Test_corpus.read_file (Filename.concat Test_corpus.corpus_dir file)
+          in
+          let prog = Minicu.Parser.program ~file src in
+          let cfg = { Config.default with check = checked } in
+          let asm = Bytecode.disassemble (Bytecode.compile cfg prog) in
+          Test_corpus.golden_check ~what:"disassembly" ~fixture:file
+            ~golden_name:(base ^ ".disasm") asm))
+    disasm_fixtures
+
+(* ------------------------------------------------------------------ *)
+(* Layer 2: edge-semantics parity fixtures                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [src] to completion (or to an exception) under one engine and
+   return everything observable: simulated time, metrics, every device
+   buffer bit-for-bit — or the raised exception's rendering. *)
+let run_engine ~cfg ~grid ~block ~kernel ~mk_args engine src =
+  let cfg = { cfg with Config.engine } in
+  let dev = Device.create ~cfg () in
+  Device.load_program dev (Minicu.Parser.program src);
+  let args = mk_args dev in
+  match
+    Device.launch dev ~kernel ~grid ~block ~args;
+    ignore (Device.sync dev)
+  with
+  | () -> Ok (observe_device dev)
+  | exception e -> Error (Printexc.to_string e)
+
+let engine_parity name ?(cfg = Config.test_config) ?(grid = (1, 1, 1))
+    ?(block = (1, 1, 1)) ~kernel ~mk_args src =
+  t name (fun () ->
+      let run = run_engine ~cfg ~grid ~block ~kernel ~mk_args in
+      let closure = run Config.Closure src in
+      let bytecode = run Config.Bytecode src in
+      match (closure, bytecode) with
+      | Ok c, Ok b ->
+          if c <> b then
+            Alcotest.failf "engines diverge:@.--- closure@.%s@.--- bytecode@.%s"
+              c b
+      | Error c, Error b ->
+          if c <> b then
+            Alcotest.failf
+              "engines raise differently:@.closure:  %s@.bytecode: %s" c b
+      | Ok _, Error e ->
+          Alcotest.failf "closure completed but bytecode raised: %s" e
+      | Error e, Ok _ ->
+          Alcotest.failf "bytecode completed but closure raised: %s" e)
+
+let out_ints n dev = [ Value.Ptr (Device.alloc_int_zeros dev n) ]
+let out_floats n dev = [ Value.Ptr (Device.alloc_float_zeros dev n) ]
+
+let edge_tests =
+  [
+    engine_parity "NaN and infinity arithmetic is bit-identical" ~kernel:"k"
+      ~mk_args:(out_floats 12)
+      {|
+__global__ void k(float* o) {
+  float z = 0.0;
+  float pinf = 1.0 / z;
+  float qnan = z / z;
+  o[0] = qnan;
+  o[1] = pinf;
+  o[2] = 0.0 - pinf;
+  o[3] = pinf + (0.0 - pinf);
+  o[4] = qnan < 1.0 ? 1.0 : 2.0;
+  o[5] = qnan == qnan ? 1.0 : 2.0;
+  o[6] = min(qnan, 3.0);
+  o[7] = max(qnan, 3.0);
+  o[8] = sqrt(0.0 - 4.0);
+  o[9] = log(0.0);
+  o[10] = exp(1000.0);
+  o[11] = pinf * 0.0;
+}
+|};
+    engine_parity "negative zero and float cast edges" ~kernel:"k"
+      ~mk_args:(out_floats 6)
+      {|
+__global__ void k(float* o) {
+  float nz = 0.0 - 0.0;
+  o[0] = nz;
+  o[1] = nz == 0.0 ? 1.0 : 2.0;
+  o[2] = (float)(int)1.9;
+  o[3] = (float)(int)(0.0 - 1.9);
+  o[4] = pow(2.0, 0.5);
+  o[5] = fabs(nz);
+}
+|};
+    engine_parity "integer division by zero raises identically" ~kernel:"k"
+      ~mk_args:(fun dev ->
+        [ Value.Ptr (Device.alloc_int_zeros dev 1); Value.Int 0 ])
+      "__global__ void k(int* o, int n) { o[0] = 7 / n; }";
+    engine_parity "integer modulo by zero raises identically" ~kernel:"k"
+      ~mk_args:(fun dev ->
+        [ Value.Ptr (Device.alloc_int_zeros dev 1); Value.Int 0 ])
+      "__global__ void k(int* o, int n) { o[0] = 7 % n; }";
+    engine_parity "checked shared-array OOB store raises at the same loc"
+      ~cfg:{ Config.test_config with check = true }
+      ~kernel:"k" ~mk_args:(out_ints 4)
+      {|
+__global__ void k(int* o) {
+  __shared__ int s[4];
+  s[threadIdx.x + 6] = 1;
+  o[0] = s[0];
+}
+|};
+    engine_parity "checked shared-array OOB load raises at the same loc"
+      ~cfg:{ Config.test_config with check = true }
+      ~kernel:"k" ~mk_args:(out_ints 4)
+      {|
+__global__ void k(int* o) {
+  __shared__ int s[4];
+  s[0] = 1;
+  o[0] = s[threadIdx.x + 9];
+}
+|};
+    engine_parity "global OOB raises identically (unchecked mode)"
+      ~kernel:"k" ~mk_args:(out_ints 4)
+      "__global__ void k(int* o) { o[100] = 1; }";
+    engine_parity "atomics ordering across a block is deterministic"
+      ~block:(64, 1, 1) ~kernel:"k" ~mk_args:(out_ints 8)
+      {|
+__global__ void k(int* o) {
+  atomicAdd(&o[0], threadIdx.x + 1);
+  int prev = atomicExch(&o[1], threadIdx.x);
+  atomicMax(&o[2], prev);
+  int seen = atomicCAS(&o[3], threadIdx.x, threadIdx.x + 1);
+  atomicSub(&o[4], seen);
+  atomicMin(&o[5], 0 - threadIdx.x);
+}
+|};
+    engine_parity "atomic float accumulation keeps summation order"
+      ~block:(32, 1, 1) ~kernel:"k"
+      ~mk_args:(fun dev ->
+        [ Value.Ptr (Device.alloc_floats dev [| 0.0; 0.1 |]) ])
+      {|
+__global__ void k(float* o) {
+  atomicAdd(&o[0], 0.1 * (float)(threadIdx.x % 3));
+}
+|};
+    engine_parity "divergent barrier resolves identically at runtime"
+      ~block:(32, 1, 1) ~kernel:"k" ~mk_args:(out_ints 32)
+      {|
+__global__ void k(int* o) {
+  if (threadIdx.x < 16) {
+    o[threadIdx.x] = 1;
+    __syncthreads();
+  }
+  o[0] = 2;
+}
+|};
+    engine_parity "CAS retry loop converges identically" ~block:(16, 1, 1)
+      ~kernel:"k" ~mk_args:(out_ints 2)
+      {|
+__global__ void k(int* o) {
+  int seen = o[0];
+  while (atomicCAS(&o[0], seen, seen + 1) != seen) {
+    seen = o[0];
+  }
+  atomicAdd(&o[1], 1);
+}
+|};
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Layer 3: sanitizer parity (Racecheck under the bytecode engine)     *)
+(* ------------------------------------------------------------------ *)
+
+(* dpoptc --check runs Analysis.Dynamic over the program; its findings
+   embed source locations and are deduplicated per address. Both engines
+   must report byte-identical findings — epoch tags, locs, and dedup all
+   survive the engine switch. *)
+let sanitizer_parity base =
+  t (base ^ ": dynamic sanitizer findings identical across engines")
+    (fun () ->
+      let file = base ^ ".minicu" in
+      let src =
+        Test_corpus.read_file (Filename.concat Test_corpus.corpus_dir file)
+      in
+      let prog = Minicu.Parser.program ~file src in
+      let dirs = Analysis.Dynamic.directives src in
+      let findings engine =
+        Analysis.Dynamic.run
+          ~cfg:{ Config.test_config with engine }
+          prog dirs
+      in
+      let closure = findings Config.Closure in
+      let bytecode = findings Config.Bytecode in
+      Alcotest.(check (list string)) base closure bytecode;
+      if closure = [] then
+        Alcotest.failf "%s: expected at least one dynamic finding" base)
+
+let sanitizer_tests =
+  List.map sanitizer_parity [ "bad_race_rw"; "bad_race_ww"; "bad_oob_dynamic" ]
+
+(* ------------------------------------------------------------------ *)
+(* Layer 4: benchmark matrix                                           *)
+(* ------------------------------------------------------------------ *)
+
+let observe_spec engine (spec : Benchmarks.Bench_common.spec) v =
+  let cfg = { Config.default with engine } in
+  let dev = Benchmarks.Bench_common.load_variant ~cfg spec v in
+  let fp = spec.run dev in
+  (fp, observe_device dev)
+
+let spec_parity tier (spec : Benchmarks.Bench_common.spec) (vname, v) =
+  tier
+    (Fmt.str "%s/%s under %s: engines bit-identical" spec.name spec.dataset
+       vname)
+    (fun () ->
+      let fp_c, obs_c = observe_spec Config.Closure spec v in
+      let fp_b, obs_b = observe_spec Config.Bytecode spec v in
+      if fp_c <> fp_b then
+        Alcotest.failf "fingerprints diverge: closure %d, bytecode %d" fp_c
+          fp_b;
+      if obs_c <> obs_b then
+        Alcotest.failf
+          "memory/metrics diverge:@.--- closure@.%s@.--- bytecode@.%s" obs_c
+          obs_b)
+
+(* Every Table I benchmark (tiny datasets) under all 8 pass combos. *)
+let combo_tests =
+  let combos =
+    List.map (fun (l, o) -> (l, `Cdp o)) (Dpopt.Pipeline.enumerate ())
+  in
+  List.concat_map
+    (fun spec -> List.map (spec_parity slow spec) combos)
+    (Test_benchmarks.specs ())
+
+(* The full Small registry under the complete pipeline. *)
+let registry_tests =
+  let full =
+    `Cdp
+      (Dpopt.Pipeline.make ~threshold:32 ~cfactor:4
+         ~granularity:Dpopt.Aggregation.Block ())
+  in
+  List.map
+    (fun spec -> spec_parity slow spec ("CDP+T+C+A", full))
+    (Benchmarks.Registry.all ~size:Benchmarks.Registry.Small ())
+
+let suite =
+  disasm_tests @ edge_tests @ sanitizer_tests @ combo_tests @ registry_tests

@@ -30,6 +30,7 @@ let () =
       ("pool", Test_pool.suite);
       ("analysis", Test_analysis.suite);
       ("corpus", Test_corpus.suite);
+      ("bytecode", Test_bytecode.suite);
       ("failures", Test_failures.suite);
       ("references", Test_references.suite);
       ("autotune+csv+ablation", Test_autotune.suite);
