@@ -233,6 +233,10 @@ let run input output threshold cfactor granularity agg_threshold promote
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
   let dyn_cfg = { Gpusim.Config.test_config with engine } in
+  (* Shared with dpoptd's job rejection (lib/serve): user errors come out
+     as one-line loc-bearing diagnostics and exit 1, never a backtrace;
+     anything unrecognized exits 125 with a one-line internal error. *)
+  Serve.Errors.exit_of ~file:input @@ fun () ->
   let src = In_channel.with_open_text input In_channel.input_all in
   match
     let prog = Minicu.Parser.program ~file:input src in
@@ -346,15 +350,6 @@ let run input output threshold cfactor granularity agg_threshold promote
             r.auto_params
       end;
       0
-  | exception Minicu.Loc.Error (loc, msg) ->
-      Fmt.epr "%a: error: %s@." Minicu.Loc.pp loc msg;
-      1
-  | exception Minicu.Typecheck.Type_error msg ->
-      Fmt.epr "%s: type error: %s@." input msg;
-      1
-  | exception Analysis.Dynamic.Bad_directive msg ->
-      Fmt.epr "%s: bad CHECK-RUN directive: %s@." input msg;
-      1
 
 let cmd =
   let doc =

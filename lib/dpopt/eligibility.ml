@@ -116,6 +116,27 @@ let aggregation_site ?(prog : program = []) (parent : func) ~(child : string)
          "parent kernel %S returns early; threads that exit would never \
           reach the aggregation epilogue"
          parent.f_name)
+  else if
+    (* The aggregated child is a clone of the child's body, while the
+       parent's signature grows by the capture buffers. A child that
+       launches the parent back (self-recursion being the common case:
+       parent = child) would leave the clone launching the extended
+       parent with the original argument list — ill-typed output. *)
+    parent.f_name = child
+    || List.exists
+         (fun (f : func) ->
+           f.f_name = child
+           && List.exists
+                (fun ((l : Ast.launch), _) -> l.l_kernel = parent.f_name)
+                (Ast_util.launch_sites f.f_body))
+         prog
+  then
+    Ineligible
+      (Fmt.str
+         "child kernel %S launches its parent %S back (recursive nesting); \
+          the aggregated clone would launch the buffer-extended parent \
+          with the original arguments"
+         child parent.f_name)
   else
     match Divergence.divergent_barriers prog parent with
     | [] -> Eligible

@@ -20,7 +20,10 @@ val coarsening_child : Minicu.Ast.program -> Minicu.Ast.func -> verdict
     once, so launches inside loops, parents with early returns, and parents
     whose existing barriers are divergent (per {!Minicu.Divergence}, which
     needs [prog] to resolve device calls; defaults to the empty program)
-    are rejected. *)
+    are rejected. Recursive nesting — the child launching [parent] back,
+    including the self-recursive [parent = child] case — is rejected too:
+    the aggregated clone of the child's body would launch the
+    buffer-extended parent with the original argument list. *)
 val aggregation_site :
   ?prog:Minicu.Ast.program -> Minicu.Ast.func -> child:string -> verdict
 

@@ -86,37 +86,138 @@ type result = {
   agg_reports : Aggregation.site_report list;
 }
 
+(* ---- cache-keyed stages --------------------------------------------- *)
+
+type pass_report =
+  | Threshold_reports of Thresholding.site_report list
+  | Coarsen_reports of Coarsening.site_report list
+  | Agg_reports of Aggregation.site_report list
+
+type stage_output = {
+  so_prog : Ast.program;
+  so_auto_params : (string * Aggregation.auto_param list) list;
+      (** Non-empty only for the aggregation stage. *)
+  so_report : pass_report;
+}
+
+type stage = {
+  st_name : string;  (** ["thresholding"] / ["coarsening"] / ["aggregation"]. *)
+  st_fingerprint : string;
+      (** Canonical rendering of this pass's normalized knob values: equal
+          fingerprints guarantee [st_apply] computes the same function.
+          Combined with a content digest of the input program, this is the
+          stage's memoization key (see {e lib/serve}). *)
+  st_apply : Ast.program -> stage_output;
+      (** Applies the pass and typechecks its output, so ill-formed
+          intermediate code fails loudly at the stage that produced it. *)
+}
+
+(* The aggregation threshold only reaches warp/block codegen (Section
+   V-B); at multi-block/grid granularity the pass ignores it, so the
+   fingerprint must not split on it — two option records that differ only
+   there produce byte-identical programs and must share cache entries. *)
+let agg_fingerprint (o : Aggregation.options) =
+  let thr =
+    match (o.granularity, o.agg_threshold) with
+    | (Aggregation.Warp | Aggregation.Block), Some t -> string_of_int t
+    | _ -> "-"
+  in
+  Fmt.str "gran=%a;aggthr=%s" Aggregation.pp_granularity o.granularity thr
+
+(** [stages opts] — the enabled passes in canonical T → C → A order, each
+    with its memoization fingerprint. {!run} folds these in order; cache
+    layers (the {e dpoptd} compile service) memoize at each boundary. *)
+let stages (opts : options) : stage list =
+  List.filter_map Fun.id
+    [
+      Option.map
+        (fun (o : Thresholding.options) ->
+          {
+            st_name = "thresholding";
+            st_fingerprint = Fmt.str "threshold=%d" o.threshold;
+            st_apply =
+              (fun prog ->
+                let r = Thresholding.transform ~opts:o prog in
+                Typecheck.check r.prog;
+                {
+                  so_prog = r.prog;
+                  so_auto_params = [];
+                  so_report = Threshold_reports r.reports;
+                });
+          })
+        opts.thresholding;
+      Option.map
+        (fun (o : Coarsening.options) ->
+          {
+            st_name = "coarsening";
+            st_fingerprint = Fmt.str "cfactor=%d" o.cfactor;
+            st_apply =
+              (fun prog ->
+                let r = Coarsening.transform ~opts:o prog in
+                Typecheck.check r.prog;
+                {
+                  so_prog = r.prog;
+                  so_auto_params = [];
+                  so_report = Coarsen_reports r.reports;
+                });
+          })
+        opts.coarsening;
+      Option.map
+        (fun (o : Aggregation.options) ->
+          {
+            st_name = "aggregation";
+            st_fingerprint = agg_fingerprint o;
+            st_apply =
+              (fun prog ->
+                let r = Aggregation.transform ~opts:o prog in
+                Typecheck.check r.prog;
+                {
+                  so_prog = r.prog;
+                  so_auto_params = r.auto_params;
+                  so_report = Agg_reports r.reports;
+                });
+          })
+        opts.aggregation;
+    ]
+
+(** [fingerprint opts] — canonical normalized rendering of the whole
+    option record: two records with equal fingerprints run byte-identical
+    pipelines. Disabled passes contribute nothing; ignored knobs (the
+    aggregation threshold at multi-block/grid granularity) are dropped. *)
+let fingerprint (opts : options) : string =
+  match stages opts with
+  | [] -> "id"
+  | ss ->
+      String.concat "|"
+        (List.map (fun st -> st.st_name ^ ":" ^ st.st_fingerprint) ss)
+
+(* Fold a stage output into the accumulating result. *)
+let absorb (r : result) (so : stage_output) : result =
+  let r = { r with prog = so.so_prog } in
+  match so.so_report with
+  | Threshold_reports reps -> { r with threshold_reports = reps }
+  | Coarsen_reports reps -> { r with coarsen_reports = reps }
+  | Agg_reports reps ->
+      { r with agg_reports = reps; auto_params = so.so_auto_params }
+
 (** [run ?opts prog] applies the enabled passes in canonical order. The
     input and output programs both typecheck; intermediate results are
     checked too, so a pass that produces ill-formed code fails loudly here
-    rather than at simulation time. *)
+    rather than at simulation time. Implemented as a fold over {!stages};
+    callers that memoize at stage boundaries fold the same list and are
+    byte-identical to this uncached path. *)
 let run ?(opts = none) (prog : Ast.program) : result =
   Typecheck.check prog;
-  let prog, threshold_reports =
-    match opts.thresholding with
-    | None -> (prog, [])
-    | Some o ->
-        let r = Thresholding.transform ~opts:o prog in
-        Typecheck.check r.prog;
-        (r.prog, r.reports)
-  in
-  let prog, coarsen_reports =
-    match opts.coarsening with
-    | None -> (prog, [])
-    | Some o ->
-        let r = Coarsening.transform ~opts:o prog in
-        Typecheck.check r.prog;
-        (r.prog, r.reports)
-  in
-  let prog, auto_params, agg_reports =
-    match opts.aggregation with
-    | None -> (prog, [], [])
-    | Some o ->
-        let r = Aggregation.transform ~opts:o prog in
-        Typecheck.check r.prog;
-        (r.prog, r.auto_params, r.reports)
-  in
-  { prog; auto_params; threshold_reports; coarsen_reports; agg_reports }
+  List.fold_left
+    (fun r st -> absorb r (st.st_apply r.prog))
+    {
+      prog;
+      auto_params = [];
+      threshold_reports = [];
+      coarsen_reports = [];
+      agg_reports = [];
+    }
+    (stages opts)
 
 (** [run_source ?opts src] — parse, transform, and print back to source.
     The CLI entry point ({e dpoptc}) wraps this. *)

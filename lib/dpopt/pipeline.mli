@@ -53,6 +53,48 @@ type result = {
   agg_reports : Aggregation.site_report list;
 }
 
+(** {1 Cache-keyed stages}
+
+    The pipeline decomposes into independent stages, one per enabled pass,
+    each carrying a {e fingerprint} — a canonical rendering of its
+    normalized knob values. A stage is a pure function of (input program,
+    fingerprint), which is what makes content-addressed memoization sound:
+    the compile service ({e lib/serve}) keys each stage's output on
+    [digest (canonical input source) ^ fingerprint] and replays {!run} as
+    a fold over the same list, byte-identical to the uncached path. *)
+
+type pass_report =
+  | Threshold_reports of Thresholding.site_report list
+  | Coarsen_reports of Coarsening.site_report list
+  | Agg_reports of Aggregation.site_report list
+
+type stage_output = {
+  so_prog : Minicu.Ast.program;
+  so_auto_params : (string * Aggregation.auto_param list) list;
+      (** Non-empty only for the aggregation stage. *)
+  so_report : pass_report;
+}
+
+type stage = {
+  st_name : string;  (** ["thresholding"] / ["coarsening"] / ["aggregation"]. *)
+  st_fingerprint : string;
+      (** Canonical normalized knob values: equal fingerprints guarantee
+          [st_apply] computes the same function. *)
+  st_apply : Minicu.Ast.program -> stage_output;
+      (** Applies the pass; typechecks its output.
+          @raise Minicu.Typecheck.Type_error on ill-formed output. *)
+}
+
+(** The enabled passes in canonical T → C → A order. *)
+val stages : options -> stage list
+
+(** Canonical normalized rendering of the whole option record (["id"] for
+    {!none}): equal fingerprints run byte-identical pipelines. Ignored
+    knobs — the aggregation threshold at multi-block/grid granularity,
+    which warp/block codegen alone consumes — are dropped, so records
+    differing only there share one fingerprint. *)
+val fingerprint : options -> string
+
 (** [run ?opts prog] applies the enabled passes in canonical order,
     typechecking the input, every intermediate program, and the output.
     @raise Minicu.Typecheck.Type_error if any stage produces ill-formed

@@ -66,7 +66,13 @@ let params_of_point space p : Variant.params =
 
 (* Knobs of disabled passes don't reach the pipeline ([Variant.instantiate]
    drops them), so normalize them to the defaults: evaluations that differ
-   only there are the same experiment and must hit the memo. *)
+   only there are the same experiment and must hit the memo. The same goes
+   for knobs a pass *ignores* at the chosen setting: the aggregation
+   threshold only exists in warp/block codegen (Section V-B), so at
+   multi-block/grid granularity two params differing only in
+   [agg_threshold] produce byte-identical programs and must share a memo
+   entry — keying on the raw record undercounted [cache_hits] and spent
+   simulator runs re-measuring the same experiment. *)
 let normalize (combo : Variant.combo) (p : Variant.params) : Variant.params =
   let d = Variant.default_params in
   {
@@ -74,7 +80,14 @@ let normalize (combo : Variant.combo) (p : Variant.params) : Variant.params =
     cfactor = (if combo.c then p.cfactor else d.Variant.cfactor);
     granularity = (if combo.a then p.granularity else d.Variant.granularity);
     agg_threshold =
-      (if combo.a then p.agg_threshold else d.Variant.agg_threshold);
+      (if
+         combo.a
+         &&
+         match p.granularity with
+         | Dpopt.Aggregation.Warp | Dpopt.Aggregation.Block -> true
+         | Dpopt.Aggregation.Multi_block _ | Dpopt.Aggregation.Grid -> false
+       then p.agg_threshold
+       else d.Variant.agg_threshold);
   }
 
 (* Distinct experiments the space holds for this combo. *)

@@ -41,7 +41,10 @@ type outcome = {
 
 (** Knobs of passes the combo disables are pinned to
     {!Variant.default_params} — such points denote the same experiment and
-    share one memo entry. *)
+    share one memo entry. Knobs a pass ignores at the chosen setting are
+    pinned too: [agg_threshold] only affects warp/block aggregation
+    codegen, so at multi-block/grid granularity it is normalized to
+    [None] (params differing only there yield byte-identical programs). *)
 val normalize : Variant.combo -> Variant.params -> Variant.params
 
 (** Every distinct experiment of the space for this combo (disabled knobs

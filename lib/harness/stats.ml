@@ -26,6 +26,24 @@ let mean xs =
   | [] -> nan
   | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
+let percentile xs p =
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg (Fmt.str "Stats.percentile: fraction %g outside [0, 1]" p);
+  match xs with
+  | [] -> nan
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      (* linear interpolation between closest ranks: the p-quantile sits at
+         virtual index p*(n-1) of the sorted samples, so a singleton returns
+         its element and p=1 returns the maximum — never [infinity]. *)
+      let pos = p *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = pos -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
 let minimum = function
   | [] -> nan
   | xs -> List.fold_left Float.min infinity xs

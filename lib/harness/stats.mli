@@ -12,6 +12,14 @@ val geomean : float list -> float
 (** Arithmetic mean; [nan] on the empty list. *)
 val mean : float list -> float
 
+(** [percentile xs p] — the [p]-quantile of [xs] (so [percentile xs 0.99]
+    is p99) by linear interpolation between closest ranks: the result sits
+    at virtual index [p * (n - 1)] of the sorted samples. [nan] on the
+    empty list; a singleton returns its element and [p = 1.] the maximum,
+    never [infinity].
+    @raise Invalid_argument if [p] is outside [0, 1] (or [nan]). *)
+val percentile : float list -> float -> float
+
 (** Smallest sample; [nan] on the empty list. *)
 val minimum : float list -> float
 

@@ -3,6 +3,17 @@
 
 open Ast
 
+(** [neg e] — negation in canonical (parse) form: negation of a numeric
+    literal folds into the literal, anything else becomes [Unop (Neg, e)].
+    Matches the parser's folding of prefix ["-"], so ASTs built with this
+    constructor survive a pretty/parse round-trip structurally. Float zero
+    is exempt (see {!Parser}): [-0.] would compare equal to [0.] while
+    printing differently. *)
+let neg = function
+  | Int_lit n -> Int_lit (-n)
+  | Float_lit f when f <> 0.0 -> Float_lit (-.f)
+  | e -> Unop (Neg, e)
+
 (** {1 Expression traversal} *)
 
 (** [map_expr f e] rebuilds [e] bottom-up, applying [f] to every node after

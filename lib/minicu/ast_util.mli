@@ -1,6 +1,12 @@
 (** AST traversal and rewriting utilities shared by the analysis and
     transformation passes. *)
 
+(** [neg e] — negation in canonical (parse) form: folds a numeric literal
+    (except float zero) into itself, wraps anything else in
+    [Unop (Neg, _)]. Mirrors the parser, so ASTs built with it round-trip
+    through the pretty-printer structurally. *)
+val neg : Ast.expr -> Ast.expr
+
 (** {1 Expression traversal} *)
 
 (** [map_expr f e] rebuilds [e] bottom-up, applying [f] after children. *)

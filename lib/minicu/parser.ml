@@ -126,7 +126,14 @@ and parse_unary st =
   match peek st with
   | Lexer.MINUS ->
       advance st;
-      Unop (Neg, parse_unary st)
+      (* Fold negation of a numeric literal into the literal itself
+         ({!Ast_util.neg}), so the parse of printed output is canonical:
+         [Pretty] renders [Int_lit (-5)] and [Unop (Neg, Int_lit 5)]
+         identically as "-5" (C has no negative-literal token), and
+         without folding the re-parse always picked the [Unop] form,
+         silently splitting hand-built negative literals from their own
+         round-trip. *)
+      Ast_util.neg (parse_unary st)
   | Lexer.BANG ->
       advance st;
       Unop (Not, parse_unary st)

@@ -59,7 +59,14 @@ let prec_postfix = 12
 
 let float_lit f =
   if Float.is_integer f && Float.abs f < 1e15 then Fmt.str "%.1f" f
-  else Fmt.str "%.17g" f
+  else
+    let s = Fmt.str "%.17g" f in
+    (* %.17g renders integral magnitudes in [1e15, ~1e17) without a point
+       or exponent ("1000000000000000"), which would re-lex as an *int*
+       literal — aliasing a float-typed AST with an int-typed one. Force a
+       marker so the printed form always lexes back as FLOAT. *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
 
 let rec expr_prec = function
   | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ | Call _ | Dim3_ctor _ ->

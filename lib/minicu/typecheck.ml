@@ -20,6 +20,12 @@ exception Type_error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
 
+(* Internal: a [Type_error] that has already been attributed to a source
+   statement. Re-raised as plain [Type_error] with a "file:line:col: "
+   prefix at the {!check} boundary, so the public exception (and every
+   existing handler) is unchanged while CLI diagnostics gain a location. *)
+exception Located of Loc.t * string
+
 type env = {
   prog : program;
   vars : (string * ty) list;  (** In-scope variables, innermost first. *)
@@ -124,7 +130,16 @@ let is_lvalue = function Var _ | Index _ | Member _ -> true | _ -> false
 
 let rec check_stmts env ss = ignore (List.fold_left check_stmt env ss)
 
+(* Attribute a failure to the innermost statement that owns it: nested
+   statements raise [Located] themselves, which passes through untouched,
+   while a bare [Type_error] from this statement's own expressions picks
+   up [s.sloc] (unless the statement is compiler-generated). *)
 and check_stmt env s : env =
+  try check_stmt_desc env s
+  with Type_error m when not (Loc.is_dummy s.sloc) ->
+    raise (Located (s.sloc, m))
+
+and check_stmt_desc env s : env =
   match s.sdesc with
   | Decl (ty, x, init) ->
       (match init with
@@ -218,16 +233,20 @@ let check_func prog (f : func) =
   | Some ss -> check_stmts env ss
 
 (** [check p] validates a whole program.
-    @raise Type_error describing the first violation found. *)
+    @raise Type_error describing the first violation found, prefixed with
+    the offending statement's location when it has one. *)
 let check (p : program) =
-  let seen = Hashtbl.create 16 in
-  List.iter
-    (fun f ->
-      if Hashtbl.mem seen f.f_name then
-        fail "duplicate function name %S" f.f_name;
-      Hashtbl.add seen f.f_name ())
-    p;
-  List.iter (check_func p) p
+  try
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun f ->
+        if Hashtbl.mem seen f.f_name then
+          fail "duplicate function name %S" f.f_name;
+        Hashtbl.add seen f.f_name ())
+      p;
+    List.iter (check_func p) p
+  with Located (loc, m) ->
+    raise (Type_error (Fmt.str "%a: %s" Loc.pp loc m))
 
 (** [check_result p] is [Ok ()] or [Error msg]. *)
 let check_result p =

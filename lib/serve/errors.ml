@@ -1,0 +1,59 @@
+(* Typecheck prefixes statement-attributed messages with "file:line:col: "
+   (see Typecheck.check). Recognize that prefix so the rendered diagnostic
+   reads "file:line:col: type error: msg" rather than stacking a second
+   "file:" in front of it. *)
+let split_loc ~file msg =
+  let pfx = file ^ ":" in
+  if not (String.starts_with ~prefix:pfx msg) then None
+  else
+    let n = String.length msg in
+    let digits start =
+      let j = ref start in
+      while !j < n && msg.[!j] >= '0' && msg.[!j] <= '9' do
+        incr j
+      done;
+      if !j > start then Some !j else None
+    in
+    match digits (String.length pfx) with
+    | Some j when j + 1 < n && msg.[j] = ':' -> (
+        match digits (j + 1) with
+        | Some k when k + 1 < n && msg.[k] = ':' && msg.[k + 1] = ' ' ->
+            Some (String.sub msg 0 k, String.sub msg (k + 2) (n - k - 2))
+        | _ -> None)
+    | _ -> None
+
+let render ~file = function
+  | Minicu.Loc.Error (loc, msg) ->
+      Some (Fmt.str "%a: error: %s" Minicu.Loc.pp loc msg)
+  | Minicu.Typecheck.Type_error msg -> (
+      match split_loc ~file msg with
+      | Some (loc, rest) -> Some (Fmt.str "%s: type error: %s" loc rest)
+      | None -> Some (Fmt.str "%s: type error: %s" file msg))
+  | Analysis.Dynamic.Bad_directive msg ->
+      Some (Fmt.str "%s: bad CHECK-RUN directive: %s" file msg)
+  | Sys_error msg ->
+      (* Sys_error messages sometimes carry the path ("f: No such file or
+         directory") and sometimes don't ("Is a directory", raised by
+         [input] after a directory opened fine); always lead with it. *)
+      if String.starts_with ~prefix:file msg then
+        Some (Fmt.str "error: %s" msg)
+      else Some (Fmt.str "%s: error: %s" file msg)
+  | _ -> None
+
+let guard ~file f =
+  match f () with
+  | v -> Ok v
+  | exception e -> (
+      match render ~file e with Some d -> Error d | None -> raise e)
+
+let exit_of ~file f =
+  match f () with
+  | code -> code
+  | exception e -> (
+      match render ~file e with
+      | Some diag ->
+          Fmt.epr "%s@." diag;
+          1
+      | None ->
+          Fmt.epr "internal error: %s@." (Printexc.to_string e);
+          125)

@@ -1,0 +1,23 @@
+(** One shared rendering of compile-side failures, used by both CLIs:
+    [dpoptc] (exit non-zero with a one-line diagnostic) and [dpoptd]
+    (reject the job with the same line in the batch response). Keeping it
+    in one place pins the contract that user errors never surface as an
+    OCaml backtrace. *)
+
+(** [render ~file exn] — [Some] one-line, loc-bearing diagnostic for the
+    recognized user-input failures of compiling [file] (front-end
+    {!Minicu.Loc.Error}, {!Minicu.Typecheck.Type_error}, bad CHECK-RUN
+    directives, [Sys_error] from reading the input); [None] for anything
+    else (an internal error). Diagnostics lead with ["file:line:col: "]
+    when a location is known, ["file: "] otherwise. *)
+val render : file:string -> exn -> string option
+
+(** [guard ~file f] — run [f] and return its result, or [Error diag] for
+    any exception {!render} recognizes. Internal errors re-raise. *)
+val guard : file:string -> (unit -> 'a) -> ('a, string) result
+
+(** [exit_of ~file f] — CLI wrapper: [f ()]'s exit code, or print a
+    rendered diagnostic to stderr and return 1, or — for internal errors
+    only — print a one-line ["internal error: ..."] (never a backtrace)
+    and return 125. *)
+val exit_of : file:string -> (unit -> int) -> int

@@ -1,0 +1,22 @@
+(** Content-addressed cache keys. See the interface for the scheme. *)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let source src = digest src
+
+let ast p = digest (Minicu.Pretty.program p)
+
+let profile (p : Costmodel.Profile.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int p.rounds);
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int p.parent_block);
+  Buffer.add_char b ':';
+  Array.iter
+    (fun s ->
+      Buffer.add_string b (string_of_int s);
+      Buffer.add_char b ',')
+    p.child_sizes;
+  digest (Buffer.contents b)
+
+let stage ~tag parts = tag ^ ":" ^ String.concat "/" parts

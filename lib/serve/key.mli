@@ -1,0 +1,27 @@
+(** Content-addressed cache keys for the compile service.
+
+    Every stage boundary of the pipeline is memoized under a key derived
+    from (a) a digest of the {e canonical} program text — the
+    pretty-printed AST, so textual noise (whitespace, comments, redundant
+    parentheses) in the submitted source cannot split cache entries — and
+    (b) a canonical fingerprint of the options that affect the stage
+    ({!Dpopt.Pipeline.fingerprint}), so semantically-equal option records
+    cannot split entries either. Keys embed a stage tag, so stages can
+    never alias each other even when their content digests coincide. *)
+
+(** [source src] — digest of raw source text, keying the parse stage
+    (parsing is a function of the bytes alone). *)
+val source : string -> string
+
+(** [ast p] — digest of the canonical pretty-printed rendering of [p].
+    Two structurally equal programs always agree; programs differing only
+    in statement locations agree too (locations are not printed). *)
+val ast : Minicu.Ast.program -> string
+
+(** [profile p] — digest of a canonical rendering of a workload profile
+    (child sizes, rounds, parent block). *)
+val profile : Costmodel.Profile.t -> string
+
+(** [stage ~tag parts] — the final cache key: [tag] plus the
+    ["/"]-joined parts. Tags keep stage key spaces disjoint. *)
+val stage : tag:string -> string list -> string

@@ -1,0 +1,42 @@
+(** Sharded, byte-budgeted LRU cache for the compile service.
+
+    Keys are content digests (strings); values are opaque. The key space
+    is split across [shards] independent sub-caches, each guarded by its
+    own mutex and holding an equal slice of the byte budget — concurrent
+    pool workers compiling different programs rarely contend on a lock,
+    and eviction decisions stay local to a shard (a hot shard cannot evict
+    another shard's entries). Recency is per shard, classic
+    least-recently-used: every {!find} hit moves the entry to the front of
+    its shard's list, and an {!add} that pushes a shard past its slice of
+    the budget evicts from the back until it fits.
+
+    {b Consistency contract.} Values must be pure functions of their key
+    (content-addressed). [add] with a key already present replaces the old
+    value — callers racing to compute the same key insert equal values, so
+    either insertion order is correct. An entry larger than a whole
+    shard's budget is not admitted at all (it would only evict everything
+    else and then be evicted itself by the next insert). *)
+
+type 'v t
+
+(** [create ?shards ~bytes ()] — an empty cache holding at most [bytes]
+    across [shards] sub-caches (default 8; clamped to at least 1). *)
+val create : ?shards:int -> bytes:int -> unit -> 'v t
+
+(** [find t key] — the cached value, promoted to most-recently-used. *)
+val find : 'v t -> string -> 'v option
+
+(** [add t ~key ~size v] — insert [v] accounted as [size] bytes (clamped
+    to at least 1), evicting least-recently-used entries of the shard as
+    needed. Replaces any existing entry for [key]. *)
+val add : 'v t -> key:string -> size:int -> 'v -> unit
+
+type stats = {
+  entries : int;
+  bytes : int;  (** Accounted bytes currently resident. *)
+  budget : int;  (** Total byte budget across shards. *)
+  insertions : int;
+  evictions : int;
+}
+
+val stats : 'v t -> stats

@@ -1,0 +1,34 @@
+(** Service metrics: per-stage cache hit/miss counters and end-to-end
+    request latency percentiles. Thread-safe — pool workers record from
+    any domain; {!snapshot} takes a consistent copy under the same lock. *)
+
+type t
+
+val create : unit -> t
+
+(** [lookup t ~stage ~hit] — count one cache probe for [stage]
+    (["parse"], ["pass:threshold"], ["dpcheck"], ["predict"], ...). *)
+val lookup : t -> stage:string -> hit:bool -> unit
+
+(** [latency t dt] — record one request's end-to-end wall time,
+    [dt] in seconds. *)
+val latency : t -> float -> unit
+
+type stage_counters = { hits : int; misses : int }
+
+type snapshot = {
+  stages : (string * stage_counters) list;  (** Sorted by stage name. *)
+  lookups : int;  (** Total probes across stages. *)
+  hit_rate : float;  (** Hits / lookups; [nan] before any probe. *)
+  requests : int;  (** Latencies recorded. *)
+  p50_ms : float;  (** {!Harness.Stats.percentile}; [nan] if none. *)
+  p90_ms : float;
+  p99_ms : float;
+}
+
+val snapshot : t -> snapshot
+
+(** Render a snapshot as a JSON object. [extra] prepends additional
+    fields, each already-rendered JSON ([("cold_s", "1.25")], ...).
+    [nan] values render as [null] (JSON has no nan). *)
+val json : ?extra:(string * string) list -> snapshot -> string

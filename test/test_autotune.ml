@@ -9,6 +9,50 @@ let tca = { Harness.Variant.t = true; c = true; a = true }
 
 let suite =
   [
+    t "normalize: ignored knobs cannot split the memo" (fun () ->
+        (* Two differently-constructed but semantically equal params: at
+           grid granularity the aggregation codegen never reads
+           agg_threshold, and with T and C disabled their knobs are
+           irrelevant too — both points denote the same experiment. *)
+        let a_only = { Harness.Variant.t = false; c = false; a = true } in
+        let p1 =
+          {
+            Harness.Variant.threshold = 77;
+            cfactor = 9;
+            granularity = Dpopt.Aggregation.Grid;
+            agg_threshold = Some 4;
+          }
+        in
+        let p2 =
+          {
+            Harness.Variant.default_params with
+            granularity = Dpopt.Aggregation.Grid;
+          }
+        in
+        Alcotest.(check bool) "distinct as constructed" true (p1 <> p2);
+        Alcotest.(check bool) "equal after normalize" true
+          (Harness.Autotune.normalize a_only p1
+          = Harness.Autotune.normalize a_only p2);
+        (* ... and the instantiated pipelines agree, fingerprint included *)
+        let opts p =
+          match Harness.Variant.instantiate a_only p with
+          | Harness.Variant.Cdp o -> o
+          | Harness.Variant.No_cdp -> Alcotest.fail "expected a CDP variant"
+        in
+        Alcotest.(check string) "one pipeline fingerprint"
+          (Dpopt.Pipeline.fingerprint (opts p1))
+          (Dpopt.Pipeline.fingerprint (opts p2));
+        (* negative control: warp granularity does consume agg_threshold *)
+        let warp th =
+          Harness.Autotune.normalize a_only
+            {
+              p1 with
+              granularity = Dpopt.Aggregation.Warp;
+              agg_threshold = th;
+            }
+        in
+        Alcotest.(check bool) "warp keeps the knob" true
+          (warp (Some 4) <> warp None));
     Alcotest.test_case "autotuner respects its budget" `Slow (fun () ->
         let spec = tiny_spec () in
         let o = Harness.Autotune.search ~budget:8 spec tca in

@@ -43,8 +43,62 @@ let thresholding_verdict src =
   let p = prog src in
   Eligibility.thresholding_child p (Ast.find_func_exn p "child")
 
+let find_kernel p name =
+  List.find (fun (f : Ast.func) -> f.f_name = name) p
+
 let suite =
   [
+    t "aggregation refuses recursive nesting" (fun () ->
+        (* A self-recursive launch site: the aggregated clone of the child
+           body would launch the buffer-extended parent with the original
+           argument list (caught as ill-typed pipeline output by the
+           serve-engine corpus test before this check existed). *)
+        let p =
+          prog
+            {|
+__global__ void relax(int* dist, int n, int depth) {
+  int i = threadIdx.x;
+  if (i == 0 && depth < 8) {
+    relax<<<1, blockDim.x>>>(dist, n, depth + 1);
+  }
+}
+|}
+        in
+        check_verdict "self-recursive site" `Ineligible
+          (Eligibility.aggregation_site ~prog:p (find_kernel p "relax")
+             ~child:"relax");
+        (* mutual recursion: child launches the parent back *)
+        let m =
+          prog
+            {|
+__global__ void pong(int* d, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i == 0 && n > 0) {
+    ping<<<1, 32>>>(d, n - 1);
+  }
+}
+__global__ void ping(int* d, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i == 0 && n > 0) {
+    pong<<<1, 32>>>(d, n - 1);
+  }
+}
+|}
+        in
+        check_verdict "mutually recursive site" `Ineligible
+          (Eligibility.aggregation_site ~prog:m (find_kernel m "ping")
+             ~child:"pong");
+        (* whole-pipeline regression: CDP+A on the self-recursive program
+           must refuse the site and still produce well-typed output *)
+        let opts =
+          Dpopt.Pipeline.make ~granularity:Dpopt.Aggregation.Grid ()
+        in
+        let r = Dpopt.Pipeline.run ~opts p in
+        Alcotest.(check bool) "site reported as skipped" true
+          (List.exists
+             (fun (sr : Dpopt.Aggregation.site_report) ->
+               (not sr.sr_transformed) && sr.sr_parent = "relax")
+             r.agg_reports));
     (* ---- thresholding_child ---- *)
     t "plain data-parallel child is eligible" (fun () ->
         check_verdict "plain"

@@ -42,6 +42,37 @@ let suite =
             ("maximum", Harness.Stats.maximum);
             ("geomean", Harness.Stats.geomean);
           ]);
+    t "percentile interpolates between closest ranks" (fun () ->
+        (* hand-computed: virtual index p * (n - 1), linear between ranks *)
+        let p = Harness.Stats.percentile in
+        Alcotest.(check (float 1e-9)) "median of 4" 2.5
+          (p [ 1.0; 2.0; 3.0; 4.0 ] 0.5);
+        Alcotest.(check (float 1e-9)) "exact rank" 2.0
+          (p [ 1.0; 2.0; 3.0; 4.0; 5.0 ] 0.25);
+        Alcotest.(check (float 1e-9)) "p90 of 1..10" 9.1
+          (p [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ] 0.9);
+        Alcotest.(check (float 1e-9)) "unsorted input" 9.1
+          (p [ 10.; 1.; 9.; 2.; 8.; 3.; 7.; 4.; 6.; 5. ] 0.9);
+        Alcotest.(check (float 1e-9)) "singleton, any p" 7.0 (p [ 7.0 ] 0.99);
+        Alcotest.(check (float 1e-9)) "p0 is the minimum" 1.0
+          (p [ 3.0; 1.0; 2.0 ] 0.0);
+        Alcotest.(check (float 1e-9)) "p100 is the maximum" 3.0
+          (p [ 3.0; 1.0; 2.0 ] 1.0));
+    t "percentile edge cases: nan on empty, never infinity" (fun () ->
+        Alcotest.(check bool) "empty is nan" true
+          (Float.is_nan (Harness.Stats.percentile [] 0.5));
+        (* near-1 fractions stay within the sample range *)
+        let v = Harness.Stats.percentile [ 1.0; 2.0 ] 0.999 in
+        Alcotest.(check bool) "bounded above" true (v <= 2.0);
+        Alcotest.(check bool) "bounded below" true (v >= 1.0);
+        let raises p =
+          match Harness.Stats.percentile [ 1.0 ] p with
+          | (_ : float) -> false
+          | exception Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "p > 1 raises" true (raises 1.5);
+        Alcotest.(check bool) "p < 0 raises" true (raises (-0.1));
+        Alcotest.(check bool) "nan p raises" true (raises Float.nan));
     t "speedup rendering" (fun () ->
         Alcotest.(check string) "hundreds" "120x"
           (Harness.Stats.speedup_to_string 120.4);

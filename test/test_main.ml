@@ -35,4 +35,5 @@ let () =
       ("references", Test_references.suite);
       ("autotune+csv+ablation", Test_autotune.suite);
       ("costmodel", Test_costmodel.suite);
+      ("serve", Test_serve.suite);
     ]

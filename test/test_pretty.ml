@@ -55,7 +55,9 @@ let gen_expr =
                          LAnd; LOr; BAnd; BOr; BXor; Shl; Shr;
                        ])
                     (pair sub sub);
-                  map (fun a -> Unop (Neg, a)) sub;
+                  (* canonical negation: the parser folds "-<literal>"
+                     into the literal, so the generator must too *)
+                  map Ast_util.neg sub;
                   map (fun a -> Unop (Not, a)) sub;
                   map3 (fun c a b -> Ternary (c, a, b)) sub sub sub;
                   map2 (fun p i -> Index (Var p, i)) gen_ptr_name sub;
@@ -190,4 +192,56 @@ __global__ void p(int* d) { c<<<dim3(2, 3, 4), dim3(8, 8, 1)>>>(d); }
           [ 0.0; 1.0; 0.5; 1e-9; 3.14159265358979; 1234567.0 ]);
     QCheck_alcotest.to_alcotest expr_roundtrip_prop;
     QCheck_alcotest.to_alcotest stmt_roundtrip_prop;
+    Alcotest.test_case "large float literals keep a float marker" `Quick
+      (fun () ->
+        (* %.17g prints 1e15 as "1000000000000000" — without the forced
+           ".0" suffix it would re-lex as an int literal and change the
+           program's canonical digest (lib/serve keys on it) *)
+        List.iter
+          (fun f ->
+            let printed = Pretty.expr_to_string (Float_lit f) in
+            Alcotest.(check bool)
+              (Fmt.str "%s has a marker" printed)
+              true
+              (String.exists
+                 (fun ch -> ch = '.' || ch = 'e' || ch = 'E')
+                 printed);
+            match Parser.expr_of_string printed with
+            | Float_lit f2 when f2 = f -> ()
+            | e ->
+                Alcotest.failf "%h printed as %s parsed to %s" f printed
+                  (show_expr e))
+          [ 1e15; 1e16; 1e22; -1e15; 123456789012345678.0 ]);
+    Alcotest.test_case "negative literals parse folded" `Quick (fun () ->
+        (* the parser folds unary minus into numeric literals, so printed
+           negative literals round-trip structurally *)
+        let e s = Parser.expr_of_string s in
+        Alcotest.(check bool) "int" true (e "-5" = Int_lit (-5));
+        Alcotest.(check bool) "float" true (e "-0.5" = Float_lit (-0.5));
+        Alcotest.(check bool) "non-literal stays a Neg" true
+          (e "-x" = Unop (Neg, Var "x"));
+        Alcotest.(check bool) "double negation folds through" true
+          (e "- -5" = Int_lit 5);
+        Alcotest.(check bool) "smart constructor agrees" true
+          (Ast_util.neg (Int_lit 3) = Int_lit (-3));
+        (* float zero is exempt: -0.0 = 0.0 structurally but prints
+           differently, so folding it would break print/parse identity *)
+        Alcotest.(check bool) "minus float-zero stays a Neg" true
+          (Ast_util.neg (Float_lit 0.0) = Unop (Neg, Float_lit 0.0)));
+    Alcotest.test_case "difftest corpus round-trips parse(pretty(p))" `Quick
+      (fun () ->
+        (* the compile service's canonical digest assumes parse . pretty
+           is the identity on every program the traffic generator can
+           emit (slocs exempt: equal_program ignores them) *)
+        for seed = 0 to 149 do
+          let p = Difftest.Gen.build (Difftest.Gen.case_of_seed seed) in
+          let printed = Pretty.program p in
+          let p2 = Parser.program printed in
+          if not (equal_program p p2) then
+            Alcotest.failf "seed %d: parse(pretty(p)) <> p; printed:\n%s" seed
+              printed;
+          Alcotest.(check string)
+            (Fmt.str "seed %d: pretty is a fixpoint" seed)
+            printed (Pretty.program p2)
+        done);
   ]
