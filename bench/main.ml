@@ -104,16 +104,10 @@ let micro () =
    by the [@ir] alias as an acceptance gate: the bytecode VM must beat the
    closure interpreter by at least 5x on the counting-loop micro kernel,
    and outputs must match bit-for-bit on every kernel. The loop trip
-   count is tunable via BYTECODE_SMOKE_ITERS (default 60000) so CI can
+   count is tunable via BYTECODE_SMOKE_ITERS (see Harness.Env) so CI can
    trade gate stability for wall clock. *)
 let engine_smoke () =
-  let iters =
-    match
-      Option.bind (Sys.getenv_opt "BYTECODE_SMOKE_ITERS") int_of_string_opt
-    with
-    | Some n when n > 0 -> n
-    | _ -> 60_000
-  in
+  let iters = Harness.Env.get "BYTECODE_SMOKE_ITERS" in
   let kernels =
     [
       (* gated: the rotated-loop bottom is one fused VM dispatch, the

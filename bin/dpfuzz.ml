@@ -20,6 +20,11 @@
     dpfuzz --iters 200 --engine both        # cross-engine differential:
                                             # every variant under both the
                                             # closure and bytecode engines
+    dpfuzz --iters 5 --backend native       # true-parallelism oracle: also
+                                            # transpile, compile and run each
+                                            # supported variant as parallel
+                                            # OCaml and diff its memory dump
+                                            # against the simulated baseline
     v}
 
     With [-j N] the seed range is evaluated on a {!Harness.Pool}; the
@@ -33,8 +38,12 @@ open Cmdliner
 
 let iters =
   Arg.(
-    value & opt int 100
-    & info [ "iters" ] ~docv:"N" ~doc:"Number of random cases to check.")
+    value & opt (some int) None
+    & info [ "iters" ] ~docv:"N"
+        ~doc:
+          "Number of random cases to check. Defaults to the DPFUZZ_ITERS \
+           knob — or DPCHECK_ITERS under $(b,--check) — consolidated in \
+           Harness.Env.")
 
 let seed =
   Arg.(
@@ -80,6 +89,19 @@ let engine =
            both engines against the closure-engine baseline — a \
            cross-engine differential fuzz that catches bytecode-engine \
            miscompiles even when they are transformation-independent.")
+
+let backend =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("native", `Native) ]) `Sim
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Oracle backend axis: $(b,sim) (default) checks variants in the \
+           simulator only; $(b,native) additionally transpiles every \
+           supported variant to parallel OCaml, compiles and runs it on \
+           host domains, and requires its memory dump to match the \
+           simulated baseline — a true-parallelism oracle (slow: one \
+           nested dune build per case; size the budget with --iters).")
 
 let inject_bug =
   Arg.(
@@ -158,8 +180,15 @@ let parse_engines = function
   | "both" -> Ok Difftest.Oracle.all_engines
   | s -> Error (Fmt.str "unknown engine %S (expected closure|bytecode|both)" s)
 
-let run iters seed passes threshold cfactor config_names engine_name inject_bug
-    sanitize progress_every jobs =
+let run iters seed passes threshold cfactor config_names engine_name backend
+    inject_bug sanitize progress_every jobs =
+  let native = backend = `Native in
+  let iters =
+    match iters with
+    | Some n -> n
+    | None ->
+        Harness.Env.get (if sanitize then "DPCHECK_ITERS" else "DPFUZZ_ITERS")
+  in
   match (parse_passes passes, parse_engines engine_name) with
   | Error msg, _ | _, Error msg ->
       Fmt.epr "dpfuzz: %s@." msg;
@@ -205,7 +234,8 @@ let run iters seed passes threshold cfactor config_names engine_name inject_bug
             else
               let case = Difftest.Gen.case_of_seed (seed + i) in
               let outcome =
-                Difftest.Oracle.check ~sanitize ~engines ~variants ~configs case
+                Difftest.Oracle.check ~sanitize ~native ~engines ~variants
+                  ~configs case
               in
               (match outcome with
               | Fail _ ->
@@ -284,10 +314,14 @@ let run iters seed passes threshold cfactor config_names engine_name inject_bug
                     @ List.filter (fun (n, _) -> n = e) engines
                 | _ -> [ List.hd engines ]
               in
+              (* shrink under the native axis only when the failure came
+                 from it — keeps shrinking fast for simulator failures *)
+              let native = native && f.f_engine = Some "native" in
               let still_fails c =
                 match
-                  Difftest.Oracle.check ~sanitize ~engines:failing_engines
-                    ~variants:failing_variant ~configs:failing_config c
+                  Difftest.Oracle.check ~sanitize ~native
+                    ~engines:failing_engines ~variants:failing_variant
+                    ~configs:failing_config c
                 with
                 | Fail _ -> true
                 | Pass | Invalid _ -> false
@@ -296,8 +330,9 @@ let run iters seed passes threshold cfactor config_names engine_name inject_bug
               let small = Difftest.Shrink.minimize ~still_fails case in
               let f' =
                 match
-                  Difftest.Oracle.check ~sanitize ~engines:failing_engines
-                    ~variants:failing_variant ~configs:failing_config small
+                  Difftest.Oracle.check ~sanitize ~native
+                    ~engines:failing_engines ~variants:failing_variant
+                    ~configs:failing_config small
                 with
                 | Fail f' -> f'
                 | Pass | Invalid _ -> f (* unreachable: minimize preserves failure *)
@@ -318,6 +353,6 @@ let cmd =
     (Cmd.info "dpfuzz" ~version:"1.0.0" ~doc)
     Term.(
       const run $ iters $ seed $ passes $ threshold $ cfactor $ configs
-      $ engine $ inject_bug $ check $ progress_every $ jobs)
+      $ engine $ backend $ inject_bug $ check $ progress_every $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -98,6 +98,17 @@ let report =
     & info [ "report" ]
         ~doc:"Print a per-launch-site transformation report to stderr.")
 
+let emit_native =
+  Arg.(
+    value & flag
+    & info [ "emit-native" ]
+        ~doc:
+          "After the passes, write parallel OCaml (the native backend's \
+           kernel module, compiling against its $(b,Nrt) runtime) instead \
+           of MiniCU source. Exits 1 with a one-line diagnostic on \
+           constructs the backend rejects ($(b,__threadfence), warp \
+           collectives, grid-granularity aggregation).")
+
 let promote =
   Arg.(
     value & flag
@@ -229,7 +240,8 @@ let run_predict ~input ~prog ~threshold ~cfactor ~granularity ~agg_threshold
       0
 
 let run input output threshold cfactor granularity agg_threshold promote
-    report check_only engine predict items mean_size skew rounds parent_block =
+    report check_only engine predict items mean_size skew rounds parent_block
+    emit_native =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
   let dyn_cfg = { Gpusim.Config.test_config with engine } in
@@ -316,7 +328,10 @@ let run input output threshold cfactor granularity agg_threshold promote
         1
       end
   | `Result r ->
-      let text = Minicu.Pretty.program r.prog in
+      let text =
+        if emit_native then Native.Emit.program r.prog
+        else Minicu.Pretty.program r.prog
+      in
       (match output with
       | None -> print_string text
       | Some f -> Out_channel.with_open_text f (fun oc ->
@@ -361,6 +376,6 @@ let cmd =
     Term.(
       const run $ input $ output $ threshold $ cfactor $ granularity
       $ agg_threshold $ promote $ report $ check_only $ engine $ predict
-      $ items $ mean_size $ skew $ rounds $ parent_block)
+      $ items $ mean_size $ skew $ rounds $ parent_block $ emit_native)
 
 let () = exit (Cmd.eval' cmd)

@@ -284,13 +284,7 @@ let run inputs threshold cfactor granularity agg_threshold jobs emit traffic
         let requests =
           match requests with
           | Some n -> n
-          | None -> (
-              match Sys.getenv_opt "DPOPTD_REQS" with
-              | Some s -> (
-                  match int_of_string_opt (String.trim s) with
-                  | Some n when n > 0 -> n
-                  | _ -> Serve.Traffic.default.requests)
-              | None -> Serve.Traffic.default.requests)
+          | None -> Harness.Env.get "DPOPTD_REQS"
         in
         run_traffic ~jobs ~seed ~distinct ~requests ~zipf ~burst
           ~profiles:(not no_profiles) ~json_out ~min_hit_rate ~min_speedup

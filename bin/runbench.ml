@@ -165,6 +165,18 @@ let engine =
            $(b,bytecode). Simulated cycles, metrics and output fingerprints \
            are identical under both; only host wall clock differs.")
 
+let backend =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("native", `Native) ]) `Sim
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Execution backend: $(b,sim) (the GPU simulator, default) or \
+           $(b,native) (transpile the selected variant to parallel OCaml, \
+           compile and run it on host domains, and diff its memory dump \
+           against the simulator). The native backend needs a static host \
+           driver and so only covers BT, SP and TC.")
+
 let run_sweep ~jobs ~size ~out ~csv_out ~costmodel_out =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Harness.Pool.default_jobs ()
@@ -248,12 +260,91 @@ let run_calibrate ~jobs ~size ~only =
     (Harness.Stats.mean rhos);
   0
 
+(* Native-backend single-cell run: transpile the selected variant to
+   parallel OCaml, compile and run it under dune, and require its memory
+   dump to be byte-identical to the simulator's on the same variant.
+   Exit 0 on a verified match, 1 for user-level errors (no static host
+   driver, construct the backend rejects), 2 on divergence. *)
+let run_native (spec : Benchmarks.Bench_common.spec) no_cdp threshold cfactor
+    granularity engine =
+  match spec.native_host with
+  | None ->
+      Fmt.epr
+        "%s/%s: host driver is iterative (read-back-driven); the native \
+         backend only runs benchmarks with a static host spec (BT, SP, TC)@."
+        spec.name spec.dataset;
+      1
+  | Some host -> (
+      let prog =
+        Minicu.Parser.program
+          (if no_cdp then spec.no_cdp_src else spec.cdp_src)
+      in
+      let prog, autos, label =
+        if no_cdp then (prog, [], "no-cdp")
+        else
+          let opts = Dpopt.Pipeline.make ?threshold ?cfactor ?granularity () in
+          let r = Dpopt.Pipeline.run ~opts prog in
+          (r.prog, r.auto_params, "cdp")
+      in
+      match Native.Emit.supported prog with
+      | Some (loc, msg) ->
+          Fmt.epr "%a: native backend: %s@." Minicu.Loc.pp loc msg;
+          1
+      | None ->
+          let variants =
+            [ { Native.Emit.vu_label = label; vu_prog = prog; vu_autos = autos } ]
+          in
+          (* Repeated executions of the one compiled binary: the covered
+             benchmarks are order-independent, so every run — whatever the
+             domain scheduling — must reproduce the simulator's dump.
+             NATIVE_SMOKE_ITERS sizes the @native alias smoke. *)
+          let runs = Harness.Env.get "NATIVE_SMOKE_ITERS" in
+          let outs =
+            Native.Build.compile_and_run_many ~runs
+              ~source:(Native.Emit.unit_source ~variants ~host)
+              ()
+          in
+          let cfg = { Gpusim.Config.default with engine } in
+          let sim =
+            Native.Hostspec.render_dump
+              (Native.Hostspec.run_sim ~cfg prog ~auto_params:autos host)
+          in
+          let bad = ref 0 in
+          List.iteri
+            (fun i out ->
+              match List.assoc_opt label (Native.Build.sections out) with
+              | None ->
+                  incr bad;
+                  Fmt.epr "run %d: emitted program produced no dump@." i
+              | Some native when String.equal sim native -> ()
+              | Some native ->
+                  incr bad;
+                  Fmt.epr
+                    "NATIVE/SIM DIVERGENCE on %s/%s %s (run %d):@.-- native \
+                     --@.%s@.-- sim --@.%s@."
+                    spec.name spec.dataset label i native sim)
+            outs;
+          if !bad = 0 then begin
+            Fmt.pr "%s / %s under %s (native backend)@." spec.name spec.dataset
+              label;
+            Fmt.pr "%s@." sim;
+            Fmt.pr
+              "native dump matches GpuSim (%a engine) byte-for-byte across %d \
+               run%s@."
+              Gpusim.Config.pp_engine engine runs
+              (if runs = 1 then "" else "s");
+            0
+          end
+          else 2)
+
 let run_one bench dataset no_cdp threshold cfactor granularity size trace
-    engine =
+    engine backend =
   match Benchmarks.Registry.find ~size ~name:bench ~dataset () with
   | None ->
       Fmt.epr "unknown benchmark/dataset pair %s/%s@." bench dataset;
       1
+  | Some spec when backend = `Native ->
+      run_native spec no_cdp threshold cfactor granularity engine
   | Some spec -> (
       let cfg = { Gpusim.Config.default with engine } in
       let variant =
@@ -296,14 +387,14 @@ let run_one bench dataset no_cdp threshold cfactor granularity size trace
           2)
 
 let run bench dataset sweep calibrate only jobs out csv_out costmodel_out
-    no_cdp threshold cfactor granularity size trace engine =
+    no_cdp threshold cfactor granularity size trace engine backend =
   if calibrate then run_calibrate ~jobs ~size ~only
   else if sweep then run_sweep ~jobs ~size ~out ~csv_out ~costmodel_out
   else
     match (bench, dataset) with
     | Some bench, Some dataset ->
         run_one bench dataset no_cdp threshold cfactor granularity size trace
-          engine
+          engine backend
     | _ ->
         Fmt.epr "runbench: BENCH and DATASET are required unless --sweep@.";
         2
@@ -315,6 +406,6 @@ let cmd =
     Term.(
       const run $ bench $ dataset $ sweep $ calibrate $ only $ jobs $ out
       $ csv_out $ costmodel_out $ no_cdp $ threshold $ cfactor $ granularity
-      $ size $ trace $ engine)
+      $ size $ trace $ engine $ backend)
 
 let () = exit (Cmd.eval' cmd)

@@ -33,6 +33,12 @@ type spec = {
           returns the output fingerprint. *)
   reference : unit -> int;
       (** Pure-OCaml reference result; must equal [run]'s fingerprint. *)
+  native_host : Native.Hostspec.t option;
+      (** The host driver as data, for benchmarks whose driver is static
+          (no read-back-dependent control flow) and whose user-visible
+          memory is order-independent: the native backend's differential
+          layer replays it on both backends and compares dumps. [None]
+          for iterative drivers (BFS/MST/SSSP worklists). *)
 }
 
 (** Order-independent fingerprint of an int sequence (commutative mix, so

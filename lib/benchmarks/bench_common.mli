@@ -33,6 +33,10 @@ type spec = {
       (** Drive the loaded program to completion; returns the output
           fingerprint. *)
   reference : unit -> int;  (** Pure-OCaml expected fingerprint. *)
+  native_host : Native.Hostspec.t option;
+      (** The host driver as data ({!Native.Hostspec}) when it is static
+          and its user-visible memory order-independent; [None] for
+          iterative (read-back-driven) drivers. *)
 }
 
 (** Order-independent fingerprint (for set-like outputs). *)

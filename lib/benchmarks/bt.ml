@@ -105,8 +105,8 @@ let reference (d : Workloads.Bezier.t) () =
     d.lines;
   !checksum + !npoints_hash
 
-let run (d : Workloads.Bezier.t) dev =
-  let open Gpusim in
+(* The flattened control-point arrays the driver uploads. *)
+let control_points (d : Workloads.Bezier.t) =
   let n_lines = Array.length d.lines in
   let cpx = Array.make (3 * n_lines) 0.0 and cpy = Array.make (3 * n_lines) 0.0 in
   Array.iteri
@@ -119,6 +119,12 @@ let run (d : Workloads.Bezier.t) dev =
       set 1 ln.p1;
       set 2 ln.p2)
     d.lines;
+  (cpx, cpy)
+
+let run (d : Workloads.Bezier.t) dev =
+  let open Gpusim in
+  let n_lines = Array.length d.lines in
+  let cpx, cpy = control_points d in
   let d_cpx = Device.alloc_floats dev cpx in
   let d_cpy = Device.alloc_floats dev cpy in
   let d_np = Device.alloc_int_zeros dev n_lines in
@@ -160,6 +166,40 @@ let workload (d : Workloads.Bezier.t) : Bench_common.workload =
   in
   { wl_child_sizes = sizes; wl_rounds = 1; wl_parent_block = 128 }
 
+(* The same driver as [run], as data: mallocs write only device-private
+   vertex buffers and the checksum is an integer atomic sum, so the
+   user-visible dump (control points, npoints, checksum) is
+   order-independent. *)
+let native_host (d : Workloads.Bezier.t) : Native.Hostspec.t =
+  let n_lines = Array.length d.lines in
+  let cpx, cpy = control_points d in
+  {
+    Native.Hostspec.ops =
+      [
+        Native.Hostspec.Alloc_floats cpx;
+        Native.Hostspec.Alloc_floats cpy;
+        Native.Hostspec.Alloc_int_zeros n_lines;
+        Native.Hostspec.Alloc_int_zeros 1;
+        Native.Hostspec.Launch
+          {
+            kernel = "bt_parent";
+            grid = ((n_lines + 127) / 128, 1, 1);
+            block = (128, 1, 1);
+            args =
+              [
+                Native.Hostspec.A_buf 0;
+                Native.Hostspec.A_buf 1;
+                Native.Hostspec.A_buf 2;
+                Native.Hostspec.A_buf 3;
+                Native.Hostspec.A_int n_lines;
+                Native.Hostspec.A_int d.max_tessellation;
+                Native.Hostspec.A_float d.curvature_scale;
+              ];
+          };
+        Native.Hostspec.Sync;
+      ];
+  }
+
 let spec ~(dataset : Workloads.Bezier.t) : Bench_common.spec =
   {
     name = "BT";
@@ -171,4 +211,5 @@ let spec ~(dataset : Workloads.Bezier.t) : Bench_common.spec =
     workload = workload dataset;
     run = run dataset;
     reference = reference dataset;
+    native_host = Some (native_host dataset);
   }

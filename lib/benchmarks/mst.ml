@@ -276,6 +276,7 @@ let mstf_spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
     workload = mstf_workload dataset.graph;
     run = mstf_run dataset.graph;
     reference = mstf_reference dataset.graph;
+    native_host = None;
   }
 
 let mstv_spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
@@ -289,4 +290,5 @@ let mstv_spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
     workload = mstv_workload dataset.graph;
     run = mstv_run dataset.graph;
     reference = mstv_reference dataset.graph;
+    native_host = None;
   }

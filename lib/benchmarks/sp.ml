@@ -165,6 +165,44 @@ let run (f : Workloads.Sat.t) dev =
   Bench_common.array_hash
     (Array.map Bench_common.quantize (Device.read_floats dev !old_b a.n_cells))
 
+(* The same driver as [run], as data: surveys are double-buffered (each
+   output cell written by exactly one thread per round), so every buffer
+   in the dump is order-independent. Round r reads the buffer the
+   previous round wrote: eta (buf 4) on even rounds, eta' (buf 5) on
+   odd. *)
+let native_host (f : Workloads.Sat.t) : Native.Hostspec.t =
+  let a = build_arrays f in
+  let open Native.Hostspec in
+  let round r =
+    let old_b, new_b = if r mod 2 = 0 then (4, 5) else (5, 4) in
+    [
+      Launch
+        {
+          kernel = "sp_parent";
+          grid = ((f.n_vars + 127) / 128, 1, 1);
+          block = (128, 1, 1);
+          args =
+            [
+              A_buf 0; A_buf 1; A_buf 2; A_buf 3; A_buf old_b; A_buf new_b;
+              A_int f.n_vars;
+            ];
+        };
+      Sync;
+    ]
+  in
+  {
+    ops =
+      [
+        Alloc_ints a.o_row;
+        Alloc_ints a.o_cidx;
+        Alloc_ints a.o_slot;
+        Alloc_ints a.c_row;
+        Alloc_floats (initial_eta a.n_cells);
+        Alloc_float_zeros a.n_cells;
+      ]
+      @ List.concat (List.init rounds round);
+  }
+
 let spec ~(formula : Workloads.Sat.t) : Bench_common.spec =
   let a = build_arrays formula in
   let max_occ =
@@ -191,4 +229,5 @@ let spec ~(formula : Workloads.Sat.t) : Bench_common.spec =
       { wl_child_sizes = sizes; wl_rounds = rounds; wl_parent_block = 128 };
     run = run formula;
     reference = reference formula;
+    native_host = Some (native_host formula);
   }

@@ -186,4 +186,5 @@ let spec ~(dataset : Workloads.Graph_gen.named) : Bench_common.spec =
     workload = workload dataset.graph;
     run = run dataset.graph;
     reference = reference dataset.graph;
+    native_host = None;
   }

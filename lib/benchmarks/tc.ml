@@ -142,6 +142,35 @@ let run (g : Workloads.Csr.t) ~cap dev =
   ignore (Device.sync dev);
   (Device.read_ints dev d_count 1).(0)
 
+(* The same driver as [run], as data: the only output is the integer
+   triangle counter (atomicAdd), so the dump is order-independent. The
+   unused weight buffer is still allocated to keep buffer ids aligned
+   with [upload_graph]. *)
+let native_host (g : Workloads.Csr.t) ~cap : Native.Hostspec.t =
+  let e_src, e_dst = edge_list ~cap g in
+  let n_edges = Array.length e_src in
+  let open Native.Hostspec in
+  {
+    ops =
+      [
+        Alloc_ints g.row;
+        Alloc_ints g.col;
+        Alloc_ints g.weight;
+        Alloc_ints e_src;
+        Alloc_ints e_dst;
+        Alloc_int_zeros 1;
+        Launch
+          {
+            kernel = "tc_parent";
+            grid = ((n_edges + 127) / 128, 1, 1);
+            block = (128, 1, 1);
+            args =
+              [ A_buf 0; A_buf 1; A_buf 3; A_buf 4; A_buf 5; A_int n_edges ];
+          };
+        Sync;
+      ];
+  }
+
 let spec ?(cap = 6000) ~(dataset : Workloads.Graph_gen.named) () :
     Bench_common.spec =
   let g = Workloads.Csr.sort_neighbors dataset.graph in
@@ -159,4 +188,5 @@ let spec ?(cap = 6000) ~(dataset : Workloads.Graph_gen.named) () :
     workload = { wl_child_sizes = sizes; wl_rounds = 1; wl_parent_block = 128 };
     run = run g ~cap;
     reference = reference g ~cap;
+    native_host = Some (native_host g ~cap);
   }

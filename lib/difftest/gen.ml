@@ -199,14 +199,23 @@ let build (c : case) : program =
         f_body =
           [
             stmt (Decl (TInt, "deg", Some (Int_lit c.degs.(0))));
+            (* same emptiness guard as the multi-row parent: degs.(0) may
+               be 0 and an empty grid is a launch error *)
             stmt
-              (Launch
-                 {
-                   l_kernel = "child";
-                   l_grid = grid;
-                   l_block = Int_lit c.block;
-                   l_args = launch_args ~base:(Int_lit 0) ~k_arg:(Int_lit 0);
-                 });
+              (If
+                 ( Binop (Gt, Var "deg", Int_lit 0),
+                   [
+                     stmt
+                       (Launch
+                          {
+                            l_kernel = "child";
+                            l_grid = grid;
+                            l_block = Int_lit c.block;
+                            l_args =
+                              launch_args ~base:(Int_lit 0) ~k_arg:(Int_lit 0);
+                          });
+                   ],
+                   [] ));
           ];
         f_host_followup = None;
       }

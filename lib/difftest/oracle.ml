@@ -32,10 +32,13 @@
 open Minicu
 
 (** A compiled program variant: transformed source plus the
-    runtime-allocated trailing parameters its kernels expect. *)
+    runtime-allocated trailing parameters its kernels expect — in the
+    simulator runtime's form ([c_auto]) and the pass's own form
+    ([c_auto_raw], which the native backend's emitter consumes). *)
 type compiled = {
   c_prog : Ast.program;
   c_auto : (string * Gpusim.Device.auto_param list) list;
+  c_auto_raw : (string * Dpopt.Aggregation.auto_param list) list;
 }
 
 (** A program transformer under test. [v_opts] is the pipeline combination
@@ -76,7 +79,11 @@ let pipeline_variant (label, opts) : variant =
     v_compile =
       (fun prog ->
         let r = Dpopt.Pipeline.run ~opts prog in
-        { c_prog = r.prog; c_auto = to_device_auto r.auto_params });
+        {
+          c_prog = r.prog;
+          c_auto = to_device_auto r.auto_params;
+          c_auto_raw = r.auto_params;
+        });
   }
 
 (** The default variant set: the 2^3 pass combinations at small knob values
@@ -175,7 +182,11 @@ let broken_coarsening ?(cfactor = 2) () : variant =
               { f with f_body = Ast_util.map_stmts ~stmt:break_stmt f.f_body })
             r.prog
         in
-        { c_prog = prog; c_auto = to_device_auto r.auto_params });
+        {
+          c_prog = prog;
+          c_auto = to_device_auto r.auto_params;
+          c_auto_raw = r.auto_params;
+        });
   }
 
 (** A memory-neutral miscompile only the sanitizer can see: every kernel
@@ -207,7 +218,65 @@ let racy_injection () : variant =
               else { f with f_body = prologue @ f.f_body })
             r.prog
         in
-        { c_prog = prog; c_auto = to_device_auto r.auto_params });
+        {
+          c_prog = prog;
+          c_auto = to_device_auto r.auto_params;
+          c_auto_raw = r.auto_params;
+        });
+  }
+
+(** The cross-{e block} sibling of {!racy_injection}, for the native
+    backend: every kernel that takes the driver's [acc] accumulator gains
+    a prologue loop of {e non-atomic} read-modify-write increments on
+    [acc[3]]. The simulator's deterministic scheduler produces one
+    reproducible count every run; under the native backend's true domain
+    parallelism the lost-update count varies from run to run, so repeated
+    native executions diverge — the effect [check ~native:true] and
+    [dpfuzz --backend native] exist to expose. ({!racy_injection}'s
+    intra-block shared-scratch race stays {e deterministic} natively,
+    because a block's threads are cooperative fibers run in thread-id
+    order between barriers; only cross-block contention exercises real
+    parallelism.) *)
+let racy_global_injection ?(iters = 400) () : variant =
+  let i = "dpfuzz_racy_i" in
+  let acc3 = Ast.Index (Ast.Var "acc", Ast.Int_lit 3) in
+  let prologue =
+    [
+      Ast.stmt
+        (Ast.For
+           ( Some (Ast.stmt (Ast.Decl (Ast.TInt, i, Some (Ast.Int_lit 0)))),
+             Some (Ast.Binop (Ast.Lt, Ast.Var i, Ast.Int_lit iters)),
+             Some
+               (Ast.stmt
+                  (Ast.Assign
+                     (Ast.Var i, Ast.Binop (Ast.Add, Ast.Var i, Ast.Int_lit 1)))),
+             [
+               Ast.stmt
+                 (Ast.Assign (acc3, Ast.Binop (Ast.Add, acc3, Ast.Int_lit 1)));
+             ] ));
+    ]
+  in
+  let takes_acc (f : Ast.func) =
+    List.exists (fun (p : Ast.param) -> p.Ast.p_name = "acc") f.f_params
+  in
+  {
+    v_label = "CDP[racy: cross-block unsynchronized global RMW]";
+    v_opts = Some Dpopt.Pipeline.none;
+    v_compile =
+      (fun prog ->
+        let r = Dpopt.Pipeline.run ~opts:Dpopt.Pipeline.none prog in
+        let prog =
+          List.map
+            (fun (f : Ast.func) ->
+              if f.f_kind <> Ast.Global || not (takes_acc f) then f
+              else { f with f_body = prologue @ f.f_body })
+            r.prog
+        in
+        {
+          c_prog = prog;
+          c_auto = to_device_auto r.auto_params;
+          c_auto_raw = r.auto_params;
+        });
   }
 
 (** {1 Simulator configurations} *)
@@ -357,6 +426,50 @@ let metric_diff ~(v : variant) ~(base : observation) (got : observation) =
         else None
     | _ -> None
 
+(** {1 The native axis}
+
+    With [check ~native:true] every variant inside the native backend's
+    supported subset is additionally transpiled to parallel OCaml
+    ({!Native.Emit}), compiled and executed on host domains
+    ({!Native.Build}), and its memory dump is required to be
+    byte-identical to the simulated baseline's. Launch metrics are
+    exempt — the native runtime has no cycle model — so the axis checks
+    {e memory equivalence only}. Variants the emitter rejects (warp/grid
+    aggregation granularities, [__threadfence]) are skipped: rejection is
+    pinned separately by the negative tests. *)
+
+(* The oracle's host driver (see [run]) as a backend-neutral spec, so the
+   emitted OCaml driver performs the same allocations and launch. *)
+let native_host (prog : Ast.program) (case : Gen.case) : Native.Hostspec.t =
+  let nv = Array.length case.degs in
+  let parent = Ast.find_func_exn prog "parent" in
+  let args =
+    List.filter_map
+      (fun (p : Ast.param) ->
+        match p.p_name with
+        | "rows" -> Some (Native.Hostspec.A_buf 0)
+        | "data" -> Some (Native.Hostspec.A_buf 1)
+        | "acc" -> Some (Native.Hostspec.A_buf 2)
+        | "nv" -> Some (Native.Hostspec.A_int nv)
+        | _ -> None)
+      parent.f_params
+  in
+  let wide =
+    List.exists (fun (p : Ast.param) -> p.p_name = "nv") parent.f_params
+  in
+  let grid = if wide then ((nv + 31) / 32, 1, 1) else (1, 1, 1) in
+  let block = if wide then (32, 1, 1) else (1, 1, 1) in
+  {
+    Native.Hostspec.ops =
+      [
+        Native.Hostspec.Alloc_ints (Gen.rows_of case);
+        Native.Hostspec.Alloc_ints (Gen.data_of case);
+        Native.Hostspec.Alloc_int_zeros 4;
+        Native.Hostspec.Launch { kernel = "parent"; grid; block; args };
+        Native.Hostspec.Sync;
+      ];
+  }
+
 (** {1 The check} *)
 
 type failure = {
@@ -381,6 +494,70 @@ type outcome = Pass | Fail of failure | Invalid of string
 let baseline_variant =
   pipeline_variant (Dpopt.Pipeline.label Dpopt.Pipeline.none, Dpopt.Pipeline.none)
 
+(* One native executable bundling the baseline and every emitter-supported
+   variant; each dump section must equal the simulated baseline's dump.
+   Called only after the simulator-side checks passed, so the baseline is
+   known to compile and run. *)
+let check_native ~(compiled : (variant * (compiled, exn) result) list)
+    ~(base_compiled : compiled) (case : Gen.case) : failure option =
+  match Native.Emit.supported base_compiled.c_prog with
+  | Some _ -> None (* the case itself is outside the native subset *)
+  | None -> (
+      let host = native_host base_compiled.c_prog case in
+      let units =
+        List.filter_map
+          (fun (v, c) ->
+            match c with
+            | Error _ -> None
+            | Ok c when Native.Emit.supported c.c_prog <> None -> None
+            | Ok c ->
+                Some
+                  ( v,
+                    {
+                      Native.Emit.vu_label = v.v_label;
+                      vu_prog = c.c_prog;
+                      vu_autos = c.c_auto_raw;
+                    } ))
+          ((baseline_variant, Ok base_compiled) :: compiled)
+      in
+      let fail v_label reason =
+        Some
+          {
+            f_variant = v_label;
+            f_config = "(native)";
+            f_engine = Some "native";
+            f_reason = reason;
+          }
+      in
+      match
+        Native.Build.compile_and_run
+          ~source:(Native.Emit.unit_source ~variants:(List.map snd units) ~host)
+          ()
+      with
+      | exception exn ->
+          fail (List.hd units |> fun (v, _) -> v.v_label)
+            (Fmt.str "native build/run raised: %s" (Printexc.to_string exn))
+      | out ->
+          let secs = Native.Build.sections out in
+          let sim_dump =
+            Native.Hostspec.render_dump
+              (Native.Hostspec.run_sim ~cfg:Gpusim.Config.test_config
+                 base_compiled.c_prog ~auto_params:base_compiled.c_auto_raw
+                 host)
+          in
+          List.find_map
+            (fun ((v : variant), (u : Native.Emit.variant_unit)) ->
+              match List.assoc_opt u.vu_label secs with
+              | None -> fail v.v_label "native run produced no dump section"
+              | Some native when String.equal native sim_dump -> None
+              | Some native ->
+                  fail v.v_label
+                    (Fmt.str
+                       "native memory differs from simulated baseline:@.-- \
+                        native --@.%s-- simulated --@.%s"
+                       native sim_dump))
+            units)
+
 (** [check ?sanitize ?engines ?variants ?configs case] — compile every
     variant once, then for each configuration run the baseline (under the
     first engine of [engines]) and every variant under every engine, and
@@ -391,10 +568,15 @@ let baseline_variant =
     — to be sanitizer-clean: no static divergence/bounds errors
     ({!Analysis.Static}) and no dynamic races (every run replays with
     {!Gpusim.Config.t.check} set). A racy or divergent variant fails even
-    when its device memory is bit-identical to the baseline. *)
-let check ?(sanitize = false) ?(engines = [ closure_engine ])
-    ?(variants = default_variants ()) ?(configs = sim_configs)
-    (case : Gen.case) : outcome =
+    when its device memory is bit-identical to the baseline.
+
+    With [~native:true] (dpfuzz's [--backend native]) each supported
+    variant is also transpiled, compiled and run as parallel OCaml and
+    its memory dump compared against the simulated baseline — slow (a
+    nested dune build per case) but a true-parallelism oracle. *)
+let check ?(sanitize = false) ?(native = false)
+    ?(engines = [ closure_engine ]) ?(variants = default_variants ())
+    ?(configs = sim_configs) (case : Gen.case) : outcome =
   let engines = match engines with [] -> [ closure_engine ] | l -> l in
   let base_engine_label, base_engine = List.hd engines in
   let configs =
@@ -533,4 +715,9 @@ let check ?(sanitize = false) ?(engines = [ closure_engine ])
               match List.find_map check_config configs with
               | Some (`Fail f) -> Fail f
               | Some (`Invalid msg) -> Invalid msg
-              | None -> Pass)))
+              | None -> (
+                  if not native then Pass
+                  else
+                    match check_native ~compiled ~base_compiled case with
+                    | Some f -> Fail f
+                    | None -> Pass))))

@@ -1,0 +1,26 @@
+(** The test-iteration environment knobs, consolidated.
+
+    Every repeat-count knob the dune aliases honor is declared here once,
+    with its default, so binaries and docs cannot drift: the alias rules
+    declare [(env_var NAME)] dependencies and the binaries resolve the
+    value through {!get}. The README's knob table is generated from the
+    same defaults (see test/test_env.ml, which pins the two in sync). *)
+
+type knob = {
+  name : string;  (** Environment variable name. *)
+  default : int;  (** Used when the variable is unset or malformed. *)
+  doc : string;  (** One-line description for the README table. *)
+}
+
+(** All knobs, in documentation order. *)
+val knobs : knob list
+
+(** [get name] — the knob's value: the environment variable if set to a
+    positive integer (surrounding whitespace ignored), its declared
+    default otherwise. @raise Invalid_argument on a name not in
+    {!knobs}. *)
+val get : string -> int
+
+(** [default name] — the declared default. @raise Invalid_argument on an
+    unknown name. *)
+val default : string -> int

@@ -1,0 +1,111 @@
+(** Compile-and-run of emitted native programs.
+
+    Each program becomes a throwaway dune project in a fresh temp
+    directory: [dune-project], a two-module executable ([main.ml] — the
+    emitted source — plus [nrt.ml], the runtime copied verbatim from
+    {!Runtime_source}), built with the ambient [dune] and executed. The
+    invocation scrubs [INSIDE_DUNE] so the nested build works from within
+    [dune runtest] sandboxes. *)
+
+exception Build_error of string
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let read_file_opt path = try Some (read_file path) with Sys_error _ -> None
+
+let scratch_dune =
+  "(executable\n (name main)\n (modules main nrt)\n (flags (:standard -w -a)))\n"
+
+(* Nested dune must not inherit the outer build's environment:
+   INSIDE_DUNE makes dune refuse to run (or worse, talk to the outer
+   build), and DUNE_SOURCEROOT confuses root discovery. *)
+let scrubbed_cmd ~dir cmd =
+  Printf.sprintf
+    "cd %s && env -u INSIDE_DUNE -u DUNE_SOURCEROOT -u DUNE_CONFIG__GLOBAL_LOCK \
+     %s"
+    (Filename.quote dir) cmd
+
+(* [run_logged ~dir ~log cmd] — run [cmd] in [dir] with its own
+   redirections already spelled out; on a nonzero exit, raise with the
+   tail of [log]. *)
+let run_logged ~dir ~log cmd =
+  let rc = Sys.command (scrubbed_cmd ~dir cmd) in
+  if rc <> 0 then begin
+    let tail =
+      match read_file_opt (Filename.concat dir log) with
+      | Some s -> s
+      | None -> "(no log)"
+    in
+    raise
+      (Build_error
+         (Fmt.str "%s failed with exit code %d in %s:@.%s" cmd rc dir tail))
+  end
+
+(** [compile_and_run ~source ()] — write the scratch project, build it,
+    run it once, and return the program's stdout. The directory is
+    removed on success and kept (its path embedded in the exception) on
+    failure; [~keep:true] always keeps it. [~runs] > 1 reruns the
+    executable and returns every run's stdout (one compile, n runs) —
+    the divergence smoke uses this. *)
+let compile_and_run_many ?(keep = false) ?(runs = 1) ~source () :
+    string list =
+  let dir = Filename.temp_dir "dpnative" "" in
+  write_file (Filename.concat dir "dune-project") "(lang dune 3.0)\n";
+  write_file (Filename.concat dir "dune") scratch_dune;
+  write_file (Filename.concat dir "nrt.ml") Runtime_source.source;
+  write_file (Filename.concat dir "main.ml") source;
+  run_logged ~dir ~log:"build.log"
+    "dune build --root . ./main.exe > build.log 2>&1";
+  let outs =
+    List.init (max 1 runs) (fun _ ->
+        run_logged ~dir ~log:"run.log"
+          "./_build/default/main.exe > out.txt 2> run.log";
+        read_file (Filename.concat dir "out.txt"))
+  in
+  if not keep then
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  outs
+
+let compile_and_run ?keep ~source () : string =
+  List.hd (compile_and_run_many ?keep ~runs:1 ~source ())
+
+(** Split a multi-variant program's stdout into its labeled sections:
+    ["== <label> ==\n<body>"] becomes [(label, body)], in order. *)
+let sections (out : string) : (string * string) list =
+  let lines = String.split_on_char '\n' out in
+  let flush label acc secs =
+    match label with
+    | None -> secs
+    | Some l ->
+        (* Drop trailing blank lines, then restore the single trailing
+           newline every non-empty dump carries, so middle and final
+           sections render identically. *)
+        let rec drop = function "" :: tl -> drop tl | ls -> ls in
+        let body =
+          match drop acc with
+          | [] -> ""
+          | ls -> String.concat "\n" (List.rev ls) ^ "\n"
+        in
+        (l, body) :: secs
+  in
+  let rec go label acc secs = function
+    | [] -> List.rev (flush label acc secs)
+    | line :: rest ->
+        let n = String.length line in
+        if n > 6 && String.sub line 0 3 = "== " && String.sub line (n - 3) 3 = " =="
+        then
+          let l = String.sub line 3 (n - 6) in
+          go (Some l) [] (flush label acc secs) rest
+        else go label (line :: acc) secs rest
+  in
+  go None [] [] lines

@@ -31,6 +31,8 @@ let render ~file = function
       | None -> Some (Fmt.str "%s: type error: %s" file msg))
   | Analysis.Dynamic.Bad_directive msg ->
       Some (Fmt.str "%s: bad CHECK-RUN directive: %s" file msg)
+  | Native.Emit.Unsupported (loc, msg) ->
+      Some (Fmt.str "%a: native backend: %s" Minicu.Loc.pp loc msg)
   | Sys_error msg ->
       (* Sys_error messages sometimes carry the path ("f: No such file or
          directory") and sometimes don't ("Is a directory", raised by

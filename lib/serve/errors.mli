@@ -7,7 +7,9 @@
 (** [render ~file exn] — [Some] one-line, loc-bearing diagnostic for the
     recognized user-input failures of compiling [file] (front-end
     {!Minicu.Loc.Error}, {!Minicu.Typecheck.Type_error}, bad CHECK-RUN
-    directives, [Sys_error] from reading the input); [None] for anything
+    directives, constructs the native backend rejects
+    ({!Native.Emit.Unsupported}), [Sys_error] from reading the input);
+    [None] for anything
     else (an internal error). Diagnostics lead with ["file:line:col: "]
     when a location is known, ["file: "] otherwise. *)
 val render : file:string -> exn -> string option

@@ -1,0 +1,30 @@
+(* MiniCU transpiled to parallel OCaml by the native backend. *)
+let rec k_tally (t : Nrt.tctx) (_args : Nrt.v array) : unit =
+  let v_counters = ref _args.(0) in
+  let v_data = ref _args.(1) in
+  let v_n = ref _args.(2) in
+  (try
+    let v_i = ref (let _t2 = (let _t0 = (Nrt.member (Nrt.block_idx t) "x") in let _t1 = (Nrt.member (Nrt.block_dim t) "x") in Nrt.mul _t0 _t1) in let _t3 = (Nrt.member (Nrt.thread_idx t) "x") in Nrt.add _t2 _t3) in
+    if Nrt.as_bool (let _t39 = !v_i in let _t40 = !v_n in Nrt.lt _t39 _t40) then begin
+      let v_v = ref (let _t4 = !v_data in let _t5 = !v_i in Nrt.load t _t4 _t5) in
+      ignore (let _t8 = (let _t6 = !v_counters in let _t7 = (Nrt.Int (0)) in Nrt.addr _t6 _t7) in let _t9 = !v_v in Nrt.atomic_add t _t8 _t9);
+      ignore (let _t12 = (let _t10 = !v_counters in let _t11 = (Nrt.Int (1)) in Nrt.addr _t10 _t11) in let _t13 = !v_v in Nrt.atomic_sub t _t12 _t13);
+      ignore (let _t16 = (let _t14 = !v_counters in let _t15 = (Nrt.Int (2)) in Nrt.addr _t14 _t15) in let _t17 = !v_v in Nrt.atomic_min t _t16 _t17);
+      ignore (let _t20 = (let _t18 = !v_counters in let _t19 = (Nrt.Int (3)) in Nrt.addr _t18 _t19) in let _t21 = !v_v in Nrt.atomic_max t _t20 _t21);
+      ignore (let _t24 = (let _t22 = !v_counters in let _t23 = (Nrt.Int (4)) in Nrt.addr _t22 _t23) in let _t25 = !v_v in Nrt.atomic_exch t _t24 _t25);
+      let v_seen = ref (let _t26 = !v_counters in let _t27 = (Nrt.Int (5)) in Nrt.load t _t26 _t27) in
+      (try
+        while Nrt.as_bool (let _t37 = (let _t34 = (let _t32 = !v_counters in let _t33 = (Nrt.Int (5)) in Nrt.addr _t32 _t33) in let _t35 = !v_seen in let _t36 = (let _t30 = !v_seen in let _t31 = !v_v in Nrt.add _t30 _t31) in Nrt.atomic_cas t _t34 _t35 _t36) in let _t38 = !v_seen in Nrt.ne _t37 _t38) do
+          (try
+            v_seen := (let _t28 = !v_counters in let _t29 = (Nrt.Int (5)) in Nrt.load t _t28 _t29)
+          with Nrt.Cont -> ())
+        done
+      with Nrt.Brk -> ())
+    end else begin
+      ()
+    end
+  with Nrt.Ret _ -> ())
+
+let kernels : Nrt.kernel list = [
+  { Nrt.k_name = "tally"; k_arity = 3; k_fn = k_tally };
+]

@@ -1,0 +1,53 @@
+(* MiniCU transpiled to parallel OCaml by the native backend. *)
+let rec f_clamp (t : Nrt.tctx) (_a0 : Nrt.v) (_a1 : Nrt.v) (_a2 : Nrt.v) : Nrt.v =
+  let v_v = ref _a0 in
+  let v_lo = ref _a1 in
+  let v_hi = ref _a2 in
+  (try
+    if Nrt.as_bool (let _t0 = !v_v in let _t1 = !v_lo in Nrt.lt _t0 _t1) then begin
+      raise_notrace (Nrt.Ret !v_lo)
+    end else begin
+      ()
+    end;
+    if Nrt.as_bool (let _t2 = !v_v in let _t3 = !v_hi in Nrt.gt _t2 _t3) then begin
+      raise_notrace (Nrt.Ret !v_hi)
+    end else begin
+      ()
+    end;
+    raise_notrace (Nrt.Ret !v_v);
+    Nrt.Unit
+  with Nrt.Ret _r -> _r)
+and f_wrap (t : Nrt.tctx) (_a0 : Nrt.v) (_a1 : Nrt.v) : Nrt.v =
+  let v_v = ref _a0 in
+  let v_n = ref _a1 in
+  (try
+    raise_notrace (Nrt.Ret (let _t4 = (let _t0 = !v_v in let _t1 = !v_n in Nrt.mod_ _t0 _t1) in let _t5 = (Nrt.Int (0)) in let _t6 = (let _t2 = !v_n in let _t3 = (Nrt.Int (1)) in Nrt.sub _t2 _t3) in f_clamp t _t4 _t5 _t6));
+    Nrt.Unit
+  with Nrt.Ret _r -> _r)
+and f_bump (t : Nrt.tctx) (_a0 : Nrt.v) (_a1 : Nrt.v) (_a2 : Nrt.v) : Nrt.v =
+  let v_p = ref _a0 in
+  let v_i = ref _a1 in
+  let v_by = ref _a2 in
+  (try
+    (let _t4 = !v_p in let _t5 = !v_i in let _t6 = (let _t2 = (let _t0 = !v_p in let _t1 = !v_i in Nrt.load t _t0 _t1) in let _t3 = !v_by in Nrt.add _t2 _t3) in Nrt.store t _t4 _t5 _t6);
+    Nrt.Unit
+  with Nrt.Ret _r -> _r)
+and k_k (t : Nrt.tctx) (_args : Nrt.v array) : unit =
+  let v_o = ref _args.(0) in
+  let v_n = ref _args.(1) in
+  (try
+    let v_i = ref (let _t2 = (let _t0 = (Nrt.member (Nrt.block_idx t) "x") in let _t1 = (Nrt.member (Nrt.block_dim t) "x") in Nrt.mul _t0 _t1) in let _t3 = (Nrt.member (Nrt.thread_idx t) "x") in Nrt.add _t2 _t3) in
+    (let v_r = ref (Nrt.Int (0)) in
+    (try
+      while Nrt.as_bool (let _t4 = !v_r in let _t5 = (Nrt.Int (3)) in Nrt.lt _t4 _t5) do
+        (try
+          ignore (let _t13 = !v_o in let _t14 = (let _t8 = (let _t6 = !v_i in let _t7 = !v_r in Nrt.add _t6 _t7) in let _t9 = !v_n in f_wrap t _t8 _t9) in let _t15 = (let _t10 = !v_r in let _t11 = (Nrt.Int (0)) in let _t12 = (Nrt.Int (2)) in f_clamp t _t10 _t11 _t12) in f_bump t _t13 _t14 _t15)
+        with Nrt.Cont -> ());
+        v_r := (let _t16 = !v_r in let _t17 = (Nrt.Int (1)) in Nrt.add _t16 _t17)
+      done
+    with Nrt.Brk -> ()))
+  with Nrt.Ret _ -> ())
+
+let kernels : Nrt.kernel list = [
+  { Nrt.k_name = "k"; k_arity = 2; k_fn = k_k };
+]

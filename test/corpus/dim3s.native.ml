@@ -1,0 +1,28 @@
+(* MiniCU transpiled to parallel OCaml by the native backend. *)
+let rec k_child (t : Nrt.tctx) (_args : Nrt.v array) : unit =
+  let v_o = ref _args.(0) in
+  (try
+    let v_i = ref (let _t2 = (let _t0 = (Nrt.member (Nrt.block_idx t) "x") in let _t1 = (Nrt.member (Nrt.block_dim t) "y") in Nrt.mul _t0 _t1) in let _t3 = (Nrt.member (Nrt.thread_idx t) "z") in Nrt.add _t2 _t3) in
+    (let _t6 = !v_o in let _t7 = !v_i in let _t8 = (let _t4 = (Nrt.member (Nrt.grid_dim t) "x") in let _t5 = (Nrt.member (Nrt.block_dim t) "z") in Nrt.add _t4 _t5) in Nrt.store t _t6 _t7 _t8)
+  with Nrt.Ret _ -> ())
+and k_k (t : Nrt.tctx) (_args : Nrt.v array) : unit =
+  let v_o = ref _args.(0) in
+  let v_n = ref _args.(1) in
+  (try
+    if Nrt.as_bool (Nrt.Bool (Nrt.as_bool (let _t23 = (Nrt.member (Nrt.thread_idx t) "x") in let _t24 = (Nrt.Int (0)) in Nrt.eq _t23 _t24) && Nrt.as_bool (let _t21 = (Nrt.member (Nrt.block_idx t) "x") in let _t22 = (Nrt.Int (0)) in Nrt.eq _t21 _t22))) then begin
+      let v_g = ref (let _t0 = !v_n in let _t1 = (Nrt.Int (2)) in let _t2 = (Nrt.Int (1)) in Nrt.Dim3 (Nrt.as_int _t0, Nrt.as_int _t1, Nrt.as_int _t2)) in
+      let v_b = ref (Nrt.Dim3 (1, 1, 1)) in
+      (let _t3 = !v_b in let _t4 = (Nrt.Int (8)) in v_b := Nrt.set_member _t3 "x" _t4);
+      (let _t5 = !v_b in let _t6 = (Nrt.member !v_g "y") in v_b := Nrt.set_member _t5 "y" _t6);
+      (let _t7 = !v_g in let _t8 = (let _t9 = (Nrt.member !v_b "x") in let _t10 = (Nrt.Int (8)) in Nrt.div _t9 _t10) in v_g := Nrt.set_member _t7 "z" _t8);
+      (let _t11 = !v_g in let _t12 = !v_b in let _t13 = !v_o in Nrt.launch t "child" _t11 _t12 [_t13]);
+      (let _t18 = (let _t16 = (let _t14 = !v_n in let _t15 = (Nrt.Int (2)) in Nrt.div _t14 _t15) in let _t17 = (Nrt.Int (1)) in Nrt.add _t16 _t17) in let _t19 = (Nrt.Int (4)) in let _t20 = !v_o in Nrt.launch t "child" _t18 _t19 [_t20])
+    end else begin
+      ()
+    end
+  with Nrt.Ret _ -> ())
+
+let kernels : Nrt.kernel list = [
+  { Nrt.k_name = "child"; k_arity = 1; k_fn = k_child };
+  { Nrt.k_name = "k"; k_arity = 2; k_fn = k_k };
+]

@@ -1,0 +1,21 @@
+(* MiniCU transpiled to parallel OCaml by the native backend. *)
+let rec k_fmath (t : Nrt.tctx) (_args : Nrt.v array) : unit =
+  let v_o = ref _args.(0) in
+  let v_iv = ref _args.(1) in
+  let v_n = ref _args.(2) in
+  (try
+    let v_i = ref (let _t2 = (let _t0 = (Nrt.member (Nrt.block_idx t) "x") in let _t1 = (Nrt.member (Nrt.block_dim t) "x") in Nrt.mul _t0 _t1) in let _t3 = (Nrt.member (Nrt.thread_idx t) "x") in Nrt.add _t2 _t3) in
+    if Nrt.as_bool (let _t38 = !v_i in let _t39 = !v_n in Nrt.lt _t38 _t39) then begin
+      let v_x = ref (let _t6 = (Nrt.Float (Nrt.as_float (let _t4 = !v_iv in let _t5 = !v_i in Nrt.load t _t4 _t5))) in let _t7 = (Nrt.Float (Int64.float_of_bits 0x4010000000000000L)) in Nrt.div _t6 _t7) in
+      let v_y = ref (let _t12 = (Nrt.sqrt_ (Nrt.fabs (let _t10 = !v_x in let _t11 = (Nrt.Float (Int64.float_of_bits 0x4004000000000000L)) in Nrt.sub _t10 _t11))) in let _t13 = (let _t8 = (Nrt.Float (Int64.float_of_bits 0x4000000000000000L)) in let _t9 = (Nrt.Float (Int64.float_of_bits 0x4008000000000000L)) in Nrt.pow_ _t8 _t9) in Nrt.add _t12 _t13) in
+      let v_z = ref (let _t18 = (let _t16 = (let _t14 = (Nrt.ceil_ !v_x) in let _t15 = (Nrt.floor_ !v_y) in Nrt.mul _t14 _t15) in let _t17 = (Nrt.exp_ (Nrt.Float (Int64.float_of_bits 0x0L))) in Nrt.sub _t16 _t17) in let _t19 = (Nrt.log_ (Nrt.Float (Int64.float_of_bits 0x3ff0000000000000L))) in Nrt.add _t18 _t19) in
+      (let _t28 = !v_o in let _t29 = !v_i in let _t30 = (let _t26 = (let _t24 = !v_x in let _t25 = !v_y in Nrt.min_ _t24 _t25) in let _t27 = (let _t22 = (let _t20 = !v_z in let _t21 = (Nrt.Float (Int64.float_of_bits 0x3fc0000000000000L)) in Nrt.max_ _t20 _t21) in let _t23 = (Nrt.Float (Int64.float_of_bits 0x4062c00000000000L)) in Nrt.mul _t22 _t23) in Nrt.add _t26 _t27) in Nrt.store t _t28 _t29 _t30);
+      (let _t35 = !v_iv in let _t36 = !v_i in let _t37 = (Nrt.Int (Nrt.as_int (let _t33 = (let _t31 = !v_o in let _t32 = !v_i in Nrt.load t _t31 _t32) in let _t34 = (Nrt.Float (Int64.float_of_bits 0x3fe0000000000000L)) in Nrt.add _t33 _t34))) in Nrt.store t _t35 _t36 _t37)
+    end else begin
+      ()
+    end
+  with Nrt.Ret _ -> ())
+
+let kernels : Nrt.kernel list = [
+  { Nrt.k_name = "fmath"; k_arity = 3; k_fn = k_fmath };
+]

@@ -1,0 +1,55 @@
+(* MiniCU transpiled to parallel OCaml by the native backend. *)
+let rec k_loops (t : Nrt.tctx) (_args : Nrt.v array) : unit =
+  let v_o = ref _args.(0) in
+  let v_n = ref _args.(1) in
+  (try
+    let v_acc = ref (Nrt.Int (0)) in
+    (let v_i = ref (Nrt.Int (0)) in
+    (try
+      while Nrt.as_bool (let _t0 = !v_i in let _t1 = !v_n in Nrt.lt _t0 _t1) do
+        (try
+          (let v_j = ref !v_i in
+          (try
+            while Nrt.as_bool (let _t2 = !v_j in let _t3 = !v_n in Nrt.lt _t2 _t3) do
+              (try
+                if Nrt.as_bool (let _t8 = (let _t6 = (let _t4 = !v_i in let _t5 = !v_j in Nrt.add _t4 _t5) in let _t7 = (Nrt.Int (3)) in Nrt.mod_ _t6 _t7) in let _t9 = (Nrt.Int (0)) in Nrt.eq _t8 _t9) then begin
+                  raise_notrace Nrt.Cont
+                end else begin
+                  ()
+                end;
+                v_acc := (let _t12 = !v_acc in let _t13 = (let _t10 = !v_i in let _t11 = !v_j in Nrt.mul _t10 _t11) in Nrt.add _t12 _t13)
+              with Nrt.Cont -> ());
+              v_j := (let _t14 = !v_j in let _t15 = (Nrt.Int (1)) in Nrt.add _t14 _t15)
+            done
+          with Nrt.Brk -> ()))
+        with Nrt.Cont -> ());
+        v_i := (let _t16 = !v_i in let _t17 = (Nrt.Int (1)) in Nrt.add _t16 _t17)
+      done
+    with Nrt.Brk -> ()));
+    let v_k = ref (Nrt.Int (0)) in
+    (try
+      while Nrt.as_bool (Nrt.Bool true) do
+        (try
+          v_k := (let _t18 = !v_k in let _t19 = (Nrt.Int (1)) in Nrt.add _t18 _t19);
+          if Nrt.as_bool (let _t20 = !v_k in let _t21 = !v_n in Nrt.ge _t20 _t21) then begin
+            raise_notrace Nrt.Brk
+          end else begin
+            ()
+          end
+        with Nrt.Cont -> ())
+      done
+    with Nrt.Brk -> ());
+    (try
+      while true do
+        (try
+          v_acc := (let _t22 = !v_acc in let _t23 = (Nrt.Int (1)) in Nrt.add _t22 _t23);
+          raise_notrace Nrt.Brk
+        with Nrt.Cont -> ());
+      done
+    with Nrt.Brk -> ());
+    (let _t26 = !v_o in let _t27 = (Nrt.member (Nrt.thread_idx t) "x") in let _t28 = (let _t24 = !v_acc in let _t25 = !v_k in Nrt.add _t24 _t25) in Nrt.store t _t26 _t27 _t28)
+  with Nrt.Ret _ -> ())
+
+let kernels : Nrt.kernel list = [
+  { Nrt.k_name = "loops"; k_arity = 2; k_fn = k_loops };
+]

@@ -1,0 +1,36 @@
+(* MiniCU transpiled to parallel OCaml by the native backend. *)
+let rec k_child (t : Nrt.tctx) (_args : Nrt.v array) : unit =
+  let v_data = ref _args.(0) in
+  let v_base = ref _args.(1) in
+  let v_n = ref _args.(2) in
+  (try
+    let v_i = ref (let _t2 = (let _t0 = (Nrt.member (Nrt.block_idx t) "x") in let _t1 = (Nrt.member (Nrt.block_dim t) "x") in Nrt.mul _t0 _t1) in let _t3 = (Nrt.member (Nrt.thread_idx t) "x") in Nrt.add _t2 _t3) in
+    if Nrt.as_bool (let _t17 = !v_i in let _t18 = !v_n in Nrt.lt _t17 _t18) then begin
+      (let _t14 = !v_data in let _t15 = (let _t12 = !v_base in let _t13 = !v_i in Nrt.add _t12 _t13) in let _t16 = (let _t10 = (let _t8 = (let _t6 = !v_data in let _t7 = (let _t4 = !v_base in let _t5 = !v_i in Nrt.add _t4 _t5) in Nrt.load t _t6 _t7) in let _t9 = (Nrt.Int (2)) in Nrt.mul _t8 _t9) in let _t11 = (Nrt.Int (1)) in Nrt.add _t10 _t11) in Nrt.store t _t14 _t15 _t16)
+    end else begin
+      ()
+    end
+  with Nrt.Ret _ -> ())
+and k_parent (t : Nrt.tctx) (_args : Nrt.v array) : unit =
+  let v_rows = ref _args.(0) in
+  let v_data = ref _args.(1) in
+  let v_n = ref _args.(2) in
+  (try
+    let v_v = ref (let _t2 = (let _t0 = (Nrt.member (Nrt.block_idx t) "x") in let _t1 = (Nrt.member (Nrt.block_dim t) "x") in Nrt.mul _t0 _t1) in let _t3 = (Nrt.member (Nrt.thread_idx t) "x") in Nrt.add _t2 _t3) in
+    if Nrt.as_bool (let _t25 = !v_v in let _t26 = !v_n in Nrt.lt _t25 _t26) then begin
+      let v_start = ref (let _t4 = !v_rows in let _t5 = !v_v in Nrt.load t _t4 _t5) in
+      let v_deg = ref (let _t12 = (let _t10 = !v_rows in let _t11 = (let _t8 = !v_v in let _t9 = (Nrt.Int (1)) in Nrt.add _t8 _t9) in Nrt.load t _t10 _t11) in let _t13 = (let _t6 = !v_rows in let _t7 = !v_v in Nrt.load t _t6 _t7) in Nrt.sub _t12 _t13) in
+      if Nrt.as_bool (let _t23 = !v_deg in let _t24 = (Nrt.Int (0)) in Nrt.gt _t23 _t24) then begin
+        (let _t18 = (let _t16 = (let _t14 = !v_deg in let _t15 = (Nrt.Int (31)) in Nrt.add _t14 _t15) in let _t17 = (Nrt.Int (32)) in Nrt.div _t16 _t17) in let _t19 = (Nrt.Int (32)) in let _t20 = !v_data in let _t21 = !v_start in let _t22 = !v_deg in Nrt.launch t "child" _t18 _t19 [_t20; _t21; _t22])
+      end else begin
+        ()
+      end
+    end else begin
+      ()
+    end
+  with Nrt.Ret _ -> ())
+
+let kernels : Nrt.kernel list = [
+  { Nrt.k_name = "child"; k_arity = 3; k_fn = k_child };
+  { Nrt.k_name = "parent"; k_arity = 3; k_fn = k_parent };
+]

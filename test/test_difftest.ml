@@ -74,7 +74,9 @@ let suite =
         Alcotest.(check bool) "shrinking made progress" true
           (Shrink.case_size small < Shrink.case_size case);
         let lines = Gen.source_lines small in
-        if lines > 10 then
+        (* smallest idiomatic reproducer: a guarded single-site parent
+           (the emptiness guard costs 2 lines) plus a minimal child *)
+        if lines > 12 then
           Alcotest.failf "shrunk reproducer has %d non-empty lines:\n%s" lines
             (Gen.source small));
     t "sanitize mode passes honest variants" (fun () ->

@@ -36,4 +36,6 @@ let () =
       ("autotune+csv+ablation", Test_autotune.suite);
       ("costmodel", Test_costmodel.suite);
       ("serve", Test_serve.suite);
+      ("native", Test_native.suite);
+      ("env", Test_env.suite);
     ]
