@@ -177,6 +177,80 @@ let backend =
            against the simulator). The native backend needs a static host \
            driver and so only covers BT, SP and TC.")
 
+let tenants =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tenants" ] ~docv:"N"
+        ~doc:
+          "Multi-tenant mode: instead of one benchmark cell, run $(docv) \
+           concurrent host streams of bursty nested-launch jobs against one \
+           shared simulated device — under the baseline pipeline and the \
+           optimized one, each also isolated per tenant — and report \
+           per-tenant latency percentiles, slowdown vs isolated, Jain \
+           fairness and launch-queue wait attribution. Writes the \
+           $(b,BENCH_mt.json) artifact (see $(b,--mt-out)).")
+
+let policy =
+  Arg.(
+    value & opt string "fair"
+    & info [ "policy" ] ~docv:"P"
+        ~doc:
+          "Admission policy for $(b,--tenants): $(b,fifo), $(b,rr), \
+           $(b,fair), $(b,fair:w1,w2,..), $(b,priority) or \
+           $(b,priority:bound).")
+
+let mt_seed =
+  Arg.(
+    value & opt int 42
+    & info [ "mt-seed" ] ~docv:"SEED"
+        ~doc:"Traffic seed for $(b,--tenants); runs are byte-identical per seed.")
+
+let mt_jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mt-jobs" ] ~docv:"N"
+        ~doc:
+          "Jobs per tenant for $(b,--tenants) (default: the MT_SMOKE_JOBS \
+           knob, read through Harness.Env).")
+
+let slots =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slots" ] ~docv:"N"
+        ~doc:
+          "Concurrent admitted jobs device-wide for $(b,--tenants) \
+           (default: two per tenant, so the measured interference is \
+           device contention, not admission queueing).")
+
+let mt_out =
+  Arg.(
+    value & opt string "BENCH_mt.json"
+    & info [ "mt-out" ] ~docv:"FILE"
+        ~doc:"Where $(b,--tenants) writes the multi-tenant JSON artifact.")
+
+let min_fairness =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-fairness" ] ~docv:"F"
+        ~doc:
+          "With $(b,--tenants): exit 1 unless the optimized pipeline's Jain \
+           fairness index is at least $(docv). The $(b,@mt) alias gates on \
+           this.")
+
+let min_recovery =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-recovery" ] ~docv:"R"
+        ~doc:
+          "With $(b,--tenants): exit 1 unless baseline mean slowdown \
+           exceeds optimized mean slowdown by at least the factor $(docv). \
+           The $(b,@mt) alias gates on this.")
+
 let run_sweep ~jobs ~size ~out ~csv_out ~costmodel_out =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Harness.Pool.default_jobs ()
@@ -337,6 +411,68 @@ let run_native (spec : Benchmarks.Bench_common.spec) no_cdp threshold cfactor
           end
           else 2)
 
+(* Multi-tenant mode: shared-device congestion vs per-tenant isolation,
+   baseline vs optimized pipeline. Exit 0, or 1 when a --min-fairness /
+   --min-recovery gate fails (the @mt alias pins both). *)
+let run_mt ~tenants ~policy ~mt_seed ~mt_jobs ~slots ~jobs ~mt_out
+    ~min_fairness ~min_recovery ~engine =
+  match Tenancy.Policy.of_string policy with
+  | Error msg ->
+      Fmt.epr "runbench: %s@." msg;
+      2
+  | Ok pol ->
+      if tenants <= 0 then begin
+        Fmt.epr "runbench: --tenants must be positive@.";
+        2
+      end
+      else begin
+        let jobs_per_tenant =
+          match mt_jobs with
+          | Some n -> max 1 n
+          | None -> Harness.Env.get "MT_SMOKE_JOBS"
+        in
+        let slots =
+          match slots with Some s -> max 1 s | None -> 2 * tenants
+        in
+        let tcfg =
+          { Tenancy.Traffic.default with seed = mt_seed; tenants; jobs_per_tenant }
+        in
+        let cell =
+          {
+            Tenancy.Sim.sm_cfg = { Gpusim.Config.default with engine };
+            policy = pol;
+            slots;
+          }
+        in
+        let jobs =
+          match jobs with Some j -> max 1 j | None -> Harness.Pool.default_jobs ()
+        in
+        Fmt.epr "multi-tenant: %d worker domain%s@." jobs
+          (if jobs = 1 then "" else "s");
+        let r =
+          Harness.Pool.with_pool ~jobs (fun pool ->
+              Tenancy.Report.run ~pool cell tcfg)
+        in
+        Tenancy.Report.print Fmt.stdout r;
+        Tenancy.Report.write_json mt_out r;
+        Fmt.epr "wrote %s@." mt_out;
+        let failed = ref false in
+        (match min_fairness with
+        | Some b when not (r.rs_optimized.cp_fairness >= b) ->
+            failed := true;
+            Fmt.epr
+              "GATE FAILURE: optimized fairness %.3f below the %.3f floor@."
+              r.rs_optimized.cp_fairness b
+        | _ -> ());
+        (match min_recovery with
+        | Some b when not (r.rs_recovery >= b) ->
+            failed := true;
+            Fmt.epr "GATE FAILURE: recovery %.2fx below the %.2fx floor@."
+              r.rs_recovery b
+        | _ -> ());
+        if !failed then 1 else 0
+      end
+
 let run_one bench dataset no_cdp threshold cfactor granularity size trace
     engine backend =
   match Benchmarks.Registry.find ~size ~name:bench ~dataset () with
@@ -387,17 +523,25 @@ let run_one bench dataset no_cdp threshold cfactor granularity size trace
           2)
 
 let run bench dataset sweep calibrate only jobs out csv_out costmodel_out
-    no_cdp threshold cfactor granularity size trace engine backend =
+    no_cdp threshold cfactor granularity size trace engine backend tenants
+    policy mt_seed mt_jobs slots mt_out min_fairness min_recovery =
   if calibrate then run_calibrate ~jobs ~size ~only
   else if sweep then run_sweep ~jobs ~size ~out ~csv_out ~costmodel_out
   else
-    match (bench, dataset) with
-    | Some bench, Some dataset ->
-        run_one bench dataset no_cdp threshold cfactor granularity size trace
-          engine backend
-    | _ ->
-        Fmt.epr "runbench: BENCH and DATASET are required unless --sweep@.";
-        2
+    match tenants with
+    | Some tenants ->
+        run_mt ~tenants ~policy ~mt_seed ~mt_jobs ~slots ~jobs ~mt_out
+          ~min_fairness ~min_recovery ~engine
+    | None -> (
+        match (bench, dataset) with
+        | Some bench, Some dataset ->
+            run_one bench dataset no_cdp threshold cfactor granularity size
+              trace engine backend
+        | _ ->
+            Fmt.epr
+              "runbench: BENCH and DATASET are required unless --sweep or \
+               --tenants@.";
+            2)
 
 let cmd =
   Cmd.v
@@ -406,6 +550,7 @@ let cmd =
     Term.(
       const run $ bench $ dataset $ sweep $ calibrate $ only $ jobs $ out
       $ csv_out $ costmodel_out $ no_cdp $ threshold $ cfactor $ granularity
-      $ size $ trace $ engine $ backend)
+      $ size $ trace $ engine $ backend $ tenants $ policy $ mt_seed $ mt_jobs
+      $ slots $ mt_out $ min_fairness $ min_recovery)
 
 let () = exit (Cmd.eval' cmd)

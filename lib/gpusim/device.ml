@@ -50,10 +50,7 @@ let config t = t.cfg
     [auto_params] maps kernel names to the runtime-allocated trailing
     parameters their transformed signatures expect. *)
 let load_program ?(auto_params = []) t (prog : Minicu.Ast.program) =
-  (t.sched.prog <-
-     (match t.cfg.engine with
-     | Config.Closure -> Some (Sched.P_closure (Compile.compile t.cfg prog))
-     | Config.Bytecode -> Some (Sched.P_bytecode (Bytecode.compile t.cfg prog))));
+  Sched.load_stream t.sched (Sched.default_stream t.sched) prog;
   t.auto_params <- auto_params
 
 (** {1 Memory management} *)
@@ -98,7 +95,8 @@ let free t p = Memory.free t.mem p
     kernels that represent child work launched from the host. *)
 let launch ?(role = `Parent) t ~kernel ~(grid : dim3) ~(block : dim3)
     ~(args : Value.t list) =
-  let cf = Sched.resolve_kernel t.sched kernel in
+  let stream = Sched.default_stream t.sched in
+  let cf = Sched.resolve_kernel stream kernel in
   let auto =
     match List.assoc_opt kernel t.auto_params with
     | None -> []
@@ -119,14 +117,14 @@ let launch ?(role = `Parent) t ~kernel ~(grid : dim3) ~(block : dim3)
       (List.length auto)
       (List.length args - List.length auto);
   let issue = t.sched.clock in
-  let ready = Sched.process_host_launch t.sched ~issue in
+  let ready = Sched.process_host_launch t.sched stream ~issue in
   let default_idx =
     match role with
     | `Parent -> Metrics.tag_parent
     | `Child -> Metrics.tag_child
   in
-  Sched.launch_grid t.sched ~issue ~from_host:true ~kernel:cf ~grid ~block
-    ~args ~ready ~default_idx
+  Sched.launch_grid t.sched stream ~issue ~from_host:true ~kernel:cf ~grid
+    ~block ~args ~ready ~default_idx
 
 (** [sync t] drains all pending work and returns the simulated clock. *)
 let sync t = Sched.run_to_idle t.sched

@@ -14,6 +14,15 @@
     - host-side launches pay {!Config.host_launch_latency} but do not
       contend with the device launch queue.
 
+    {b Multi-tenancy.} The device hosts any number of {e streams}. Each
+    stream has its own loaded program, its own grid-id namespace, and its
+    own {!Metrics.t}; all streams share the SMs, the grid-management launch
+    queue, device memory and the clock — contention between tenants is the
+    point of the model (see {e lib/tenancy}). A device always has a
+    {e default stream} (id 0) whose metrics record is the device-wide one,
+    so the classic single-program API ({!Device}) is exactly the one-stream
+    special case, bit-identical to the pre-tenancy scheduler.
+
     Block side effects on memory happen when the block is dispatched, in
     deterministic event order, so programs whose cross-block communication
     is commutative (atomics) behave as on real hardware. *)
@@ -36,8 +45,36 @@ let kernel_nparams = function
   | K_closure cf -> cf.Compile.cf_nparams
   | K_bytecode bf -> bf.Bytecode.bf_nparams
 
+(** One host stream / tenant sharing the device. Grid ids are dense per
+    stream (a per-stream namespace), and every launch, block and compute
+    cycle of the stream's grids is charged to [st_metrics]. *)
+type stream = {
+  st_id : int;  (** Tenant id; 0 is the device's default stream. *)
+  mutable st_prog : prog option;
+  st_metrics : Metrics.t;
+  mutable st_next_grid_id : int;
+}
+
+(** A unit of tenant work: one root grid plus every descendant grid it
+    spawns (device-side children, host followups from aggregation).
+    [j_open_grids] counts launched-but-unfinished grids; the job is
+    complete when it returns to 0, at which point [j_finish] holds the
+    last finish time over all its grids. Maintained by {!launch_grid} /
+    {!step}; consumed by the tenancy scheduler ({e lib/tenancy}). *)
+type job = {
+  j_id : int;
+  j_tenant : int;
+  mutable j_open_grids : int;
+  mutable j_finish : float;
+}
+
+let make_job ~tenant ~id =
+  { j_id = id; j_tenant = tenant; j_open_grids = 0; j_finish = 0.0 }
+
 type grid = {
   g_id : int;
+  g_stream : stream;
+  g_job : job option;
   g_kernel : kernel;
   g_grid : dim3;
   g_block : dim3;
@@ -52,13 +89,13 @@ type event = Block_ready of grid * dim3
 type t = {
   cfg : Config.t;
   mem : Memory.t;
-  metrics : Metrics.t;
-  mutable prog : prog option;
+  metrics : Metrics.t;  (** Device-wide; same record as the default stream's. *)
   events : event Event_queue.t;
   sms : float array;  (** Per-SM earliest-free time. *)
   mutable launch_q_free : float;  (** Grid-management unit earliest-free. *)
   mutable clock : float;
-  mutable next_grid_id : int;
+  default_stream : stream;
+  mutable next_stream_id : int;
   trace : Trace.t;
   scratch : Vm.scratch;
       (** Reusable per-block thread arena for the bytecode engine. *)
@@ -69,26 +106,52 @@ let create (cfg : Config.t) (mem : Memory.t) (metrics : Metrics.t) =
     cfg;
     mem;
     metrics;
-    prog = None;
     events = Event_queue.create ();
     sms = Array.make cfg.num_sms 0.0;
     launch_q_free = 0.0;
     clock = 0.0;
-    next_grid_id = 0;
+    default_stream =
+      { st_id = 0; st_prog = None; st_metrics = metrics; st_next_grid_id = 0 };
+    next_stream_id = 1;
     trace = Trace.create ();
     scratch = Vm.create_scratch ();
   }
 
-let prog_exn t =
-  match t.prog with
+let default_stream t = t.default_stream
+
+let new_stream t =
+  let s =
+    {
+      st_id = t.next_stream_id;
+      st_prog = None;
+      st_metrics = Metrics.create ();
+      st_next_grid_id = 0;
+    }
+  in
+  t.next_stream_id <- t.next_stream_id + 1;
+  s
+
+let load_stream t (s : stream) (prog : Minicu.Ast.program) =
+  s.st_prog <-
+    Some
+      (match t.cfg.engine with
+      | Config.Closure -> P_closure (Compile.compile t.cfg prog)
+      | Config.Bytecode -> P_bytecode (Bytecode.compile t.cfg prog))
+
+let stream_prog_exn (s : stream) =
+  match s.st_prog with
   | Some p -> p
-  | None -> Value.error "no program loaded on the device"
+  | None ->
+      if s.st_id = 0 then Value.error "no program loaded on the device"
+      else Value.error "no program loaded on stream %d" s.st_id
 
 (** Enqueue all blocks of a grid, schedulable from [ready]. [issue] is when
-    the launch was issued (for tracing queue waits); defaults to [ready]. *)
-let launch_grid ?issue ?(from_host = false) t ~(kernel : kernel)
-    ~(grid : dim3) ~(block : dim3) ~(args : Value.t list) ~(ready : float)
-    ~(default_idx : int) =
+    the launch was issued (for tracing queue waits); defaults to [ready].
+    The grid id comes out of [stream]'s namespace; with [?job] the grid is
+    attached to that job's open-grid accounting. *)
+let launch_grid ?issue ?(from_host = false) ?job t (stream : stream)
+    ~(kernel : kernel) ~(grid : dim3) ~(block : dim3) ~(args : Value.t list)
+    ~(ready : float) ~(default_idx : int) =
   let gx, gy, gz = grid in
   let nblocks = gx * gy * gz in
   if nblocks <= 0 then
@@ -99,7 +162,9 @@ let launch_grid ?issue ?(from_host = false) t ~(kernel : kernel)
       t.cfg.max_threads_per_block;
   let g =
     {
-      g_id = t.next_grid_id;
+      g_id = stream.st_next_grid_id;
+      g_stream = stream;
+      g_job = job;
       g_kernel = kernel;
       g_grid = grid;
       g_block = block;
@@ -109,11 +174,13 @@ let launch_grid ?issue ?(from_host = false) t ~(kernel : kernel)
       g_last_finish = ready;
     }
   in
-  t.next_grid_id <- t.next_grid_id + 1;
-  t.metrics.grids_launched <- t.metrics.grids_launched + 1;
+  stream.st_next_grid_id <- stream.st_next_grid_id + 1;
+  (match job with Some j -> j.j_open_grids <- j.j_open_grids + 1 | None -> ());
+  stream.st_metrics.grids_launched <- stream.st_metrics.grids_launched + 1;
   Trace.record t.trace
     (Trace.Grid_launched
        {
+         t_tenant = stream.st_id;
          t_grid_id = g.g_id;
          t_kernel = kernel_name kernel;
          t_blocks = nblocks;
@@ -130,15 +197,18 @@ let launch_grid ?issue ?(from_host = false) t ~(kernel : kernel)
   done
 
 (** Route a device-side launch through the grid-management unit. Returns the
-    time at which the child grid becomes schedulable. *)
-let process_device_launch t ~issue =
+    time at which the child grid becomes schedulable. The queue is shared
+    device-wide; the wait is charged to the issuing [stream]'s metrics, so
+    under tenancy each tenant sees the congestion {e it experienced}
+    (including the part caused by other tenants' launches ahead of it). *)
+let process_device_launch t (stream : stream) ~issue =
   let cfg = t.cfg in
+  let m = stream.st_metrics in
   let start = Float.max issue t.launch_q_free in
   t.launch_q_free <- start +. float_of_int cfg.launch_service_interval;
   let ready = t.launch_q_free +. float_of_int cfg.device_launch_latency in
-  t.metrics.device_launches <- t.metrics.device_launches + 1;
-  t.metrics.breakdown.launch_cycles <-
-    t.metrics.breakdown.launch_cycles +. (ready -. issue);
+  m.device_launches <- m.device_launches + 1;
+  m.breakdown.launch_cycles <- m.breakdown.launch_cycles +. (ready -. issue);
   (* Queue depth seen by this launch: launches ahead of it, i.e. the time
      it waited for service in units of the service interval. [start] (not
      the post-service [launch_q_free]) is the right numerator — using the
@@ -150,19 +220,18 @@ let process_device_launch t ~issue =
       int_of_float
         ((start -. issue) /. float_of_int cfg.launch_service_interval)
   in
-  if pending > t.metrics.max_pending_launches then
-    t.metrics.max_pending_launches <- pending;
+  if pending > m.max_pending_launches then m.max_pending_launches <- pending;
   ready
 
-let process_host_launch t ~issue =
+let process_host_launch t (stream : stream) ~issue =
+  let m = stream.st_metrics in
   let ready = issue +. float_of_int t.cfg.host_launch_latency in
-  t.metrics.host_launches <- t.metrics.host_launches + 1;
-  t.metrics.breakdown.launch_cycles <-
-    t.metrics.breakdown.launch_cycles +. (ready -. issue);
+  m.host_launches <- m.host_launches + 1;
+  m.breakdown.launch_cycles <- m.breakdown.launch_cycles +. (ready -. issue);
   ready
 
-let resolve_kernel t name =
-  match prog_exn t with
+let resolve_kernel (stream : stream) name =
+  match stream_prog_exn stream with
   | P_closure cp ->
       let cf = Compile.find_func_exn cp name in
       if cf.Compile.cf_kind <> Minicu.Ast.Global then
@@ -174,19 +243,21 @@ let resolve_kernel t name =
         Value.error "%S is not a __global__ kernel" name;
       K_bytecode bf
 
-let dispatch_launch_req t ~(base : float) (lr : Compile.launch_req) =
-  let kernel = resolve_kernel t lr.lr_kernel in
+let dispatch_launch_req t (stream : stream) ?job ~(base : float)
+    (lr : Compile.launch_req) =
+  let kernel = resolve_kernel stream lr.lr_kernel in
   let ready =
-    if lr.lr_from_host then process_host_launch t ~issue:base
-    else process_device_launch t ~issue:base
+    if lr.lr_from_host then process_host_launch t stream ~issue:base
+    else process_device_launch t stream ~issue:base
   in
-  launch_grid t ~issue:base ~from_host:lr.lr_from_host ~kernel
+  launch_grid t stream ?job ~issue:base ~from_host:lr.lr_from_host ~kernel
     ~grid:lr.lr_grid ~block:lr.lr_block ~args:lr.lr_args ~ready
     ~default_idx:Metrics.tag_child
 
 let grid_completed t (g : grid) =
   (* Grid-granularity aggregation: the host performs the aggregated
      launch once the parent grid has drained (Section V-A). *)
+  let stream = g.g_stream in
   let launches =
     match g.g_kernel with
     | K_closure cf -> (
@@ -194,27 +265,30 @@ let grid_completed t (g : grid) =
         | None -> []
         | Some followup ->
             Exec.run_host_stmts cf followup ~args:g.g_args ~grid:g.g_grid
-              ~block:g.g_block ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics)
+              ~block:g.g_block ~mem:t.mem ~cfg:t.cfg
+              ~metrics:stream.st_metrics)
     | K_bytecode bf -> (
         match bf.Bytecode.bf_followup with
         | None -> []
         | Some entry ->
             let bp =
-              match prog_exn t with
+              match stream_prog_exn stream with
               | P_bytecode bp -> bp
               | P_closure _ -> assert false
             in
             Vm.run_host_stmts bp bf ~entry ~args:g.g_args ~grid:g.g_grid
-              ~block:g.g_block ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics)
+              ~block:g.g_block ~mem:t.mem ~cfg:t.cfg
+              ~metrics:stream.st_metrics)
   in
   List.iter
     (fun (lr : Compile.launch_req) ->
-      dispatch_launch_req t ~base:g.g_last_finish
+      dispatch_launch_req t stream ?job:g.g_job ~base:g.g_last_finish
         { lr with lr_from_host = true })
     launches
 
 let step t =
   let te, Block_ready (g, bidx) = Event_queue.pop t.events in
+  let stream = g.g_stream in
   (* earliest-free SM *)
   let sm = ref 0 in
   for i = 1 to Array.length t.sms - 1 do
@@ -222,15 +296,15 @@ let step t =
   done;
   let start = Float.max te t.sms.(!sm) in
   let r =
-    match (prog_exn t, g.g_kernel) with
+    match (stream_prog_exn stream, g.g_kernel) with
     | P_closure cp, K_closure cf ->
         Exec.run_block cp cf ~args:g.g_args ~gdim:g.g_grid ~bdim:g.g_block
-          ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics
+          ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:stream.st_metrics
           ~default_idx:g.g_default_idx
     | P_bytecode bp, K_bytecode bf ->
         Vm.run_block t.scratch bp bf ~args:g.g_args ~gdim:g.g_grid
-          ~bdim:g.g_block ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:t.metrics
-          ~default_idx:g.g_default_idx
+          ~bdim:g.g_block ~bidx ~mem:t.mem ~cfg:t.cfg
+          ~metrics:stream.st_metrics ~default_idx:g.g_default_idx
     | (P_closure _ | P_bytecode _), _ -> assert false
   in
   let sched = float_of_int t.cfg.block_sched_overhead in
@@ -239,20 +313,46 @@ let step t =
   if finish > t.clock then t.clock <- finish;
   Trace.record t.trace
     (Trace.Block_dispatched
-       { b_grid_id = g.g_id; b_sm = !sm; b_start = start; b_finish = finish });
+       {
+         b_tenant = stream.st_id;
+         b_grid_id = g.g_id;
+         b_sm = !sm;
+         b_start = start;
+         b_finish = finish;
+       });
   let par = float_of_int t.cfg.sm_warp_parallelism in
   List.iter
     (fun (lr : Compile.launch_req) ->
       let offset = Float.min (lr.lr_issue_cost /. par) r.r_compute_cycles in
-      dispatch_launch_req t ~base:(start +. sched +. offset) lr)
+      dispatch_launch_req t stream ?job:g.g_job ~base:(start +. sched +. offset)
+        lr)
     r.r_launches;
   g.g_blocks_left <- g.g_blocks_left - 1;
   if finish > g.g_last_finish then g.g_last_finish <- finish;
   if g.g_blocks_left = 0 then begin
     Trace.record t.trace
-      (Trace.Grid_completed { c_grid_id = g.g_id; c_finish = g.g_last_finish });
-    grid_completed t g
+      (Trace.Grid_completed
+         {
+           c_tenant = stream.st_id;
+           c_grid_id = g.g_id;
+           c_finish = g.g_last_finish;
+         });
+    (* followups launch before the job's open count drops, so a job with a
+       pending host followup never looks momentarily complete *)
+    grid_completed t g;
+    match g.g_job with
+    | Some j ->
+        j.j_open_grids <- j.j_open_grids - 1;
+        if g.g_last_finish > j.j_finish then j.j_finish <- g.g_last_finish
+    | None -> ()
   end
+
+(** Earliest pending block-event time, for external event loops
+    ({e lib/tenancy}) that interleave host-side decisions with device
+    progress. *)
+let next_event_time t = Event_queue.peek_time t.events
+
+let has_pending_events t = not (Event_queue.is_empty t.events)
 
 (** Drain all pending work; returns the simulated clock. *)
 let run_to_idle t =

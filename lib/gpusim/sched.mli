@@ -5,7 +5,13 @@
     grid-management unit at one launch per
     {!Config.launch_service_interval} cycles — queueing behind it is the
     launch congestion the paper identifies. Host launches pay
-    {!Config.host_launch_latency} and bypass that queue. *)
+    {!Config.host_launch_latency} and bypass that queue.
+
+    The device hosts any number of {e streams} (tenants): each has its own
+    loaded program, grid-id namespace and {!Metrics.t}, while SMs, the
+    launch queue, memory and the clock are shared. The default stream
+    (id 0) shares the device-wide metrics record, so the single-program
+    {!Device} API is exactly the one-stream special case. *)
 
 type dim3 = int * int * int
 
@@ -18,8 +24,33 @@ type kernel = K_closure of Compile.cfunc | K_bytecode of Bytecode.func
 val kernel_name : kernel -> string
 val kernel_nparams : kernel -> int
 
+(** One host stream / tenant. Every launch, block and compute cycle of the
+    stream's grids is charged to [st_metrics]; grid ids are dense per
+    stream. *)
+type stream = {
+  st_id : int;  (** Tenant id; 0 is the device's default stream. *)
+  mutable st_prog : prog option;
+  st_metrics : Metrics.t;
+  mutable st_next_grid_id : int;
+}
+
+(** One unit of tenant work: a root grid plus all descendant grids it
+    spawns (device children, host followups). [j_open_grids] counts
+    launched-but-unfinished grids; when it returns to 0 the job is done
+    and [j_finish] is the last finish time over all its grids. *)
+type job = {
+  j_id : int;
+  j_tenant : int;
+  mutable j_open_grids : int;
+  mutable j_finish : float;
+}
+
+val make_job : tenant:int -> id:int -> job
+
 type grid = {
   g_id : int;
+  g_stream : stream;
+  g_job : job option;
   g_kernel : kernel;
   g_grid : dim3;
   g_block : dim3;
@@ -34,13 +65,13 @@ type event = Block_ready of grid * dim3
 type t = {
   cfg : Config.t;
   mem : Memory.t;
-  metrics : Metrics.t;
-  mutable prog : prog option;
+  metrics : Metrics.t;  (** Device-wide; same record as the default stream's. *)
   events : event Event_queue.t;
   sms : float array;
   mutable launch_q_free : float;
   mutable clock : float;
-  mutable next_grid_id : int;
+  default_stream : stream;
+  mutable next_stream_id : int;
   trace : Trace.t;  (** Off by default; see {!Trace.enable}. *)
   scratch : Vm.scratch;
       (** Reusable per-block thread arena for the bytecode engine. *)
@@ -48,12 +79,29 @@ type t = {
 
 val create : Config.t -> Memory.t -> Metrics.t -> t
 
+(** The always-present stream 0, whose [st_metrics] is the device-wide
+    record. *)
+val default_stream : t -> stream
+
+(** [new_stream t] registers a fresh tenant stream (dense ids from 1) with
+    its own metrics record and grid-id namespace. *)
+val new_stream : t -> stream
+
+(** [load_stream t s prog] compiles [prog] under {!Config.engine} and loads
+    it onto stream [s]. Streams are independent: loading one does not
+    disturb another. *)
+val load_stream : t -> stream -> Minicu.Ast.program -> unit
+
 (** Enqueue all blocks of a grid, schedulable from [ready]. [issue] (for
-    trace queue-wait accounting) defaults to [ready]. *)
+    trace queue-wait accounting) defaults to [ready]; [job] attaches the
+    grid — and transitively every grid it spawns — to a job's open-grid
+    accounting. *)
 val launch_grid :
   ?issue:float ->
   ?from_host:bool ->
+  ?job:job ->
   t ->
+  stream ->
   kernel:kernel ->
   grid:dim3 ->
   block:dim3 ->
@@ -62,20 +110,35 @@ val launch_grid :
   default_idx:int ->
   unit
 
-(** Route a host-side launch; returns when the grid becomes schedulable. *)
-val process_host_launch : t -> issue:float -> float
+(** Route a host-side launch; returns when the grid becomes schedulable.
+    Latency is charged to the issuing stream's metrics. *)
+val process_host_launch : t -> stream -> issue:float -> float
 
-(** Route a device-side launch through the grid-management unit; returns
-    when the child grid becomes schedulable. Also tracks
-    {!Metrics.t.max_pending_launches}: the number of launches queued
-    {e ahead} of this one at issue time (the launch being serviced is not
-    pending behind itself — a burst of [n] simultaneous launches peaks at
-    [n - 1]). *)
-val process_device_launch : t -> issue:float -> float
+(** Route a device-side launch through the (shared) grid-management unit;
+    returns when the child grid becomes schedulable. Also tracks the
+    issuing stream's {!Metrics.t.max_pending_launches}: the number of
+    launches queued {e ahead} of this one at issue time — under tenancy
+    that includes other tenants' launches (the launch being serviced is
+    not pending behind itself: a burst of [n] simultaneous launches peaks
+    at [n - 1]). *)
+val process_device_launch : t -> stream -> issue:float -> float
 
-(** Resolve a kernel by name. @raise Value.Runtime_error if it is missing
-    or not [__global__]. *)
-val resolve_kernel : t -> string -> kernel
+(** Resolve a kernel by name in the stream's loaded program.
+    @raise Value.Runtime_error if it is missing or not [__global__]. *)
+val resolve_kernel : stream -> string -> kernel
+
+(** Process the single earliest block event: dispatch it onto the
+    earliest-free SM, execute it, issue any launches it made, and complete
+    its grid (followups, job accounting) if it was the last block.
+    External event loops ({e lib/tenancy}) interleave [step] with host
+    decisions; {!run_to_idle} is the drain-everything special case.
+    @raise Invalid_argument when no events are pending. *)
+val step : t -> unit
+
+(** Earliest pending block-event time, if any. *)
+val next_event_time : t -> float option
+
+val has_pending_events : t -> bool
 
 (** Drain all pending work; returns (and records) the simulated clock. *)
 val run_to_idle : t -> float

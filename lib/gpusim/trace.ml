@@ -1,9 +1,12 @@
 (** Optional execution tracing: a timeline of grid launches, block
     dispatches, and grid completions, with launch-queue wait times made
-    explicit. Enable with {!Device.enable_trace}; render with
-    {!timeline}. *)
+    explicit. Every event carries the owning tenant/stream id, and grid
+    ids are only unique {e per tenant} (streams have independent grid-id
+    namespaces), so all grouping keys on the (tenant, grid) pair. Enable
+    with {!Device.enable_trace}; render with {!timeline}. *)
 
 type grid_info = {
+  t_tenant : int;  (** Owning stream id; 0 for the default stream. *)
   t_grid_id : int;
   t_kernel : string;
   t_blocks : int;
@@ -14,8 +17,14 @@ type grid_info = {
 
 type event =
   | Grid_launched of grid_info
-  | Block_dispatched of { b_grid_id : int; b_sm : int; b_start : float; b_finish : float }
-  | Grid_completed of { c_grid_id : int; c_finish : float }
+  | Block_dispatched of {
+      b_tenant : int;
+      b_grid_id : int;
+      b_sm : int;
+      b_start : float;
+      b_finish : float;
+    }
+  | Grid_completed of { c_tenant : int; c_grid_id : int; c_finish : float }
 
 type t = { mutable events : event list; mutable enabled : bool }
 
@@ -37,12 +46,14 @@ type grid_summary = {
   g_sms_used : int;
 }
 
-(** [summarize evs] folds a timeline into per-grid summaries (sorted by
-    grid id) plus the {e orphan} events: [Block_dispatched] /
-    [Grid_completed] whose grid id has no [Grid_launched] record in [evs],
-    in their original order. Orphans arise when tracing is enabled
-    mid-run; dropping them silently would understate the work done, so
-    callers decide what to do with them ({!timeline} reports a count). *)
+(** [summarize evs] folds a timeline into per-grid summaries — sorted by
+    (tenant, grid id), so each tenant's grids form one contiguous,
+    per-stream timeline rather than being merged into a single sequence —
+    plus the {e orphan} events: [Block_dispatched] / [Grid_completed]
+    whose (tenant, grid id) has no [Grid_launched] record in [evs], in
+    their original order. Orphans arise when tracing is enabled mid-run;
+    dropping them silently would understate the work done, so callers
+    decide what to do with them ({!timeline} reports a count). *)
 let summarize (evs : event list) : grid_summary list * event list =
   let tbl = Hashtbl.create 16 in
   let orphans = ref [] in
@@ -50,11 +61,14 @@ let summarize (evs : event list) : grid_summary list * event list =
     (fun ev ->
       match ev with
       | Grid_launched info ->
-          Hashtbl.replace tbl info.t_grid_id (info, infinity, None, 0, [])
+          Hashtbl.replace tbl
+            (info.t_tenant, info.t_grid_id)
+            (info, infinity, None, 0, [])
       | Block_dispatched b -> (
-          match Hashtbl.find_opt tbl b.b_grid_id with
+          match Hashtbl.find_opt tbl (b.b_tenant, b.b_grid_id) with
           | Some (info, first, fin, n, sms) ->
-              Hashtbl.replace tbl b.b_grid_id
+              Hashtbl.replace tbl
+                (b.b_tenant, b.b_grid_id)
                 ( info,
                   Float.min first b.b_start,
                   Some
@@ -65,9 +79,10 @@ let summarize (evs : event list) : grid_summary list * event list =
                   b.b_sm :: sms )
           | None -> orphans := ev :: !orphans)
       | Grid_completed c -> (
-          match Hashtbl.find_opt tbl c.c_grid_id with
+          match Hashtbl.find_opt tbl (c.c_tenant, c.c_grid_id) with
           | Some (info, first, fin, n, sms) ->
-              Hashtbl.replace tbl c.c_grid_id
+              Hashtbl.replace tbl
+                (c.c_tenant, c.c_grid_id)
                 ( info,
                   first,
                   Some
@@ -92,21 +107,45 @@ let summarize (evs : event list) : grid_summary list * event list =
         }
         :: acc)
       tbl []
-    |> List.sort (fun a b -> compare a.g_info.t_grid_id b.g_info.t_grid_id)
+    |> List.sort (fun a b ->
+           compare
+             (a.g_info.t_tenant, a.g_info.t_grid_id)
+             (b.g_info.t_tenant, b.g_info.t_grid_id))
   in
   (summaries, List.rev !orphans)
 
-(** Render a per-grid timeline: issue time, queue wait, execution span,
-    blocks, SM footprint. *)
+(** Tenant ids present in a summary list, ascending. *)
+let tenants_of (gs : grid_summary list) =
+  List.sort_uniq compare (List.map (fun g -> g.g_info.t_tenant) gs)
+
+(* device-launch queue waits of one tenant's grids: the congestion signal *)
+let device_waits (gs : grid_summary list) tenant =
+  List.filter_map
+    (fun g ->
+      if g.g_info.t_tenant <> tenant || g.g_info.t_from_host then None
+      else Some (g.g_info.t_ready -. g.g_info.t_issue))
+    gs
+
+let pp_waits ppf label = function
+  | [] -> ()
+  | ws ->
+      let n = float_of_int (List.length ws) in
+      Fmt.pf ppf "%s: %d, queue wait avg %.0f / max %.0f cycles@." label
+        (List.length ws)
+        (List.fold_left ( +. ) 0.0 ws /. n)
+        (List.fold_left Float.max 0.0 ws)
+
+(** Render a per-grid timeline: tenant, issue time, queue wait, execution
+    span, blocks, SM footprint. Queue-wait statistics are reported
+    per tenant when more than one stream appears, then device-wide. *)
 let timeline ppf (evs : event list) =
   let gs, orphans = summarize evs in
-  Fmt.pf ppf
-    "%5s %-22s %5s %10s %9s %10s %10s %7s %4s@." "grid" "kernel" "src"
-    "issue" "q-wait" "start" "finish" "blocks" "SMs";
+  Fmt.pf ppf "%3s %5s %-22s %5s %10s %9s %10s %10s %7s %4s@." "ten" "grid"
+    "kernel" "src" "issue" "q-wait" "start" "finish" "blocks" "SMs";
   List.iter
     (fun g ->
-      Fmt.pf ppf "%5d %-22s %5s %10.0f %9.0f %10.0f %10.0f %7d %4d@."
-        g.g_info.t_grid_id g.g_info.t_kernel
+      Fmt.pf ppf "%3d %5d %-22s %5s %10.0f %9.0f %10.0f %10.0f %7d %4d@."
+        g.g_info.t_tenant g.g_info.t_grid_id g.g_info.t_kernel
         (if g.g_info.t_from_host then "host" else "dev")
         g.g_info.t_issue
         (g.g_info.t_ready -. g.g_info.t_issue)
@@ -114,23 +153,16 @@ let timeline ppf (evs : event list) =
          else g.g_first_start)
         g.g_finish g.g_blocks_seen g.g_sms_used)
     gs;
-  (* aggregate queue-wait statistics: the congestion signal *)
-  let dev_waits =
-    List.filter_map
-      (fun g ->
-        if g.g_info.t_from_host then None
-        else Some (g.g_info.t_ready -. g.g_info.t_issue))
-      gs
-  in
-  (match dev_waits with
-  | [] -> ()
-  | ws ->
-      let n = float_of_int (List.length ws) in
-      Fmt.pf ppf
-        "device launches: %d, queue wait avg %.0f / max %.0f cycles@."
-        (List.length ws)
-        (List.fold_left ( +. ) 0.0 ws /. n)
-        (List.fold_left Float.max 0.0 ws));
+  let tenants = tenants_of gs in
+  if List.length tenants > 1 then
+    List.iter
+      (fun ten ->
+        pp_waits ppf
+          (Fmt.str "tenant %d device launches" ten)
+          (device_waits gs ten))
+      tenants;
+  pp_waits ppf "device launches"
+    (List.concat_map (device_waits gs) tenants);
   if orphans <> [] then
     Fmt.pf ppf
       "warning: %d orphan events (grid launched before tracing was \

@@ -1,9 +1,12 @@
 (** Optional execution tracing: a per-grid timeline of launches, block
     dispatches and completions, with launch-queue waits made explicit.
-    Disabled by default (zero overhead beyond a branch); enable via
-    {!Device.enable_trace}. *)
+    Events carry the owning tenant/stream id; grid ids are only unique per
+    tenant (streams have independent grid-id namespaces), so grouping keys
+    on the (tenant, grid) pair. Disabled by default (zero overhead beyond
+    a branch); enable via {!Device.enable_trace}. *)
 
 type grid_info = {
+  t_tenant : int;  (** Owning stream id; 0 for the default stream. *)
   t_grid_id : int;
   t_kernel : string;
   t_blocks : int;
@@ -15,12 +18,13 @@ type grid_info = {
 type event =
   | Grid_launched of grid_info
   | Block_dispatched of {
+      b_tenant : int;
       b_grid_id : int;
       b_sm : int;
       b_start : float;
       b_finish : float;
     }
-  | Grid_completed of { c_grid_id : int; c_finish : float }
+  | Grid_completed of { c_tenant : int; c_grid_id : int; c_finish : float }
 
 type t
 
@@ -43,11 +47,16 @@ type grid_summary = {
   g_sms_used : int;
 }
 
-(** Per-grid summaries (sorted by grid id), plus the orphan
-    [Block_dispatched]/[Grid_completed] events whose grid id has no
-    [Grid_launched] record (tracing enabled mid-run), in original order —
-    surfaced rather than silently dropped. *)
+(** Per-grid summaries grouped per tenant — sorted by (tenant, grid id),
+    never merging distinct streams into one timeline — plus the orphan
+    [Block_dispatched]/[Grid_completed] events whose (tenant, grid id) has
+    no [Grid_launched] record (tracing enabled mid-run), in original
+    order — surfaced rather than silently dropped. *)
 val summarize : event list -> grid_summary list * event list
 
-(** Render the per-grid table plus device-launch queue-wait statistics. *)
+(** Tenant ids present in a summary list, ascending. *)
+val tenants_of : grid_summary list -> int list
+
+(** Render the per-grid table plus queue-wait statistics (per tenant when
+    more than one stream appears, then device-wide). *)
 val timeline : Format.formatter -> event list -> unit

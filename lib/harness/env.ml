@@ -27,6 +27,11 @@ let knobs =
       default = 3;
       doc = "Repeated native executions per @native backend smoke";
     };
+    {
+      name = "MT_SMOKE_JOBS";
+      default = 6;
+      doc = "Jobs per tenant in the @mt multi-tenant smoke";
+    };
   ]
 
 let find name =

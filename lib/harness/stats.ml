@@ -124,6 +124,37 @@ let kendall_tau xs ys =
       in
       if denom = 0.0 then nan else (c -. d) /. denom
 
+let jain_fairness xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      List.iter
+        (fun x ->
+          if x <= 0.0 then
+            invalid_arg
+              (Fmt.str "Stats.jain_fairness: non-positive share %g" x))
+        xs;
+      let s = List.fold_left ( +. ) 0.0 xs in
+      let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+      let n = float_of_int (List.length xs) in
+      s *. s /. (n *. s2)
+
+let slowdown ~shared ~isolated =
+  if List.length shared <> List.length isolated then
+    invalid_arg "Stats.slowdown: length mismatch";
+  match shared with
+  | [] -> nan
+  | _ ->
+      mean
+        (List.map2
+           (fun s i ->
+             if i <= 0.0 then
+               invalid_arg
+                 (Fmt.str "Stats.slowdown: non-positive isolated latency %g"
+                    i);
+             s /. i)
+           shared isolated)
+
 (** Render a speedup: "43.0x", or "0.08x" for slowdowns. *)
 let speedup_to_string s =
   if Float.is_nan s then "-"

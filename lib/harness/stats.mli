@@ -37,5 +37,22 @@ val spearman : float list -> float list -> float
     @raise Invalid_argument on a length mismatch. *)
 val kendall_tau : float list -> float list -> float
 
+(** Jain's fairness index over per-tenant allocations:
+    [(Σx)² / (n·Σx²)]. Ranges over (0, 1]; equal shares give exactly 1,
+    and k of n tenants starving the rest gives k/n. [nan] on the empty
+    list.
+    @raise Invalid_argument on a non-positive share (shares are resource
+    fractions or throughputs; zero/negative values indicate a bad
+    attribution upstream, not a fairness of 0). *)
+val jain_fairness : float list -> float
+
+(** [slowdown ~shared ~isolated] — mean of the pairwise ratios
+    [shared_i / isolated_i]: how much slower each job ran under
+    multi-tenancy than alone on the device, averaged. 1.0 means no
+    interference. [nan] on empty lists.
+    @raise Invalid_argument on a length mismatch or a non-positive
+    isolated latency. *)
+val slowdown : shared:float list -> isolated:float list -> float
+
 (** Render a speedup: ["43.0x"], ["120x"], ["0.08x"]; [nan] is ["-"]. *)
 val speedup_to_string : float -> string

@@ -1,0 +1,66 @@
+(** The tenant application: a BFS-shaped nested-launch MiniCU program.
+
+    Each tenant job is one host launch of [mt_parent] over an array of
+    per-item child sizes ([deg]): every parent thread with work launches a
+    child grid over its [deg] elements — exactly the fine-grained dynamic
+    parallelism whose launch congestion the paper targets, and the shape
+    every pass of the pipeline (thresholding, coarsening, aggregation)
+    knows how to transform. The child's write is position-indexed, so the
+    output array is a deterministic function of the inputs under any
+    interleaving, any pass combination and any tenant mix. *)
+
+let parent_block = 64
+let child_block = 64
+
+let src =
+  Fmt.str
+    {|
+__global__ void mt_child(int* out, int start, int deg) {
+  int e = blockIdx.x * blockDim.x + threadIdx.x;
+  if (e < deg) {
+    int v = out[start + e];
+    out[start + e] = v * 2 + e + 1;
+  }
+}
+
+__global__ void mt_parent(int* deg, int* off, int* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    int d = deg[i];
+    if (d > 0) {
+      mt_child<<<(d + %d) / %d, %d>>>(out, off[i], d);
+    }
+  }
+}
+|}
+    (child_block - 1) child_block child_block
+
+let parent_kernel = "mt_parent"
+
+type compiled = {
+  prog : Minicu.Ast.program;
+  auto_params : (string * Dpopt.Aggregation.auto_param list) list;
+  label : string;
+}
+
+let compile (opts : Dpopt.Pipeline.options) : compiled =
+  let r = Dpopt.Pipeline.run ~opts (Minicu.Parser.program src) in
+  {
+    prog = r.prog;
+    auto_params = r.auto_params;
+    label = Dpopt.Pipeline.label opts;
+  }
+
+(** The pinned "optimized" pipeline of the multi-tenant experiment:
+    thresholding at one child block, 2x coarsening, block-granularity
+    aggregation — the full T+C+A treatment at the knobs the paper's
+    Section VII uses for graphs of this shape. *)
+let optimized_opts =
+  Dpopt.Pipeline.make ~threshold:child_block ~cfactor:2
+    ~granularity:Dpopt.Aggregation.Block ()
+
+let baseline_opts = Dpopt.Pipeline.none
+
+(** Launch configuration of one job over [n] parent items. *)
+let parent_launch ~n =
+  (((n + parent_block - 1) / parent_block, 1, 1), (parent_block, 1, 1))

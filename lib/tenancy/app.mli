@@ -1,0 +1,25 @@
+(** The tenant application: a BFS-shaped nested-launch MiniCU program
+    ([mt_parent] launching [mt_child] per work item), eligible for every
+    pass of the optimization pipeline. *)
+
+val parent_block : int
+val child_block : int
+val src : string
+val parent_kernel : string
+
+type compiled = {
+  prog : Minicu.Ast.program;
+  auto_params : (string * Dpopt.Aggregation.auto_param list) list;
+  label : string;  (** {!Dpopt.Pipeline.label} of the options used. *)
+}
+
+val compile : Dpopt.Pipeline.options -> compiled
+
+(** The pinned baseline (no passes) and optimized (T+C+A at block
+    granularity) pipelines of the multi-tenant experiment. *)
+val baseline_opts : Dpopt.Pipeline.options
+
+val optimized_opts : Dpopt.Pipeline.options
+
+(** [parent_launch ~n] — (grid, block) of one job over [n] parent items. *)
+val parent_launch : n:int -> (int * int * int) * (int * int * int)

@@ -1,0 +1,157 @@
+(** Admission/scheduling policies for the shared device.
+
+    The tenancy scheduler ({!Sim}) holds a bounded number of admission
+    slots; when a slot is free and tenants have jobs waiting, the policy
+    picks which tenant's head-of-queue job is admitted next:
+
+    - {!Fifo}: global arrival order, tenant-blind.
+    - {!Round_robin}: cycle through tenants with waiting work.
+    - {!Fair}: weighted fair share — admit the tenant with the least
+      admitted work per unit weight, so a heavyweight tenant cannot
+      monopolize the device.
+    - {!Priority}: strict priority by tenant id (lower id wins) with
+      {e backpressure}: a tenant with [bound] jobs already in flight has
+      further submissions stalled — left waiting in its queue — rather
+      than dropped, and the slot goes to the next eligible tenant.
+
+    Policies are pure decision rules over the snapshot the scheduler
+    passes in; the mutable cursor/served-work bookkeeping lives in
+    {!state}, owned by one simulation run. *)
+
+type t =
+  | Fifo
+  | Round_robin
+  | Fair of float array option
+      (** Per-tenant weights; [None] = equal shares. *)
+  | Priority of { bound : int }
+      (** Per-tenant in-flight cap; must be positive. *)
+
+let to_string = function
+  | Fifo -> "fifo"
+  | Round_robin -> "rr"
+  | Fair None -> "fair"
+  | Fair (Some ws) ->
+      Fmt.str "fair:%s"
+        (String.concat ","
+           (Array.to_list (Array.map (Fmt.str "%g") ws)))
+  | Priority { bound } -> Fmt.str "priority:%d" bound
+
+let pp ppf p = Fmt.string ppf (to_string p)
+
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let prefixed p =
+    if String.starts_with ~prefix:p s then
+      Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  match s with
+  | "fifo" -> Ok Fifo
+  | "rr" | "round-robin" | "round_robin" -> Ok Round_robin
+  | "fair" -> Ok (Fair None)
+  | "priority" -> Ok (Priority { bound = 2 })
+  | _ -> (
+      match prefixed "fair:" with
+      | Some rest -> (
+          let parts = String.split_on_char ',' rest in
+          match
+            List.map
+              (fun p ->
+                match float_of_string_opt (String.trim p) with
+                | Some w when w > 0.0 -> w
+                | _ -> raise Exit)
+              parts
+          with
+          | ws -> Ok (Fair (Some (Array.of_list ws)))
+          | exception Exit ->
+              Error (Fmt.str "fair:<w,...> needs positive weights, got %S" s))
+      | None -> (
+          match prefixed "priority:" with
+          | Some rest -> (
+              match int_of_string_opt (String.trim rest) with
+              | Some b when b > 0 -> Ok (Priority { bound = b })
+              | _ ->
+                  Error
+                    (Fmt.str "priority:<bound> needs a positive integer, got %S"
+                       s))
+          | None ->
+              Error
+                (Fmt.str
+                   "unknown policy %S (fifo | rr | fair[:w,..] | \
+                    priority[:bound])"
+                   s)))
+
+type state = {
+  mutable rr_cursor : int;
+  served : float array;  (** Admitted work per tenant (fair-share ledger). *)
+}
+
+let init (p : t) ~tenants =
+  (match p with
+  | Fair (Some ws) when Array.length ws <> tenants ->
+      invalid_arg
+        (Fmt.str "Policy: fair weights arity %d does not match %d tenants"
+           (Array.length ws) tenants)
+  | Priority { bound } when bound <= 0 ->
+      invalid_arg "Policy: priority bound must be positive"
+  | _ -> ());
+  { rr_cursor = 0; served = Array.make tenants 0.0 }
+
+(** One waiting tenant's head-of-queue summary, as the scheduler sees it. *)
+type candidate = {
+  cd_tenant : int;
+  cd_global : int;  (** [Traffic.jb_global] of the head job. *)
+  cd_inflight : int;  (** The tenant's jobs currently admitted. *)
+}
+
+(** [select p st cands] — the tenant whose head job is admitted into the
+    free slot, or [None] to leave the slot idle (only {!Priority}
+    backpressure does this: every waiting tenant is at its in-flight
+    bound, so submissions stall until a completion). [cands] must be
+    sorted by tenant id; ties everywhere break toward the lower tenant,
+    keeping selection deterministic. *)
+let select (p : t) (st : state) (cands : candidate list) : int option =
+  match (p, cands) with
+  | _, [] -> None
+  | Fifo, _ ->
+      let best =
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | Some b when b.cd_global <= c.cd_global -> acc
+            | _ -> Some c)
+          None cands
+      in
+      Option.map (fun c -> c.cd_tenant) best
+  | Round_robin, _ ->
+      let n = Array.length st.served in
+      let rec scan k =
+        if k = n then None
+        else
+          let t = (st.rr_cursor + k) mod n in
+          match List.find_opt (fun c -> c.cd_tenant = t) cands with
+          | Some c -> Some c.cd_tenant
+          | None -> scan (k + 1)
+      in
+      scan 0
+  | Fair ws, _ ->
+      let weight t = match ws with None -> 1.0 | Some w -> w.(t) in
+      let best =
+        List.fold_left
+          (fun acc c ->
+            let share = st.served.(c.cd_tenant) /. weight c.cd_tenant in
+            match acc with
+            | Some (bs, _) when bs <= share -> acc
+            | _ -> Some (share, c.cd_tenant))
+          None cands
+      in
+      Option.map snd best
+  | Priority { bound }, _ ->
+      List.find_opt (fun c -> c.cd_inflight < bound) cands
+      |> Option.map (fun c -> c.cd_tenant)
+
+(** Record an admission: advances the round-robin cursor past [tenant] and
+    charges [work] to its fair-share ledger. *)
+let admitted (st : state) ~tenant ~work =
+  st.rr_cursor <- (tenant + 1) mod Array.length st.served;
+  st.served.(tenant) <- st.served.(tenant) +. work

@@ -1,0 +1,41 @@
+(** Admission policies for the shared device: who gets the next free
+    admission slot. See {!Sim} for the scheduler that consults them. *)
+
+type t =
+  | Fifo  (** Global arrival order, tenant-blind. *)
+  | Round_robin  (** Cycle through tenants with waiting work. *)
+  | Fair of float array option
+      (** Weighted fair share (least admitted work per unit weight);
+          [None] = equal weights. *)
+  | Priority of { bound : int }
+      (** Strict priority by tenant id, with backpressure: a tenant at
+          [bound] in-flight jobs has submissions stalled, not dropped. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Parses ["fifo"], ["rr"], ["fair"], ["fair:1,2,1"], ["priority"]
+    (bound 2), ["priority:<bound>"]. *)
+val of_string : string -> (t, string) result
+
+(** Mutable per-run bookkeeping (round-robin cursor, fair-share ledger). *)
+type state
+
+(** @raise Invalid_argument on a weights/tenant-count mismatch or a
+    non-positive priority bound. *)
+val init : t -> tenants:int -> state
+
+type candidate = {
+  cd_tenant : int;
+  cd_global : int;  (** [Traffic.jb_global] of the tenant's head job. *)
+  cd_inflight : int;  (** The tenant's jobs currently admitted. *)
+}
+
+(** [select p st cands] — the tenant admitted into the free slot, or
+    [None] to stall (priority backpressure: all waiting tenants at their
+    bound). [cands] must be sorted by tenant id; all ties break toward
+    the lower tenant. *)
+val select : t -> state -> candidate list -> int option
+
+(** Record an admission (cursor advance + fair-share charge). *)
+val admitted : state -> tenant:int -> work:float -> unit

@@ -1,0 +1,226 @@
+(** Per-tenant observability and the congestion-under-tenancy experiment.
+
+    For each pipeline (baseline CDP vs the optimized T+C+A treatment) the
+    experiment runs the shared multi-tenant cell plus one isolated run per
+    tenant (that tenant's jobs alone, original arrival times) and derives:
+
+    - per-tenant p50/p90/p99/mean job latency;
+    - {e slowdown}: mean pairwise shared/isolated latency ratio
+      ({!Harness.Stats.slowdown}) — the interference each tenant suffered;
+    - {e Jain fairness} over per-tenant [1/slowdown]
+      ({!Harness.Stats.jain_fairness}): 1.0 when interference is spread
+      evenly, approaching [1/n] when one tenant absorbs it all;
+    - launch-queue wait attribution ({!Sim.queue_wait}): the cycles each
+      tenant spent queued behind the shared grid-management unit;
+    - {e recovery}: baseline mean slowdown over optimized mean slowdown —
+      how much of the congestion the compiler pipeline removed.
+
+    Everything here is simulated-time data; no wall-clock field enters the
+    artifact, so BENCH_mt.json is byte-identical for a fixed seed at any
+    host parallelism. *)
+
+type tenant_report = {
+  tr_tenant : int;
+  tr_jobs : int;
+  tr_mean : float;
+  tr_p50 : float;
+  tr_p90 : float;
+  tr_p99 : float;
+  tr_slowdown : float;
+  tr_admit_wait : float;  (** Mean policy-induced admission delay. *)
+  tr_queue_wait : float;  (** Launch-queue wait attribution, cycles. *)
+  tr_host_launches : int;
+  tr_device_launches : int;
+  tr_max_pending : int;
+}
+
+type comparison = {
+  cp_label : string;  (** Pipeline label ("CDP", "CDP+T+C+A", ...). *)
+  cp_tenants : tenant_report list;
+  cp_mean_slowdown : float;
+  cp_fairness : float;  (** Jain index over per-tenant [1/slowdown]. *)
+  cp_makespan : float;
+  cp_mem_hash : int;
+}
+
+type result = {
+  rs_policy : Policy.t;
+  rs_slots : int;
+  rs_traffic : Traffic.config;
+  rs_baseline : comparison;
+  rs_optimized : comparison;
+  rs_recovery : float;
+      (** Baseline mean slowdown / optimized mean slowdown. *)
+}
+
+let tenant_latencies (r : Sim.run) t =
+  List.filter_map
+    (fun (j : Sim.job_result) ->
+      if j.jr_tenant = t then Some (Sim.latency j) else None)
+    r.rn_jobs
+
+let compare_runs ~cfg ~label ~tenants (shared : Sim.run)
+    (isolated : Sim.run array) : comparison =
+  let reports =
+    List.init tenants (fun t ->
+        let sh = tenant_latencies shared t in
+        let iso = tenant_latencies isolated.(t) t in
+        let tt = List.nth shared.rn_totals t in
+        let admits =
+          List.filter_map
+            (fun (j : Sim.job_result) ->
+              if j.jr_tenant = t then Some (j.jr_admit -. j.jr_arrival)
+              else None)
+            shared.rn_jobs
+        in
+        {
+          tr_tenant = t;
+          tr_jobs = List.length sh;
+          tr_mean = Harness.Stats.mean sh;
+          tr_p50 = Harness.Stats.percentile sh 0.5;
+          tr_p90 = Harness.Stats.percentile sh 0.9;
+          tr_p99 = Harness.Stats.percentile sh 0.99;
+          tr_slowdown = Harness.Stats.slowdown ~shared:sh ~isolated:iso;
+          tr_admit_wait = Harness.Stats.mean admits;
+          tr_queue_wait = Sim.queue_wait cfg tt;
+          tr_host_launches = tt.tt_host_launches;
+          tr_device_launches = tt.tt_device_launches;
+          tr_max_pending = tt.tt_max_pending;
+        })
+  in
+  let slowdowns = List.map (fun r -> r.tr_slowdown) reports in
+  {
+    cp_label = label;
+    cp_tenants = reports;
+    cp_mean_slowdown = Harness.Stats.mean slowdowns;
+    cp_fairness =
+      Harness.Stats.jain_fairness (List.map (fun s -> 1.0 /. s) slowdowns);
+    cp_makespan = shared.rn_makespan;
+    cp_mem_hash = shared.rn_mem_hash;
+  }
+
+(** [run ?pool cell traffic_cfg] — the full experiment: for each of the
+    two pinned pipelines, the shared run plus per-tenant isolated runs.
+    The [2 * (1 + tenants)] simulation cells are mutually independent and
+    run on [pool] when given (results are index-ordered, so output is
+    bit-identical at any [-j]). *)
+let run ?pool (cell : Sim.cell) (tcfg : Traffic.config) : result =
+  let jobs = Traffic.jobs tcfg in
+  let tenants = tcfg.tenants in
+  let pipelines =
+    [ App.baseline_opts; App.optimized_opts ]
+  in
+  (* flattened cell list: for each pipeline, the shared cell then each
+     tenant's isolated cell *)
+  let tasks =
+    List.concat_map
+      (fun opts ->
+        (fun () ->
+          let app = App.compile opts in
+          Sim.run cell ~tenants app jobs)
+        :: List.init tenants (fun t () ->
+               let app = App.compile opts in
+               Sim.run cell ~tenants app (Traffic.isolate t jobs)))
+      pipelines
+  in
+  let tasks = Array.of_list tasks in
+  let outs =
+    match pool with
+    | Some p -> Harness.Pool.run p (fun i -> tasks.(i) ()) (Array.length tasks)
+    | None -> Array.map (fun f -> f ()) tasks
+  in
+  let stride = 1 + tenants in
+  let comparison i opts =
+    compare_runs ~cfg:cell.sm_cfg
+      ~label:(Dpopt.Pipeline.label opts)
+      ~tenants
+      outs.(i * stride)
+      (Array.init tenants (fun t -> outs.((i * stride) + 1 + t)))
+  in
+  let baseline = comparison 0 (List.nth pipelines 0) in
+  let optimized = comparison 1 (List.nth pipelines 1) in
+  {
+    rs_policy = cell.policy;
+    rs_slots = cell.slots;
+    rs_traffic = tcfg;
+    rs_baseline = baseline;
+    rs_optimized = optimized;
+    rs_recovery = baseline.cp_mean_slowdown /. optimized.cp_mean_slowdown;
+  }
+
+(* ---- rendering ---- *)
+
+let print_comparison ppf (c : comparison) =
+  Fmt.pf ppf "%s: mean slowdown %.2fx, fairness %.3f, makespan %.0f@."
+    c.cp_label c.cp_mean_slowdown c.cp_fairness c.cp_makespan;
+  Fmt.pf ppf "  %3s %5s %10s %10s %10s %10s %9s %11s %11s %8s@." "ten" "jobs"
+    "mean" "p50" "p90" "p99" "slowdown" "admit-wait" "queue-wait" "launches";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %3d %5d %10.0f %10.0f %10.0f %10.0f %8.2fx %11.0f %11.0f %4d/%-4d@."
+        r.tr_tenant r.tr_jobs r.tr_mean r.tr_p50 r.tr_p90 r.tr_p99
+        r.tr_slowdown r.tr_admit_wait r.tr_queue_wait r.tr_host_launches
+        r.tr_device_launches)
+    c.cp_tenants
+
+let print ppf (r : result) =
+  Fmt.pf ppf "multi-tenant: %d tenants, policy %a, %d slots, seed %d@."
+    r.rs_traffic.tenants Policy.pp r.rs_policy r.rs_slots r.rs_traffic.seed;
+  print_comparison ppf r.rs_baseline;
+  print_comparison ppf r.rs_optimized;
+  Fmt.pf ppf "recovery (baseline/optimized mean slowdown): %.2fx@."
+    r.rs_recovery
+
+(* Hand-rendered JSON, like the sweep artifact: stable key order, fixed
+   float formats, no wall-clock fields — byte-identical for a fixed seed
+   at any host parallelism. *)
+let json_of_result (r : result) : string =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Fmt.str fmt in
+  let num v = if Float.is_nan v then "null" else Fmt.str "%.4f" v in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (pf "  \"policy\": %S,\n" (Policy.to_string r.rs_policy));
+  Buffer.add_string buf (pf "  \"slots\": %d,\n" r.rs_slots);
+  Buffer.add_string buf (pf "  \"seed\": %d,\n" r.rs_traffic.seed);
+  Buffer.add_string buf (pf "  \"tenants\": %d,\n" r.rs_traffic.tenants);
+  Buffer.add_string buf
+    (pf "  \"jobs_per_tenant\": %d,\n" r.rs_traffic.jobs_per_tenant);
+  Buffer.add_string buf (pf "  \"parents\": %d,\n" r.rs_traffic.parents);
+  Buffer.add_string buf (pf "  \"recovery\": %s,\n" (num r.rs_recovery));
+  Buffer.add_string buf "  \"pipelines\": [\n";
+  let emit_cp last (c : comparison) =
+    Buffer.add_string buf "    {\n";
+    Buffer.add_string buf (pf "      \"label\": %S,\n" c.cp_label);
+    Buffer.add_string buf
+      (pf "      \"mean_slowdown\": %s,\n" (num c.cp_mean_slowdown));
+    Buffer.add_string buf (pf "      \"fairness\": %s,\n" (num c.cp_fairness));
+    Buffer.add_string buf (pf "      \"makespan\": %.0f,\n" c.cp_makespan);
+    Buffer.add_string buf (pf "      \"mem_hash\": %d,\n" c.cp_mem_hash);
+    Buffer.add_string buf "      \"tenants\": [\n";
+    let n = List.length c.cp_tenants in
+    List.iteri
+      (fun i t ->
+        Buffer.add_string buf
+          (pf
+             "        {\"tenant\": %d, \"jobs\": %d, \"mean\": %s, \"p50\": \
+              %s, \"p90\": %s, \"p99\": %s, \"slowdown\": %s, \"admit_wait\": \
+              %s, \"queue_wait\": %s, \"host_launches\": %d, \
+              \"device_launches\": %d, \"max_pending\": %d}%s\n"
+             t.tr_tenant t.tr_jobs (num t.tr_mean) (num t.tr_p50)
+             (num t.tr_p90) (num t.tr_p99) (num t.tr_slowdown)
+             (num t.tr_admit_wait) (num t.tr_queue_wait) t.tr_host_launches
+             t.tr_device_launches t.tr_max_pending
+             (if i = n - 1 then "" else ",")))
+      c.cp_tenants;
+    Buffer.add_string buf "      ]\n";
+    Buffer.add_string buf (if last then "    }\n" else "    },\n")
+  in
+  emit_cp false r.rs_baseline;
+  emit_cp true r.rs_optimized;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json path r =
+  let oc = open_out path in
+  output_string oc (json_of_result r);
+  close_out oc

@@ -1,0 +1,53 @@
+(** Per-tenant observability and the congestion-under-tenancy experiment:
+    shared vs isolated runs under the baseline and optimized pipelines,
+    folded into latency percentiles, slowdowns, Jain fairness, queue-wait
+    attribution and the recovery ratio. No wall-clock data anywhere, so
+    the artifact is byte-identical for a fixed seed at any parallelism. *)
+
+type tenant_report = {
+  tr_tenant : int;
+  tr_jobs : int;
+  tr_mean : float;
+  tr_p50 : float;
+  tr_p90 : float;
+  tr_p99 : float;
+  tr_slowdown : float;  (** Mean pairwise shared/isolated latency ratio. *)
+  tr_admit_wait : float;  (** Mean policy-induced admission delay. *)
+  tr_queue_wait : float;  (** Launch-queue wait attribution, cycles. *)
+  tr_host_launches : int;
+  tr_device_launches : int;
+  tr_max_pending : int;
+}
+
+type comparison = {
+  cp_label : string;  (** Pipeline label ("CDP", "CDP+T+C+A", ...). *)
+  cp_tenants : tenant_report list;
+  cp_mean_slowdown : float;
+  cp_fairness : float;  (** Jain index over per-tenant [1/slowdown]. *)
+  cp_makespan : float;
+  cp_mem_hash : int;
+}
+
+type result = {
+  rs_policy : Policy.t;
+  rs_slots : int;
+  rs_traffic : Traffic.config;
+  rs_baseline : comparison;
+  rs_optimized : comparison;
+  rs_recovery : float;
+      (** Baseline mean slowdown / optimized mean slowdown. *)
+}
+
+(** [run ?pool cell traffic_cfg] — the full experiment: for each pinned
+    pipeline, the shared run plus per-tenant isolated runs. Cells run on
+    [pool] when given; results are index-ordered, so output is
+    bit-identical at any [-j]. *)
+val run : ?pool:Harness.Pool.t -> Sim.cell -> Traffic.config -> result
+
+val print_comparison : Format.formatter -> comparison -> unit
+val print : Format.formatter -> result -> unit
+
+(** Stable key order, fixed float formats, no wall-clock fields. *)
+val json_of_result : result -> string
+
+val write_json : string -> result -> unit

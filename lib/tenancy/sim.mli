@@ -1,0 +1,48 @@
+(** The multi-tenant device simulation: N host streams submitting
+    {!Traffic} jobs to one shared {!Gpusim.Sched} under an admission
+    {!Policy}. Fully deterministic: repeated runs of one (config, policy,
+    slots, traffic) are byte-identical. *)
+
+type cell = {
+  sm_cfg : Gpusim.Config.t;
+  policy : Policy.t;
+  slots : int;  (** Concurrent admitted jobs, device-wide. *)
+}
+
+type job_result = {
+  jr_tenant : int;
+  jr_seq : int;
+  jr_arrival : float;
+  jr_admit : float;  (** When the policy admitted it (>= arrival). *)
+  jr_finish : float;
+}
+
+(** Finish minus arrival: what the tenant observed. *)
+val latency : job_result -> float
+
+type tenant_totals = {
+  tt_tenant : int;
+  tt_grids : int;
+  tt_host_launches : int;
+  tt_device_launches : int;
+  tt_launch_cycles : float;
+  tt_max_pending : int;
+}
+
+type run = {
+  rn_jobs : job_result list;  (** Sorted by (tenant, seq). *)
+  rn_totals : tenant_totals list;  (** Sorted by tenant; all tenants. *)
+  rn_makespan : float;
+  rn_mem_hash : int;  (** Order-sensitive hash of the full memory image. *)
+}
+
+(** [run cell ~tenants app jobs] — drive [jobs] (any subset of a
+    [tenants]-tenant traffic, e.g. one tenant's isolated stream) through
+    one shared device loaded with [app] on every stream.
+    @raise Invalid_argument if [slots] or [tenants] is not positive. *)
+val run : cell -> tenants:int -> App.compiled -> Traffic.job list -> run
+
+(** Launch-queue wait attribution for one tenant: launch cycles minus the
+    unavoidable per-launch latencies; what remains is queueing behind the
+    shared grid-management unit. *)
+val queue_wait : Gpusim.Config.t -> tenant_totals -> float

@@ -1,0 +1,102 @@
+(** Seed-deterministic multi-tenant traffic: per-tenant job streams with a
+    zipf-skewed tenant mix, bursty arrivals and staggered starts (the same
+    shapes {e lib/serve}'s compile-service traffic uses, retargeted at
+    device work). All randomness comes from splitmix64 generators derived
+    from the one seed, so a config is a pure description of its traffic:
+    equal configs produce byte-identical job lists. *)
+
+module Rng = Workloads.Rng
+
+type config = {
+  seed : int;
+  tenants : int;
+  jobs_per_tenant : int;
+  parents : int;  (** Parent work items per job. *)
+  zipf_s : float;
+      (** Tenant heaviness skew: tenant [t]'s child sizes scale with
+          [1/(t+1)^s], so tenant 0 is the heavyweight. 0 = uniform. *)
+  burst : int;  (** Jobs submitted back-to-back per burst. *)
+  burst_gap : float;  (** Cycles between a tenant's bursts. *)
+  stagger : float;  (** Arrival offset between consecutive tenants. *)
+  max_deg : int;  (** Largest child size (heaviest tenant). *)
+}
+
+let default =
+  {
+    seed = 42;
+    tenants = 4;
+    jobs_per_tenant = 6;
+    parents = 64;
+    zipf_s = 0.8;
+    burst = 3;
+    burst_gap = 30_000.0;
+    stagger = 2_500.0;
+    max_deg = 96;
+  }
+
+type job = {
+  jb_tenant : int;
+  jb_seq : int;  (** Dense per-tenant index, submission order. *)
+  jb_global : int;  (** Dense rank in global arrival order (FIFO key). *)
+  jb_arrival : float;
+  jb_degs : int array;  (** Child size per parent work item. *)
+}
+
+let work (j : job) =
+  float_of_int (Array.fold_left ( + ) 0 j.jb_degs)
+
+let validate cfg =
+  if cfg.tenants <= 0 then invalid_arg "Traffic: tenants must be positive";
+  if cfg.jobs_per_tenant <= 0 then
+    invalid_arg "Traffic: jobs_per_tenant must be positive";
+  if cfg.parents <= 0 then invalid_arg "Traffic: parents must be positive";
+  if cfg.max_deg <= 0 then invalid_arg "Traffic: max_deg must be positive";
+  if cfg.burst <= 0 then invalid_arg "Traffic: burst must be positive"
+
+(** [jobs cfg] — every tenant's job stream, merged and sorted by arrival
+    (ties in tenant order), with [jb_global] reflecting that order. *)
+let jobs cfg : job list =
+  validate cfg;
+  let root = Rng.create ~seed:cfg.seed in
+  (* one independent generator per tenant, split in tenant order so a
+     tenant's stream does not depend on how many others there are *)
+  let rngs = Array.init cfg.tenants (fun _ -> Rng.split root) in
+  let weight t = 1.0 /. ((float_of_int (t + 1)) ** cfg.zipf_s) in
+  let raw =
+    List.concat
+      (List.init cfg.tenants (fun t ->
+           let rng = rngs.(t) in
+           let scale =
+             max 2 (int_of_float (weight t *. float_of_int cfg.max_deg))
+           in
+           List.init cfg.jobs_per_tenant (fun seq ->
+               let b = seq / cfg.burst in
+               let jitter = Rng.float rng *. (cfg.burst_gap /. 10.0) in
+               let arrival =
+                 (cfg.stagger *. float_of_int t)
+                 +. (cfg.burst_gap *. float_of_int b)
+                 +. jitter
+               in
+               let degs =
+                 Array.init cfg.parents (fun _ -> 1 + Rng.int rng scale)
+               in
+               {
+                 jb_tenant = t;
+                 jb_seq = seq;
+                 jb_global = 0;
+                 jb_arrival = arrival;
+                 jb_degs = degs;
+               })))
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        compare (a.jb_arrival, a.jb_tenant, a.jb_seq)
+          (b.jb_arrival, b.jb_tenant, b.jb_seq))
+      raw
+  in
+  List.mapi (fun i j -> { j with jb_global = i }) sorted
+
+(** One tenant's jobs, original arrival times, for the isolated runs the
+    slowdown metric compares against. *)
+let isolate tenant js = List.filter (fun j -> j.jb_tenant = tenant) js

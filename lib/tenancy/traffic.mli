@@ -1,0 +1,35 @@
+(** Seed-deterministic multi-tenant traffic: zipf-skewed tenant mix,
+    bursty arrivals, staggered starts. Equal configs produce byte-identical
+    job lists. *)
+
+type config = {
+  seed : int;
+  tenants : int;
+  jobs_per_tenant : int;
+  parents : int;  (** Parent work items per job. *)
+  zipf_s : float;  (** Tenant heaviness skew (0 = uniform). *)
+  burst : int;  (** Jobs submitted back-to-back per burst. *)
+  burst_gap : float;  (** Cycles between a tenant's bursts. *)
+  stagger : float;  (** Arrival offset between consecutive tenants. *)
+  max_deg : int;  (** Largest child size (heaviest tenant). *)
+}
+
+val default : config
+
+type job = {
+  jb_tenant : int;
+  jb_seq : int;  (** Dense per-tenant index, submission order. *)
+  jb_global : int;  (** Dense rank in global arrival order (FIFO key). *)
+  jb_arrival : float;
+  jb_degs : int array;  (** Child size per parent work item. *)
+}
+
+(** Total child elements of a job — its nominal work. *)
+val work : job -> float
+
+(** All tenants' streams merged, sorted by (arrival, tenant, seq).
+    @raise Invalid_argument on non-positive counts. *)
+val jobs : config -> job list
+
+(** One tenant's jobs, original arrival times (for isolated runs). *)
+val isolate : int -> job list -> job list

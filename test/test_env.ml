@@ -14,6 +14,7 @@ let expected =
     ("DPOPTD_REQS", 200);
     ("BYTECODE_SMOKE_ITERS", 60_000);
     ("NATIVE_SMOKE_ITERS", 3);
+    ("MT_SMOKE_JOBS", 6);
   ]
 
 let test_defaults () =

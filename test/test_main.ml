@@ -38,4 +38,5 @@ let () =
       ("serve", Test_serve.suite);
       ("native", Test_native.suite);
       ("env", Test_env.suite);
+      ("tenancy", Test_tenancy.suite);
     ]

@@ -57,8 +57,10 @@ let suite =
            exactly 4 ahead of it *)
         let cfg = { Config.test_config with launch_service_interval = 100 } in
         let sched = Sched.create cfg (Memory.create ()) (Metrics.create ()) in
+        let stream = Sched.default_stream sched in
         let readies =
-          List.init 5 (fun _ -> Sched.process_device_launch sched ~issue:0.0)
+          List.init 5 (fun _ ->
+              Sched.process_device_launch sched stream ~issue:0.0)
         in
         Alcotest.(check int) "max pending" 4
           sched.Sched.metrics.max_pending_launches;

@@ -5,9 +5,10 @@ open Gpusim
 
 let t name f = Alcotest.test_case name `Quick f
 
-let info ?(from_host = false) ~id ~blocks ~issue ~ready kernel =
+let info ?(from_host = false) ?(tenant = 0) ~id ~blocks ~issue ~ready kernel =
   {
-    Trace.t_grid_id = id;
+    Trace.t_tenant = tenant;
+    t_grid_id = id;
     t_kernel = kernel;
     t_blocks = blocks;
     t_from_host = from_host;
@@ -17,12 +18,18 @@ let info ?(from_host = false) ~id ~blocks ~issue ~ready kernel =
 
 let launched i = Trace.Grid_launched i
 
-let dispatched ~id ~sm ~start ~finish =
+let dispatched ?(tenant = 0) ~id ~sm ~start ~finish () =
   Trace.Block_dispatched
-    { b_grid_id = id; b_sm = sm; b_start = start; b_finish = finish }
+    {
+      b_tenant = tenant;
+      b_grid_id = id;
+      b_sm = sm;
+      b_start = start;
+      b_finish = finish;
+    }
 
-let completed ~id ~finish =
-  Trace.Grid_completed { c_grid_id = id; c_finish = finish }
+let completed ?(tenant = 0) ~id ~finish () =
+  Trace.Grid_completed { c_tenant = tenant; c_grid_id = id; c_finish = finish }
 
 let suite =
   [
@@ -30,9 +37,9 @@ let suite =
         let evs =
           [
             launched (info ~id:0 ~blocks:2 ~issue:0.0 ~ready:10.0 "k");
-            dispatched ~id:0 ~sm:0 ~start:10.0 ~finish:40.0;
-            dispatched ~id:0 ~sm:1 ~start:12.0 ~finish:55.0;
-            completed ~id:0 ~finish:55.0;
+            dispatched ~id:0 ~sm:0 ~start:10.0 ~finish:40.0 ();
+            dispatched ~id:0 ~sm:1 ~start:12.0 ~finish:55.0 ();
+            completed ~id:0 ~finish:55.0 ();
           ]
         in
         let summaries, orphans = Trace.summarize evs in
@@ -61,15 +68,15 @@ let suite =
     t "orphan events are surfaced, in order, not dropped" (fun () ->
         (* tracing enabled mid-run: block/completion events arrive for a
            grid whose launch predates the trace window *)
-        let o1 = dispatched ~id:7 ~sm:0 ~start:5.0 ~finish:9.0 in
-        let o2 = completed ~id:7 ~finish:9.0 in
+        let o1 = dispatched ~id:7 ~sm:0 ~start:5.0 ~finish:9.0 () in
+        let o2 = completed ~id:7 ~finish:9.0 () in
         let evs =
           [
             o1;
             launched (info ~id:8 ~blocks:1 ~issue:0.0 ~ready:1.0 "k");
             o2;
-            dispatched ~id:8 ~sm:0 ~start:1.0 ~finish:2.0;
-            completed ~id:8 ~finish:2.0;
+            dispatched ~id:8 ~sm:0 ~start:1.0 ~finish:2.0 ();
+            completed ~id:8 ~finish:2.0 ();
           ]
         in
         let summaries, orphans = Trace.summarize evs in
@@ -88,4 +95,52 @@ let suite =
         let summaries, _ = Trace.summarize evs in
         Alcotest.(check (list int)) "sorted" [ 1; 2 ]
           (List.map (fun s -> s.Trace.g_info.t_grid_id) summaries));
+    t "streams with clashing grid ids are not merged" (fun () ->
+        (* two tenants each own a grid 0: per-stream grid-id namespaces
+           mean the id alone no longer identifies a grid, and summarize
+           must keep the two timelines apart instead of silently folding
+           tenant 2's blocks into tenant 1's grid *)
+        let evs =
+          [
+            launched (info ~tenant:1 ~id:0 ~blocks:1 ~issue:0.0 ~ready:5.0 "a");
+            launched (info ~tenant:2 ~id:0 ~blocks:2 ~issue:1.0 ~ready:9.0 "b");
+            dispatched ~tenant:2 ~id:0 ~sm:0 ~start:9.0 ~finish:30.0 ();
+            dispatched ~tenant:1 ~id:0 ~sm:1 ~start:5.0 ~finish:12.0 ();
+            dispatched ~tenant:2 ~id:0 ~sm:1 ~start:12.0 ~finish:40.0 ();
+            completed ~tenant:1 ~id:0 ~finish:12.0 ();
+            completed ~tenant:2 ~id:0 ~finish:40.0 ();
+          ]
+        in
+        let summaries, orphans = Trace.summarize evs in
+        Alcotest.(check int) "no orphans" 0 (List.length orphans);
+        Alcotest.(check (list (pair int int))) "one summary per stream"
+          [ (1, 0); (2, 0) ]
+          (List.map
+             (fun s -> (s.Trace.g_info.t_tenant, s.g_info.t_grid_id))
+             summaries);
+        let by_tenant ten =
+          List.find (fun s -> s.Trace.g_info.t_tenant = ten) summaries
+        in
+        Alcotest.(check int) "tenant 1 blocks" 1 (by_tenant 1).g_blocks_seen;
+        Alcotest.(check int) "tenant 2 blocks" 2 (by_tenant 2).g_blocks_seen;
+        Alcotest.(check (float 1e-9)) "tenant 1 finish" 12.0
+          (by_tenant 1).g_finish;
+        Alcotest.(check (float 1e-9)) "tenant 2 finish" 40.0
+          (by_tenant 2).g_finish;
+        Alcotest.(check (list int)) "tenants listed" [ 1; 2 ]
+          (Trace.tenants_of summaries));
+    t "summaries group per tenant, then by grid id" (fun () ->
+        let evs =
+          [
+            launched (info ~tenant:2 ~id:0 ~blocks:1 ~issue:0.0 ~ready:0.0 "c");
+            launched (info ~tenant:1 ~id:1 ~blocks:1 ~issue:0.0 ~ready:0.0 "b");
+            launched (info ~tenant:1 ~id:0 ~blocks:1 ~issue:0.0 ~ready:0.0 "a");
+          ]
+        in
+        let summaries, _ = Trace.summarize evs in
+        Alcotest.(check (list (pair int int))) "tenant-major order"
+          [ (1, 0); (1, 1); (2, 0) ]
+          (List.map
+             (fun s -> (s.Trace.g_info.t_tenant, s.g_info.t_grid_id))
+             summaries));
   ]
