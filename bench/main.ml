@@ -183,14 +183,293 @@ __global__ void micro(int* out, int iters) {
   end
 
 (* ------------------------------------------------------------------ *)
+(* Paper-scale execution: the scale trajectory and the @scale smoke    *)
+(* ------------------------------------------------------------------ *)
+
+let json_string s =
+  "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+(* The geomean-vs-scale trajectory: the Fig. 9 matrix at every registry
+   tier (large sampled), plus the Fig. 12 road matrix at large. The paper's
+   thesis is that the optimizations matter MORE at scale; the artifact pins
+   the CDP+T+C+A-over-No-CDP geomean rising with dataset size. *)
+let scale_trajectory ~pool ~block_jobs () =
+  let headline_nocdp = "CDP+T+C+A over No CDP (paper: 8.7x)" in
+  let headline_cdp = "CDP+T+C+A over CDP (paper: 43.0x)" in
+  let tier (size, label) =
+    let sampling =
+      match size with
+      | Benchmarks.Registry.Large ->
+          Some (Harness.Experiment.sampling_for_size size)
+      | _ -> None
+    in
+    let cfg =
+      { Gpusim.Config.default with sampling; block_jobs = max 1 block_jobs }
+    in
+    Printf.printf "\n=== scale tier %s (%s) ===\n%!" label
+      (if sampling = None then "exact" else "sampled");
+    let t0 = Unix.gettimeofday () in
+    let rows, heads = Harness.Figures.fig9 ~cfg ~pool ~size () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let geo l = try List.assoc l heads with Not_found -> nan in
+    (label, sampling <> None, List.length rows, wall,
+     geo headline_nocdp, geo headline_cdp)
+  in
+  let tiers =
+    List.map tier
+      [
+        (Benchmarks.Registry.Small, "small");
+        (Benchmarks.Registry.Medium, "medium");
+        (Benchmarks.Registry.Large, "large");
+      ]
+  in
+  let cfg_large =
+    {
+      Gpusim.Config.default with
+      sampling =
+        Some (Harness.Experiment.sampling_for_size Benchmarks.Registry.Large);
+      block_jobs = max 1 block_jobs;
+    }
+  in
+  Printf.printf "\n=== scale tier large: Fig. 12 road matrix (sampled) ===\n%!";
+  let _, fig12_geo =
+    Harness.Figures.fig12 ~cfg:cfg_large ~pool ~size:Benchmarks.Registry.Large
+      ()
+  in
+  Printf.printf "\n=== geomean-vs-scale trajectory ===\n";
+  Printf.printf "%-8s %-8s %6s %24s %24s %10s\n" "tier" "mode" "specs"
+    "CDP+T+C+A/No-CDP" "CDP+T+C+A/CDP" "wall";
+  List.iter
+    (fun (label, sampled, specs, wall, g_nocdp, g_cdp) ->
+      Printf.printf "%-8s %-8s %6d %24s %24s %9.1fs\n" label
+        (if sampled then "sampled" else "exact")
+        specs
+        (Harness.Stats.speedup_to_string g_nocdp)
+        (Harness.Stats.speedup_to_string g_cdp)
+        wall)
+    tiers;
+  Printf.printf "fig12 large (road, sampled) CDP+T+C+A/No-CDP: %s\n"
+    (Harness.Stats.speedup_to_string fig12_geo);
+  let geos = List.map (fun (_, _, _, _, g, _) -> g) tiers in
+  let monotone =
+    match geos with
+    | [ s; m; l ] -> s < m && m < l
+    | _ -> false
+  in
+  Printf.printf "CDP+T+C+A/No-CDP strictly increases with scale: %s\n"
+    (if monotone then "yes" else "NO (trajectory regression)");
+  let path = "BENCH_scale.json" in
+  Out_channel.with_open_text path (fun oc ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\n";
+      p "  \"schema\": 1,\n";
+      p "  \"kind\": \"dpopt.scale\",\n";
+      p "  \"block_jobs\": %d,\n" (max 1 block_jobs);
+      p "  \"tiers\": [\n";
+      List.iteri
+        (fun i (label, sampled, specs, wall, g_nocdp, g_cdp) ->
+          p
+            "    {\"size\": %s, \"sampled\": %b, \"specs\": %d, \
+             \"geomean_tca_over_nocdp\": %.4f, \"geomean_tca_over_cdp\": \
+             %.4f, \"wall_s\": %.1f}%s\n"
+            (json_string label) sampled specs g_nocdp g_cdp wall
+            (if i = List.length tiers - 1 then "" else ","))
+        tiers;
+      p "  ],\n";
+      p "  \"fig12_large_geomean_tca_over_nocdp\": %.4f,\n" fig12_geo;
+      p "  \"monotone_tca_over_nocdp\": %b\n" monotone;
+      p "}\n");
+  Printf.printf "wrote %s\n" path
+
+(* The @scale acceptance gate. Deterministic parts always run: sampled
+   extrapolation within 10% of exact on SCALE_SMOKE medium-tier cells,
+   parallel dispatch byte-identical with average batch width >= 2 at
+   SCALE_JOBS, large-tier degree skew, and a large sampled cell completing
+   end to end. The wall-clock >= 2x speedup check needs real cores, so it
+   only arms when the host has at least 4. Exits 1 on any failure. *)
+let scale_smoke () =
+  let jobs = Harness.Env.get "SCALE_JOBS" in
+  let n_specs = Harness.Env.get "SCALE_SMOKE" in
+  let failures = ref [] in
+  let gate name ok detail =
+    Printf.printf "  [%s] %-28s %s\n%!"
+      (if ok then "ok" else "FAIL")
+      name detail;
+    if not ok then failures := name :: !failures
+  in
+  Printf.printf "\n=== scale smoke (SCALE_JOBS=%d, SCALE_SMOKE=%d) ===\n" jobs
+    n_specs;
+
+  (* 1. the large tier is in the paper's degree regime *)
+  let kron, _, _, _, _, _, _ =
+    Benchmarks.Registry.datasets Benchmarks.Registry.Large
+  in
+  let ratio =
+    float_of_int (Workloads.Csr.max_degree kron.graph)
+    /. Workloads.Csr.avg_degree kron.graph
+  in
+  gate "large-degree-skew" (ratio >= 100.0)
+    (Printf.sprintf "KRON max/avg degree %.0f (floor 100)" ratio);
+
+  (* 2. sampled medium cells extrapolate within 10% of exact *)
+  let candidates =
+    [ ("BT", "T0032-C16"); ("BFS", "KRON"); ("SSSP", "CNR"); ("SP", "RAND-3") ]
+  in
+  let picked = List.filteri (fun i _ -> i < n_specs) candidates in
+  List.iter
+    (fun (name, dataset) ->
+      match
+        Benchmarks.Registry.find ~size:Benchmarks.Registry.Medium ~name
+          ~dataset ()
+      with
+      | None -> gate "extrapolation" false (name ^ "/" ^ dataset ^ " missing")
+      | Some spec ->
+          let run cfg =
+            Harness.Experiment.run ~cfg spec
+              (Harness.Variant.Cdp Dpopt.Pipeline.none)
+          in
+          let exact = run Gpusim.Config.default in
+          let sampled =
+            run
+              {
+                Gpusim.Config.default with
+                sampling = Some Gpusim.Config.default_sampling;
+              }
+          in
+          let err =
+            Float.abs (sampled.time -. exact.time) /. exact.time
+          in
+          gate
+            (Printf.sprintf "extrapolation %s/%s" name dataset)
+            (sampled.sampled && err <= 0.10)
+            (Printf.sprintf "error %.1f%% (exact %.0f, sampled %.0f)"
+               (100.0 *. err) exact.time sampled.time))
+    picked;
+
+  (* 3. parallel dispatch: byte-identity plus batch occupancy at -jN.
+     The occupancy measure (average batch width) is deterministic, so it
+     gates even on single-core hosts where wall clock cannot. *)
+  let src =
+    {|
+__global__ void owned(int* out, int n, int iters) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int s = 0;
+  for (int k = 0; k < iters; k = k + 1) { s = s + k; }
+  if (i < n) { out[i] = s + i; }
+}
+|}
+  in
+  let prog = Minicu.Parser.program src in
+  let run_owned ~block_jobs ~blocks ~iters =
+    let cfg = { Gpusim.Config.default with block_jobs } in
+    let dev = Gpusim.Device.create ~cfg () in
+    Gpusim.Device.load_program dev prog;
+    let n = blocks * 32 in
+    let out = Gpusim.Device.alloc_int_zeros dev n in
+    let t0 = Unix.gettimeofday () in
+    Gpusim.Device.launch dev ~kernel:"owned" ~grid:(blocks, 1, 1)
+      ~block:(32, 1, 1)
+      ~args:[ Gpusim.Value.Ptr out; Gpusim.Value.Int n; Gpusim.Value.Int iters ];
+    let time = Gpusim.Device.sync dev in
+    let wall = Unix.gettimeofday () -. t0 in
+    (time, Gpusim.Device.read_ints dev out n, Gpusim.Device.par_stats dev, wall)
+  in
+  let t1, o1, _, _ = run_owned ~block_jobs:1 ~blocks:64 ~iters:100 in
+  let tn, on, (batches, batch_blocks), _ =
+    run_owned ~block_jobs:jobs ~blocks:64 ~iters:100
+  in
+  gate "dispatch-identity"
+    (t1 = tn && o1 = on)
+    (Printf.sprintf "-j1 vs -j%d: time %.0f vs %.0f, outputs %s" jobs t1 tn
+       (if o1 = on then "identical" else "DIFFER"));
+  let width =
+    if batches = 0 then 0.0
+    else float_of_int batch_blocks /. float_of_int batches
+  in
+  gate "dispatch-occupancy"
+    (batches > 0 && width >= 2.0)
+    (Printf.sprintf "%d batches, average width %.1f (floor 2.0)" batches width);
+
+  (* 4. wall-clock speedup, only meaningful with real cores under the
+     domains *)
+  let cores = Domain.recommended_domain_count () in
+  if cores >= 4 then begin
+    let _, _, _, w1 = run_owned ~block_jobs:1 ~blocks:64 ~iters:20000 in
+    let _, _, _, wn = run_owned ~block_jobs:jobs ~blocks:64 ~iters:20000 in
+    gate "dispatch-speedup"
+      (w1 /. wn >= 2.0)
+      (Printf.sprintf "%.2fx at -j%d (floor 2.0x)" (w1 /. wn) jobs)
+  end
+  else
+    Printf.printf
+      "  [--] dispatch-speedup: skipped (%d core%s; needs >= 4 for a \
+       wall-clock gate)\n"
+      cores
+      (if cores = 1 then "" else "s");
+
+  (* 5. a large-tier sampled cell completes end to end with a finite
+     error bound *)
+  (match
+     Benchmarks.Registry.find ~size:Benchmarks.Registry.Large ~name:"BFS"
+       ~dataset:"KRON" ()
+   with
+  | None -> gate "large-sampled-run" false "BFS/KRON missing at large"
+  | Some spec ->
+      let t0 = Unix.gettimeofday () in
+      let m =
+        Harness.Experiment.run
+          ~cfg:
+            {
+              Gpusim.Config.default with
+              sampling =
+                Some
+                  (Harness.Experiment.sampling_for_size
+                     Benchmarks.Registry.Large);
+            }
+          spec
+          (Harness.Variant.Cdp Dpopt.Pipeline.none)
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      gate "large-sampled-run"
+        (m.sampled && Float.is_finite m.rel_std_error && m.time > 0.0)
+        (Printf.sprintf "%.0f cycles extrapolated, rse %.2f%%, %.1fs wall"
+           m.time
+           (100.0 *. m.rel_std_error)
+           wall));
+
+  if !failures <> [] then begin
+    Printf.printf "scale smoke FAILED: %s\n"
+      (String.concat ", " (List.rev !failures));
+    exit 1
+  end;
+  Printf.printf "scale smoke OK\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let size =
-    if List.mem "--size=medium" args then Benchmarks.Registry.Medium
+    if List.mem "--size=large" args then Benchmarks.Registry.Large
+    else if List.mem "--size=medium" args then Benchmarks.Registry.Medium
     else Benchmarks.Registry.Small
+  in
+  (* --sample forces stratified grid sampling at any size; --exact forces
+     full simulation. Default: sampled at --size=large (what makes the
+     large tier routine), exact below. *)
+  let sample = List.mem "--sample" args in
+  let exact = List.mem "--exact" args in
+  (* --block-jobs=N: worker domains for within-run parallel block batches *)
+  let block_jobs =
+    Option.value ~default:1
+      (List.find_map
+         (fun a ->
+           if String.length a > 13 && String.sub a 0 13 = "--block-jobs=" then
+             int_of_string_opt (String.sub a 13 (String.length a - 13))
+           else None)
+         args)
+    |> max 1
   in
   (* -j N / --jobs=N / --jobs N: worker-domain count for figure cells *)
   let jobs, args =
@@ -216,7 +495,7 @@ let () =
       args
   in
   (* --engine=closure|bytecode: execution engine for the figure cells *)
-  let cfg =
+  let engine =
     List.find_map
       (fun a ->
         if String.length a > 9 && String.sub a 0 9 = "--engine=" then
@@ -224,12 +503,31 @@ let () =
             Gpusim.Config.engine_of_string
               (String.sub a 9 (String.length a - 9))
           with
-          | Some engine -> Some { Gpusim.Config.default with engine }
+          | Some engine -> Some engine
           | None ->
               Printf.eprintf "unknown engine in %s (closure | bytecode)\n" a;
               exit 2
         else None)
       args
+  in
+  let sampling =
+    if exact then None
+    else if sample || size = Benchmarks.Registry.Large then
+      Some (Harness.Experiment.sampling_for_size size)
+    else None
+  in
+  let cfg =
+    match (engine, sampling, block_jobs) with
+    | None, None, 1 -> None
+    | _ ->
+        Some
+          {
+            Gpusim.Config.default with
+            engine =
+              Option.value engine ~default:Gpusim.Config.default.engine;
+            sampling;
+            block_jobs;
+          }
   in
   (match csv_dir with
   | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
@@ -257,6 +555,16 @@ let () =
     Gpusim.Config.default.num_sms Gpusim.Config.default.warp_size
     Gpusim.Config.default.launch_service_interval;
   if jobs > 1 then Printf.printf "Running experiment cells on %d domains\n" jobs;
+  (match sampling with
+  | Some sp ->
+      Printf.printf
+        "Sampling ON: stratified grid sampling (block frac %.2f, launch \
+         frac %.2f); times are extrapolations, outputs unvalidated\n"
+        sp.Gpusim.Config.block_frac sp.Gpusim.Config.launch_frac
+  | None -> ());
+  if block_jobs > 1 then
+    Printf.printf "Parallel block dispatch: %d worker domains per device\n"
+      block_jobs;
   Harness.Pool.with_pool ~jobs @@ fun pool ->
   if enabled "table1" then wall (fun () -> Harness.Figures.table1 ~size ());
   if enabled "fig9" then
@@ -281,4 +589,10 @@ let () =
   if enabled "micro" then wall micro;
   (* gate experiment: only when named explicitly (exits 1 on failure) *)
   if (match wanted with Some l -> List.mem "engine-smoke" l | None -> false)
-  then wall engine_smoke
+  then wall engine_smoke;
+  (* scale experiments: only when named explicitly — the trajectory is a
+     long run (three full fig9 tiers), the smoke is the @scale gate *)
+  if (match wanted with Some l -> List.mem "scale" l | None -> false) then
+    wall (fun () -> scale_trajectory ~pool ~block_jobs ());
+  if (match wanted with Some l -> List.mem "scale-smoke" l | None -> false)
+  then wall scale_smoke

@@ -362,7 +362,10 @@ let run input output threshold cfactor granularity agg_threshold promote
                 "note: kernel %S gained %d runtime-allocated buffer \
                  parameters@."
                 k (List.length aps))
-            r.auto_params
+            r.auto_params;
+        (* which output kernels the simulator may batch-dispatch in
+           parallel, and which fall back to serial (and why) *)
+        Analysis.Parsafety.pp Fmt.stderr (Analysis.Parsafety.report r.prog)
       end;
       0
 

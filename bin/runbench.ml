@@ -36,12 +36,15 @@ let size_conv =
         match String.lowercase_ascii s with
         | "small" -> Ok Benchmarks.Registry.Small
         | "medium" -> Ok Benchmarks.Registry.Medium
-        | s -> Error (`Msg (Fmt.str "unknown size %S (small | medium)" s))),
+        | "large" -> Ok Benchmarks.Registry.Large
+        | s ->
+            Error (`Msg (Fmt.str "unknown size %S (small | medium | large)" s))),
       fun ppf s ->
         Fmt.string ppf
           (match s with
           | Benchmarks.Registry.Small -> "small"
-          | Benchmarks.Registry.Medium -> "medium") )
+          | Benchmarks.Registry.Medium -> "medium"
+          | Benchmarks.Registry.Large -> "large") )
 
 let bench =
   Arg.(
@@ -137,7 +140,39 @@ let size =
   Arg.(
     value
     & opt size_conv Benchmarks.Registry.Small
-    & info [ "size" ] ~docv:"SIZE" ~doc:"Dataset scale: small or medium.")
+    & info [ "size" ] ~docv:"SIZE"
+        ~doc:
+          "Dataset scale: small, medium or large. The large tier is \
+           paper-scale (RMAT scale 13, 100k+ Bezier lines) and is meant to \
+           be run with $(b,--sample).")
+
+let sample =
+  Arg.(
+    value & flag
+    & info [ "sample" ]
+        ~doc:
+          "Simulate only a deterministic stratified sample of each large \
+           grid's blocks and extrapolate the metrics (with a reported error \
+           bound). Output validation is skipped — sampled results are \
+           estimates by construction. Size-appropriate fractions: the \
+           defaults at small/medium, ~2% block coverage at large.")
+
+let exact =
+  Arg.(
+    value & flag
+    & info [ "exact" ]
+        ~doc:
+          "Force full (exact) simulation, overriding $(b,--sample). Exact \
+           runs are bit-identical to the pre-sampling scheduler.")
+
+let block_jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "block-jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for within-run parallel execution of provably \
+           conflict-free block batches. Results are byte-identical at any \
+           value; only host wall clock changes.")
 
 let trace =
   Arg.(
@@ -474,7 +509,7 @@ let run_mt ~tenants ~policy ~mt_seed ~mt_jobs ~slots ~jobs ~mt_out
       end
 
 let run_one bench dataset no_cdp threshold cfactor granularity size trace
-    engine backend =
+    engine backend ~sample ~exact ~block_jobs =
   match Benchmarks.Registry.find ~size ~name:bench ~dataset () with
   | None ->
       Fmt.epr "unknown benchmark/dataset pair %s/%s@." bench dataset;
@@ -482,7 +517,19 @@ let run_one bench dataset no_cdp threshold cfactor granularity size trace
   | Some spec when backend = `Native ->
       run_native spec no_cdp threshold cfactor granularity engine
   | Some spec -> (
-      let cfg = { Gpusim.Config.default with engine } in
+      let sampling =
+        if sample && not exact then
+          Some (Harness.Experiment.sampling_for_size size)
+        else None
+      in
+      let cfg =
+        {
+          Gpusim.Config.default with
+          engine;
+          sampling;
+          block_jobs = max 1 block_jobs;
+        }
+      in
       let variant =
         if no_cdp then Harness.Variant.No_cdp
         else
@@ -504,9 +551,17 @@ let run_one bench dataset no_cdp threshold cfactor granularity size trace
       match Harness.Experiment.run ~cfg spec variant with
       | m ->
           Fmt.pr "%s / %s under %s@." m.bench m.dataset m.variant;
-          Fmt.pr "simulated time: %.0f cycles@." m.time;
-          Fmt.pr "output fingerprint: %d (validated against reference)@."
-            m.fingerprint;
+          if m.sampled then (
+            Fmt.pr "simulated time: %.0f cycles (extrapolated)@." m.time;
+            Fmt.pr
+              "output fingerprint: %d (NOT validated: sampled run, outputs \
+               are estimates)@."
+              m.fingerprint)
+          else begin
+            Fmt.pr "simulated time: %.0f cycles@." m.time;
+            Fmt.pr "output fingerprint: %d (validated against reference)@."
+              m.fingerprint
+          end;
           Fmt.pr
             "grids=%d (device %d, host %d) blocks=%d threads=%d@."
             m.snap.grids_launched m.snap.device_launches m.snap.host_launches
@@ -517,6 +572,9 @@ let run_one bench dataset no_cdp threshold cfactor granularity size trace
             m.snap.parent_cycles m.snap.child_cycles m.snap.agg_cycles
             m.snap.disagg_cycles m.snap.launch_cycles
             m.snap.serialized_launches m.snap.max_pending_launches;
+          Option.iter
+            (fun r -> Fmt.pr "sampling: %a@." Costmodel.Extrapolate.pp r)
+            m.extrapolation;
           0
       | exception Harness.Experiment.Validation_failure msg ->
           Fmt.epr "VALIDATION FAILURE: %s@." msg;
@@ -524,7 +582,8 @@ let run_one bench dataset no_cdp threshold cfactor granularity size trace
 
 let run bench dataset sweep calibrate only jobs out csv_out costmodel_out
     no_cdp threshold cfactor granularity size trace engine backend tenants
-    policy mt_seed mt_jobs slots mt_out min_fairness min_recovery =
+    policy mt_seed mt_jobs slots mt_out min_fairness min_recovery sample exact
+    block_jobs =
   if calibrate then run_calibrate ~jobs ~size ~only
   else if sweep then run_sweep ~jobs ~size ~out ~csv_out ~costmodel_out
   else
@@ -536,7 +595,7 @@ let run bench dataset sweep calibrate only jobs out csv_out costmodel_out
         match (bench, dataset) with
         | Some bench, Some dataset ->
             run_one bench dataset no_cdp threshold cfactor granularity size
-              trace engine backend
+              trace engine backend ~sample ~exact ~block_jobs
         | _ ->
             Fmt.epr
               "runbench: BENCH and DATASET are required unless --sweep or \
@@ -551,6 +610,7 @@ let cmd =
       const run $ bench $ dataset $ sweep $ calibrate $ only $ jobs $ out
       $ csv_out $ costmodel_out $ no_cdp $ threshold $ cfactor $ granularity
       $ size $ trace $ engine $ backend $ tenants $ policy $ mt_seed $ mt_jobs
-      $ slots $ mt_out $ min_fairness $ min_recovery)
+      $ slots $ mt_out $ min_fairness $ min_recovery $ sample $ exact
+      $ block_jobs)
 
 let () = exit (Cmd.eval' cmd)

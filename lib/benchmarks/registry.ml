@@ -3,7 +3,7 @@
     DESIGN.md). [Size] scales every dataset together so the harness can
     trade fidelity for wall-clock time. *)
 
-type size = Small | Medium
+type size = Small | Medium | Large
 
 (** Datasets, memoized per size so repeated spec lookups share graphs.
     The cache is the one piece of mutable state shared across callers, so
@@ -24,6 +24,10 @@ let datasets =
           match size with
           | Small -> (9, 900, 28, 300, 120, 0.6)
           | Medium -> (10, 1500, 36, 600, 200, 1.0)
+          (* paper-scale: RMAT scale 13 puts the hub degree 100x+ above
+             the mean (the regime where CDP wins in the paper); intended
+             for sampled runs — exact large runs are possible but slow *)
+          | Large -> (13, 15000, 100, 100_000, 30_000, 5.0)
         in
         let d =
           ( Workloads.Graph_gen.kron_dataset ~scale (),
@@ -46,7 +50,9 @@ let datasets =
 (** All (benchmark, dataset) pairs of Fig. 9 / Table I. *)
 let all ?(size = Small) () : Bench_common.spec list =
   let kron, cnr, _road, t0032, t2048, rand3, sat5 = datasets size in
-  let tc_cap = match size with Small -> 3000 | Medium -> 6000 in
+  let tc_cap =
+    match size with Small -> 3000 | Medium -> 6000 | Large -> 20000
+  in
   [
     Bfs.spec ~dataset:kron;
     Bfs.spec ~dataset:cnr;

@@ -1,7 +1,9 @@
 (** The benchmark × dataset matrix of Table I, at scaled-down sizes
     (MiniCU is interpreted; see DESIGN.md). *)
 
-type size = Small | Medium
+(** [Large] is paper-scale (RMAT scale 13, 100k+ Bezier lines): meant for
+    sampled runs ([--sample]); exact large runs work but are slow. *)
+type size = Small | Medium | Large
 
 (** Datasets for a size, memoized:
     (KRON, CNR, ROAD, T0032-C16, T2048-C64, RAND-3, 5-SAT).

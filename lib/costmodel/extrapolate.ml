@@ -1,0 +1,53 @@
+(** Extrapolation report for sampled grid runs (see the interface). *)
+
+type report = {
+  ex_est_total : float;
+  ex_rel_std_error : float;
+  ex_ci95_lo : float;
+  ex_ci95_hi : float;
+  ex_sampled_grids : int;
+  ex_sampled_blocks : int;
+  ex_skipped_blocks : int;
+  ex_sampled_launches : int;
+  ex_skipped_launches : int;
+  ex_block_coverage : float;
+}
+
+let of_metrics (m : Gpusim.Metrics.t) =
+  if not (Gpusim.Metrics.sampled m) then None
+  else
+    let s = m.Gpusim.Metrics.sampling in
+    let total = s.est_total in
+    let std = sqrt (Float.max 0.0 s.est_variance) in
+    let rel = Gpusim.Metrics.rel_std_error m in
+    let sampled_b = s.sampled_blocks and skipped_b = s.skipped_blocks in
+    let coverage =
+      if sampled_b + skipped_b = 0 then 1.0
+      else float_of_int sampled_b /. float_of_int (sampled_b + skipped_b)
+    in
+    Some
+      {
+        ex_est_total = total;
+        ex_rel_std_error = rel;
+        (* normal approximation; the stratified estimator sums many
+           independent per-stratum means, so this is the standard bound *)
+        ex_ci95_lo = total -. (1.96 *. std);
+        ex_ci95_hi = total +. (1.96 *. std);
+        ex_sampled_grids = s.sampled_grids;
+        ex_sampled_blocks = sampled_b;
+        ex_skipped_blocks = skipped_b;
+        ex_sampled_launches = s.sampled_launches;
+        ex_skipped_launches = s.skipped_launches;
+        ex_block_coverage = coverage;
+      }
+
+let pp ppf r =
+  Fmt.pf ppf
+    "est %.4g cycles +/-%.1f%% (95%% CI [%.4g, %.4g]; %d/%d blocks, %d/%d \
+     launches sampled)"
+    r.ex_est_total
+    (100.0 *. r.ex_rel_std_error)
+    r.ex_ci95_lo r.ex_ci95_hi r.ex_sampled_blocks
+    (r.ex_sampled_blocks + r.ex_skipped_blocks)
+    r.ex_sampled_launches
+    (r.ex_sampled_launches + r.ex_skipped_launches)

@@ -1,0 +1,35 @@
+(** Extrapolation report for sampled grid runs.
+
+    When the scheduler's stratified grid sampler is on
+    ({!Gpusim.Config.sampling}), a run's compute total is an {e estimate}:
+    only a per-stratum subset of blocks (and launches) was simulated, and
+    the rest were folded in by weight. This module turns the raw
+    {!Gpusim.Metrics.sampling_stats} accounting into a human-facing report
+    with a 95% confidence interval, so drivers ([runbench --sample],
+    [bench/main.exe scale]) can print the estimated error next to the
+    extrapolated number instead of presenting it as exact. *)
+
+type report = {
+  ex_est_total : float;  (** Extrapolated compute-cycle total. *)
+  ex_rel_std_error : float;
+      (** Relative standard error of that total ([sqrt(Var)/total]). *)
+  ex_ci95_lo : float;  (** Normal-approximation 95% CI lower bound. *)
+  ex_ci95_hi : float;  (** Upper bound. *)
+  ex_sampled_grids : int;  (** Grids that went through the sampler. *)
+  ex_sampled_blocks : int;  (** Blocks actually simulated on those grids. *)
+  ex_skipped_blocks : int;  (** Blocks represented only by weights. *)
+  ex_sampled_launches : int;
+  ex_skipped_launches : int;
+  ex_block_coverage : float;
+      (** [sampled / (sampled + skipped)] blocks; [1.0] when no grid was
+          large enough to sample. *)
+}
+
+(** [of_metrics m] — [Some report] when sampling actually triggered on the
+    run behind [m] ({!Gpusim.Metrics.sampled}), [None] on exact runs (the
+    caller should print nothing rather than a degenerate 0-width CI). *)
+val of_metrics : Gpusim.Metrics.t -> report option
+
+(** One-line rendering:
+    ["est 1.23e6 cycles +/-2.1% (95% CI [1.20e6, 1.26e6]; 412/1600 blocks, 12/48 launches sampled)"]. *)
+val pp : Format.formatter -> report -> unit

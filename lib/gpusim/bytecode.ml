@@ -122,6 +122,9 @@ type func = {
   bf_nparams : int;
   bf_contains_launch : bool;
   bf_is_serial : bool;
+  bf_safety : Blocksafe.summary;
+      (** Cross-block independence proof for parallel dispatch. *)
+  bf_static_work : float;  (** Per-thread static work estimate. *)
   mutable bf_entry : int;  (** Body entry pc. *)
   mutable bf_followup : int option;  (** Host-followup entry pc. *)
 }
@@ -1598,6 +1601,8 @@ let compile (cfg : Config.t) (prog : program) : prog =
              bf_contains_launch = Ast_util.contains_launch f.f_body;
              bf_is_serial =
                f.f_kind = Device && Compile.has_serial_suffix f.f_name;
+             bf_safety = Blocksafe.analyze prog f;
+             bf_static_work = Blocksafe.static_work cfg f;
              bf_entry = 0;
              bf_followup = None;
            })

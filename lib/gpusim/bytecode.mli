@@ -89,6 +89,12 @@ type func = {
   bf_contains_launch : bool;
       (** Drives {!Config.cdp_entry_cost}, as in the closure engine. *)
   bf_is_serial : bool;
+  bf_safety : Blocksafe.summary;
+      (** Cross-block independence proof for parallel dispatch
+          ({!Blocksafe.analyze}). *)
+  bf_static_work : float;
+      (** Per-thread static work estimate ({!Blocksafe.static_work});
+          gates and stratifies grid sampling. *)
   mutable bf_entry : int;
   mutable bf_followup : int option;
 }

@@ -106,6 +106,9 @@ type cfunc = {
   cf_is_serial : bool;
       (** Heuristic: generated thresholding serial versions (names ending in
           ["_serial"]); calls are counted in {!Metrics}. *)
+  cf_safety : Blocksafe.summary;
+      (** Cross-block independence proof for parallel dispatch. *)
+  cf_static_work : float;  (** Per-thread static work estimate. *)
   mutable cf_body : cstmt;
   mutable cf_followup : cstmt option;
       (** Host-followup code (grid-granularity aggregation); runs with the
@@ -441,9 +444,7 @@ and compile_call env f args : cexpr =
         fun t ->
           let p = Value.as_ptr (arg 0 t) in
           let v = arg 1 t in
-          let old = Memory.load t.blk.mem p in
-          Memory.store t.blk.mem p (combine old v);
-          old
+          Memory.atomic_rmw t.blk.mem p (fun old -> combine old v)
       else
         let loc = env.cur_loc in
         fun t ->
@@ -458,9 +459,8 @@ and compile_call env f args : cexpr =
         fun t ->
           let p = Value.as_ptr (arg 0 t) in
           let cmp = arg 1 t and v = arg 2 t in
-          let old = Memory.load t.blk.mem p in
-          if Value.as_int old = Value.as_int cmp then Memory.store t.blk.mem p v;
-          old
+          Memory.atomic_rmw t.blk.mem p (fun old ->
+              if Value.as_int old = Value.as_int cmp then v else old)
       else
         let loc = env.cur_loc in
         fun t ->
@@ -781,6 +781,8 @@ let compile (cfg : Config.t) (prog : program) : cprog =
           cf_nparams = List.length f.f_params;
           cf_contains_launch = Ast_util.contains_launch f.f_body;
           cf_is_serial = f.f_kind = Device && has_serial_suffix f.f_name;
+          cf_safety = Blocksafe.analyze prog f;
+          cf_static_work = Blocksafe.static_work cfg f;
           cf_body = (fun _ -> ());
           cf_followup = None;
         })

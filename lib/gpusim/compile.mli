@@ -70,6 +70,12 @@ type cfunc = {
       (** Generated thresholding serial entry points (names ending in
           ["_serial"]); calls count into
           {!Metrics.t.serialized_launches}. *)
+  cf_safety : Blocksafe.summary;
+      (** Cross-block independence proof for parallel dispatch
+          ({!Blocksafe.analyze}). *)
+  cf_static_work : float;
+      (** Per-thread static work estimate ({!Blocksafe.static_work});
+          gates and stratifies grid sampling. *)
   mutable cf_body : cstmt;
   mutable cf_followup : cstmt option;
 }

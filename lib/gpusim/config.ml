@@ -24,9 +24,54 @@ let engine_of_string s =
   | "bytecode" -> Some Bytecode
   | _ -> None
 
+(** Stratified grid sampling (paper-scale execution). When enabled, grids
+    with at least [block_threshold] blocks simulate only a deterministic
+    stratified sample of their blocks; the skipped blocks are represented by
+    weights on the sampled ones (metrics are scaled, the launch queue is
+    advanced by the weighted service time, and the skipped compute is folded
+    into the clock at the next drain). Blocks that issue at least
+    [launch_threshold] device launches likewise dispatch only a sample of
+    them, with multiplicative inherited weights. The sample is a pure
+    function of [seed] and the grid identity, so it is identical at any
+    [block_jobs] and across engines. *)
+type sampling = {
+  block_threshold : int;  (** Sample grids with at least this many blocks. *)
+  block_frac : float;  (** Fraction of blocks to simulate, in (0, 1]. *)
+  strata : int;  (** Contiguous strata per sampled grid (>= 1). *)
+  seed : int;  (** Seed for the deterministic sample positions. *)
+  launch_threshold : int;
+      (** Sample the launch list of blocks issuing at least this many
+          device launches. *)
+  launch_frac : float;  (** Fraction of such launches to dispatch. *)
+  min_static_work : float;
+      (** Skip sampling grids whose statically-estimated per-block work
+          ({!Blocksafe.static_work}) falls below this floor: tiny blocks are
+          cheaper to run than to extrapolate. *)
+}
+
+let default_sampling =
+  {
+    block_threshold = 24;
+    block_frac = 0.25;
+    strata = 8;
+    seed = 0x5eed;
+    launch_threshold = 48;
+    launch_frac = 0.25;
+    min_static_work = 0.0;
+  }
+
 type t = {
   (* ---- execution engine ---- *)
   engine : engine;
+  block_jobs : int;
+      (** Worker domains for within-run parallel block execution. Batches of
+          ready blocks whose kernels are provably free of cross-block
+          conflicts ({!Blocksafe}) execute concurrently; results commit in
+          deterministic event order, so dumps and metrics are byte-identical
+          at any value. 1 = serial (default). *)
+  sampling : sampling option;
+      (** [None] (default) simulates every block exactly — bit-identical to
+          the pre-sampling scheduler. *)
   (* ---- machine shape ---- *)
   num_sms : int;  (** Streaming multiprocessors. *)
   warp_size : int;  (** Threads per warp (32 on all NVIDIA GPUs). *)
@@ -71,6 +116,8 @@ type t = {
 let default =
   {
     engine = Closure;
+    block_jobs = 1;
+    sampling = None;
     num_sms = 32;
     warp_size = 32;
     sm_warp_parallelism = 4;

@@ -15,9 +15,37 @@ type engine = Closure | Bytecode
 val pp_engine : Format.formatter -> engine -> unit
 val engine_of_string : string -> engine option
 
+(** Stratified grid sampling: grids with at least [block_threshold] blocks
+    simulate only a deterministic stratified sample of their blocks, and
+    blocks issuing at least [launch_threshold] device launches dispatch only
+    a sample of them; skipped work is represented by weights (scaled
+    metrics, weighted launch-queue service, clock correction at drain).
+    Samples are a pure function of [seed] and grid identity — identical at
+    any [block_jobs] and across engines. *)
+type sampling = {
+  block_threshold : int;
+  block_frac : float;  (** In (0, 1]. *)
+  strata : int;  (** Contiguous strata per sampled grid (>= 1). *)
+  seed : int;
+  launch_threshold : int;
+  launch_frac : float;
+  min_static_work : float;
+      (** Grids whose {!Blocksafe.static_work} estimate is below this floor
+          are simulated exactly. *)
+}
+
+val default_sampling : sampling
+
 type t = {
   (* execution engine *)
   engine : engine;
+  block_jobs : int;
+      (** Worker domains for within-run parallel block execution of
+          provably conflict-free batches ({!Blocksafe}); results commit in
+          event order, so output is byte-identical at any value. Default 1. *)
+  sampling : sampling option;
+      (** [None] (default) = exact: bit-identical to the pre-sampling
+          scheduler. *)
   (* machine shape *)
   num_sms : int;
   warp_size : int;

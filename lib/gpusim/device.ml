@@ -129,6 +129,11 @@ let launch ?(role = `Parent) t ~kernel ~(grid : dim3) ~(block : dim3)
 (** [sync t] drains all pending work and returns the simulated clock. *)
 let sync t = Sched.run_to_idle t.sched
 
+(** Parallel-dispatch occupancy: (batches of >= 2 blocks run concurrently,
+    blocks executed in them). Both zero unless [Config.block_jobs] > 1.
+    Host-side accounting only; simulated results are unaffected. *)
+let par_stats t = (t.sched.Sched.par_batches, t.sched.Sched.par_batch_blocks)
+
 (** Current simulated time (cycles since device creation). *)
 let time t = t.sched.clock
 

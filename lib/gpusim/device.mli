@@ -93,6 +93,12 @@ val launch :
 (** Drain all pending work; returns the simulated clock (cycles). *)
 val sync : t -> float
 
+(** Parallel-dispatch occupancy so far: (batches of >= 2 provably-safe
+    blocks executed concurrently on worker domains, blocks executed in
+    them). Both zero unless [Config.block_jobs] > 1. Host-side accounting
+    only — enabling parallel dispatch never changes simulated results. *)
+val par_stats : t -> int * int
+
 (** Current simulated time. Monotonic across launches and syncs. *)
 val time : t -> float
 

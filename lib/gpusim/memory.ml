@@ -1,25 +1,64 @@
 (** Simulated device global memory.
 
-    Memory is a table of buffers; each buffer is an array of {!Value.t}
+    Memory is a table of buffers; each buffer holds an array of {!Value.t}
     elements. Pointers ({!Value.ptr}) are a buffer id plus an element offset,
     and pointer arithmetic moves the offset within a buffer. Out-of-bounds
     and use-after-free accesses raise {!Value.Runtime_error} with a precise
     description — the simulator doubles as a memory checker for transformed
-    code. *)
+    code.
 
-type buffer = { data : Value.t array; mutable live : bool }
+    {b Representation.} Small buffers store boxed {!Value.t}s directly.
+    Large buffers ([typed_threshold] elements and up) whose initializer is
+    an [Int] or [Float] use an unboxed [int array] / [float array] instead —
+    at paper scale (millions of graph edges) the boxed representation costs
+    3 words and a cache miss per element. A store of a differently-typed
+    value into a typed buffer lands in a per-buffer {e spill} table keyed by
+    offset; loads consult it only when non-empty (an {!Atomic} counter keeps
+    the common path branch-cheap). The typed array is never replaced or
+    promoted, so concurrent matching-type stores from parallel block
+    execution are never lost; the spill table itself is guarded by the
+    memory's mutex. Observable behavior is identical to the boxed
+    representation — loads return the exact values stored.
+
+    Thread-safety: buffer {e allocation} is single-domain (kernels that
+    allocate are never dispatched in parallel batches — {!Blocksafe} rejects
+    [malloc] and [__shared__]), while loads and stores may race across
+    domains only at provably-disjoint offsets, which is safe on both boxed
+    and unboxed arrays. {!atomic_rmw} is the one primitive that may target
+    the same element from several domains at once. *)
+
+type storage =
+  | Boxed of Value.t array
+  | Ints of int array
+  | Floats of float array
+
+(* Mismatched-type elements of a typed buffer, keyed by offset. [count]
+   mirrors the table size so readers can skip it without taking the lock;
+   table contents are only touched under the memory's mutex. *)
+type spill = { tbl : (int, Value.t) Hashtbl.t; count : int Atomic.t }
+
+type buffer = {
+  storage : storage;
+  spill : spill option;  (** [Some] exactly for typed storage. *)
+  mutable live : bool;
+}
 
 type t = {
-  mutable buffers : buffer list;
-      (** Reverse-indexed: buffer [i] lives at position [count - 1 - i]. We
-          keep an array-backed table instead for O(1); see below. *)
   mutable table : buffer option array;
   mutable count : int;
   mutable allocated_elems : int;  (** Total elements ever allocated. *)
+  lock : Mutex.t;
+      (** Guards spill tables and {!atomic_rmw}; never held by the common
+          typed/boxed access paths. *)
 }
 
 let create () =
-  { buffers = []; table = Array.make 64 None; count = 0; allocated_elems = 0 }
+  {
+    table = Array.make 64 None;
+    count = 0;
+    allocated_elems = 0;
+    lock = Mutex.create ();
+  }
 
 let grow t =
   if t.count >= Array.length t.table then begin
@@ -28,13 +67,30 @@ let grow t =
     t.table <- bigger
   end
 
+(* Unboxed storage pays off only when the buffer is large enough for the
+   allocation + copy asymmetry to matter; below this everything stays
+   boxed, byte-for-byte as before. *)
+let typed_threshold = 1024
+
+let make_storage n (init : Value.t) =
+  if n < typed_threshold then (Boxed (Array.make n init), None)
+  else
+    let spill () =
+      Some { tbl = Hashtbl.create 8; count = Atomic.make 0 }
+    in
+    match init with
+    | Value.Int v -> (Ints (Array.make n v), spill ())
+    | Value.Float v -> (Floats (Array.make n v), spill ())
+    | _ -> (Boxed (Array.make n init), None)
+
 (** [alloc t n ~init] allocates a buffer of [n] elements initialized to
     [init], returning a pointer to its first element. *)
 let alloc t n ~init : Value.ptr =
   if n < 0 then Value.error "negative allocation size %d" n;
   grow t;
   let id = t.count in
-  t.table.(id) <- Some { data = Array.make n init; live = true };
+  let storage, spill = make_storage n init in
+  t.table.(id) <- Some { storage; spill; live = true };
   t.count <- t.count + 1;
   t.allocated_elems <- t.allocated_elems + n;
   { buf = id; off = 0 }
@@ -44,6 +100,12 @@ let buffer_exn t id =
   match t.table.(id) with
   | Some b -> b
   | None -> Value.error "invalid buffer id %d" id
+
+let storage_len b =
+  match b.storage with
+  | Boxed a -> Array.length a
+  | Ints a -> Array.length a
+  | Floats a -> Array.length a
 
 (** [free t p] releases the buffer [p] points into. Subsequent accesses
     raise. Freeing a non-base pointer or a dead buffer raises. *)
@@ -56,24 +118,98 @@ let free t (p : Value.ptr) =
 let check_access t (p : Value.ptr) =
   let b = buffer_exn t p.buf in
   if not b.live then Value.error "use after free (buffer %d)" p.buf;
-  if p.off < 0 || p.off >= Array.length b.data then
+  if p.off < 0 || p.off >= storage_len b then
     Value.error "out-of-bounds access: offset %d in buffer %d of size %d"
-      p.off p.buf (Array.length b.data);
+      p.off p.buf (storage_len b);
   b
+
+let has_spill b =
+  match b.spill with Some s -> Atomic.get s.count > 0 | None -> false
+
+(* Spill-aware element access; caller holds the lock (or is provably the
+   only accessor, as in host-side [dump]). *)
+let raw_load b off : Value.t =
+  let spilled () =
+    match b.spill with
+    | Some s when Atomic.get s.count > 0 -> Hashtbl.find_opt s.tbl off
+    | _ -> None
+  in
+  match b.storage with
+  | Boxed a -> a.(off)
+  | Ints a -> (
+      match spilled () with Some v -> v | None -> Value.Int a.(off))
+  | Floats a -> (
+      match spilled () with Some v -> v | None -> Value.Float a.(off))
+
+let raw_store b off (v : Value.t) =
+  let unspill () =
+    match b.spill with
+    | Some s when Hashtbl.mem s.tbl off ->
+        Hashtbl.remove s.tbl off;
+        Atomic.decr s.count
+    | _ -> ()
+  and spill v =
+    match b.spill with
+    | Some s ->
+        if not (Hashtbl.mem s.tbl off) then Atomic.incr s.count;
+        Hashtbl.replace s.tbl off v
+    | None -> assert false
+  in
+  match (b.storage, v) with
+  | Boxed a, _ -> a.(off) <- v
+  | Ints a, Value.Int n ->
+      unspill ();
+      a.(off) <- n
+  | Floats a, Value.Float f ->
+      unspill ();
+      a.(off) <- f
+  | (Ints _ | Floats _), _ -> spill v
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let load t (p : Value.ptr) : Value.t =
   let b = check_access t p in
-  b.data.(p.off)
+  match b.storage with
+  | Boxed a -> a.(p.off)
+  | Ints a when not (has_spill b) -> Value.Int a.(p.off)
+  | Floats a when not (has_spill b) -> Value.Float a.(p.off)
+  | _ -> with_lock t (fun () -> raw_load b p.off)
 
 let store t (p : Value.ptr) (v : Value.t) =
   let b = check_access t p in
-  b.data.(p.off) <- v
+  match (b.storage, v) with
+  | Boxed a, _ -> a.(p.off) <- v
+  | Ints a, Value.Int n when not (has_spill b) -> a.(p.off) <- n
+  | Floats a, Value.Float f when not (has_spill b) -> a.(p.off) <- f
+  | _ -> with_lock t (fun () -> raw_store b p.off v)
+
+(** [atomic_rmw t p f] atomically replaces the element at [p] with [f old]
+    and returns [old]. The one memory primitive that may legitimately race
+    across domains on the {e same} element: parallel block batches funnel
+    their [Reduce]-mode atomics ({!Blocksafe.Reduce}) through it. Serial
+    execution uses it too (the mutex is uncontended there), so both paths
+    run identical code. *)
+let atomic_rmw t (p : Value.ptr) (f : Value.t -> Value.t) : Value.t =
+  with_lock t (fun () ->
+      let b = check_access t p in
+      let old = raw_load b p.off in
+      raw_store b p.off (f old);
+      old)
 
 let allocated_elems t = t.allocated_elems
 
 (** Number of buffers ever allocated (live or freed). Buffer ids are dense
     in [0 .. buffer_count - 1], in allocation order. *)
 let buffer_count t = t.count
+
+let snapshot b =
+  match b.storage with
+  | Boxed a -> Array.copy a
+  | Ints a when not (has_spill b) -> Array.map (fun n -> Value.Int n) a
+  | Floats a when not (has_spill b) -> Array.map (fun f -> Value.Float f) a
+  | _ -> Array.init (storage_len b) (raw_load b)
 
 (** [dump t ~first] — value-level copies of the first [first] buffers ever
     allocated, in allocation order (freed buffers keep their last
@@ -87,14 +223,16 @@ let dump t ~first : Value.t array list =
       t.count;
   List.init first (fun id ->
       match t.table.(id) with
-      | Some b -> Array.copy b.data
+      | Some b -> snapshot b
       | None -> Value.error "Memory.dump: missing buffer %d" id)
 
 let size t (p : Value.ptr) =
   let b = buffer_exn t p.buf in
-  Array.length b.data
+  storage_len b
 
-(** Bulk host-side accessors (no cost accounting; drivers use these). *)
+(** Bulk host-side accessors (no cost accounting; drivers use these). The
+    typed fast paths blit directly into unboxed storage — at paper scale
+    these move megabytes per experiment cell. *)
 
 let write_array t (p : Value.ptr) (vs : Value.t array) =
   Array.iteri (fun i v -> store t { p with off = p.off + i } v) vs
@@ -102,12 +240,40 @@ let write_array t (p : Value.ptr) (vs : Value.t array) =
 let read_array t (p : Value.ptr) n : Value.t array =
   Array.init n (fun i -> load t { p with off = p.off + i })
 
-let write_ints t p (vs : int array) =
-  write_array t p (Array.map (fun n -> Value.Int n) vs)
+let write_ints t (p : Value.ptr) (vs : int array) =
+  let n = Array.length vs in
+  if n = 0 then ()
+  else
+    let b = check_access t p in
+    match b.storage with
+    | Ints a when (not (has_spill b)) && p.off + n <= Array.length a ->
+        Array.blit vs 0 a p.off n
+    | _ -> write_array t p (Array.map (fun x -> Value.Int x) vs)
 
-let read_ints t p n = Array.map Value.as_int (read_array t p n)
+let read_ints t (p : Value.ptr) n =
+  if n = 0 then [||]
+  else
+    let b = check_access t p in
+    match b.storage with
+    | Ints a when (not (has_spill b)) && p.off + n <= Array.length a ->
+        Array.sub a p.off n
+    | _ -> Array.map Value.as_int (read_array t p n)
 
-let write_floats t p (vs : float array) =
-  write_array t p (Array.map (fun f -> Value.Float f) vs)
+let write_floats t (p : Value.ptr) (vs : float array) =
+  let n = Array.length vs in
+  if n = 0 then ()
+  else
+    let b = check_access t p in
+    match b.storage with
+    | Floats a when (not (has_spill b)) && p.off + n <= Array.length a ->
+        Array.blit vs 0 a p.off n
+    | _ -> write_array t p (Array.map (fun f -> Value.Float f) vs)
 
-let read_floats t p n = Array.map Value.as_float (read_array t p n)
+let read_floats t (p : Value.ptr) n =
+  if n = 0 then [||]
+  else
+    let b = check_access t p in
+    match b.storage with
+    | Floats a when (not (has_spill b)) && p.off + n <= Array.length a ->
+        Array.sub a p.off n
+    | _ -> Array.map Value.as_float (read_array t p n)

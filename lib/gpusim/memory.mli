@@ -3,9 +3,17 @@
     {!Value.Runtime_error}, so the simulator doubles as a memory checker for
     transformed code.
 
-    Not thread-safe: a [t] belongs to one {!Device.t} and must only be
-    touched from the domain driving that device (see the domain-safety
-    note in {!Device}). Distinct [t] values are fully independent. *)
+    Large [Int]/[Float]-initialized buffers are stored unboxed ([int array]
+    / [float array]) with a spill table for the rare mismatched-type store;
+    observable behavior is identical to the boxed representation (see the
+    implementation notes).
+
+    Thread-safety: allocation, [free] and the bulk accessors belong to the
+    single domain driving the owning {!Device.t}. [load]/[store] may
+    additionally be called from parallel block batches ({!Sched}), which
+    only ever race at provably-disjoint offsets; same-element cross-domain
+    traffic must go through {!atomic_rmw}. Distinct [t] values are fully
+    independent. *)
 
 type t
 
@@ -21,6 +29,13 @@ val free : t -> Value.ptr -> unit
 
 val load : t -> Value.ptr -> Value.t
 val store : t -> Value.ptr -> Value.t -> unit
+
+(** [atomic_rmw t p f] atomically replaces the element at [p] with
+    [f old], returning [old]. The one primitive that may target the same
+    element from several domains at once — parallel block batches funnel
+    commutative-reduction atomics through it; serial execution shares the
+    same code path (uncontended mutex). *)
+val atomic_rmw : t -> Value.ptr -> (Value.t -> Value.t) -> Value.t
 
 (** Element count of the buffer [p] points into. *)
 val size : t -> Value.ptr -> int

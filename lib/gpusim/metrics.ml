@@ -31,8 +31,22 @@ type breakdown = {
           launch (the congestion component). *)
 }
 
+(* Accounting for stratified grid/launch sampling (see Sched): how much was
+   skipped-and-extrapolated, and the accumulated stratified variance from
+   which the reported error bound derives. *)
+type sampling_stats = {
+  mutable sampled_grids : int;
+  mutable sampled_blocks : int;
+  mutable skipped_blocks : int;
+  mutable sampled_launches : int;
+  mutable skipped_launches : int;
+  mutable est_total : float;
+  mutable est_variance : float;
+}
+
 type t = {
   breakdown : breakdown;
+  sampling : sampling_stats;
   mutable makespan : float;  (** Simulated wall-clock: device-idle time. *)
   mutable grids_launched : int;
   mutable device_launches : int;
@@ -64,6 +78,16 @@ let create () =
         disagg_cycles = 0.0;
         launch_cycles = 0.0;
       };
+    sampling =
+      {
+        sampled_grids = 0;
+        sampled_blocks = 0;
+        skipped_blocks = 0;
+        sampled_launches = 0;
+        skipped_launches = 0;
+        est_total = 0.0;
+        est_variance = 0.0;
+      };
     makespan = 0.0;
     grids_launched = 0;
     device_launches = 0;
@@ -91,6 +115,65 @@ let charge m idx cycles =
 let total_compute m =
   let b = m.breakdown in
   b.parent_cycles +. b.child_cycles +. b.agg_cycles +. b.disagg_cycles
+
+(** [merge ~into ~weight from] folds block-level metrics accumulated in a
+    private [from] (one block executed into a fresh [create ()]) into the
+    device's shared record, scaled by the block's sampling weight.
+
+    At [weight = 1.0] this is {e bit-identical} to having executed the block
+    directly against [into]: the engines charge each breakdown category at
+    most once per block with the category starting at [0.0], and
+    [x +. (0.0 +. v) = x +. v] and [x +. 0.0 = x] exactly (the operands are
+    never [-0.0]). That identity is what lets parallel batches commit
+    per-block results in deterministic order with byte-identical dumps and
+    metrics at any [Config.block_jobs]. *)
+let merge ~into ~weight (from : t) =
+  let b = into.breakdown and f = from.breakdown in
+  if weight = 1.0 then begin
+    b.parent_cycles <- b.parent_cycles +. f.parent_cycles;
+    b.child_cycles <- b.child_cycles +. f.child_cycles;
+    b.agg_cycles <- b.agg_cycles +. f.agg_cycles;
+    b.disagg_cycles <- b.disagg_cycles +. f.disagg_cycles;
+    b.launch_cycles <- b.launch_cycles +. f.launch_cycles;
+    into.blocks_executed <- into.blocks_executed + from.blocks_executed;
+    into.threads_executed <- into.threads_executed + from.threads_executed;
+    into.serialized_launches <-
+      into.serialized_launches + from.serialized_launches
+  end
+  else begin
+    (* Weighted extrapolation: each simulated block stands for [weight]
+       blocks of its stratum. Counters round to stay integral. *)
+    let scale x = int_of_float (Float.round (weight *. float_of_int x)) in
+    b.parent_cycles <- b.parent_cycles +. (weight *. f.parent_cycles);
+    b.child_cycles <- b.child_cycles +. (weight *. f.child_cycles);
+    b.agg_cycles <- b.agg_cycles +. (weight *. f.agg_cycles);
+    b.disagg_cycles <- b.disagg_cycles +. (weight *. f.disagg_cycles);
+    b.launch_cycles <- b.launch_cycles +. (weight *. f.launch_cycles);
+    into.blocks_executed <- into.blocks_executed + scale from.blocks_executed;
+    into.threads_executed <-
+      into.threads_executed + scale from.threads_executed;
+    into.serialized_launches <-
+      into.serialized_launches + scale from.serialized_launches
+  end;
+  (* Sanitizer results are never scaled: they are observations, not
+     estimates (and parallel/sampled runs force [check = false] anyway). *)
+  into.races_detected <- into.races_detected + from.races_detected;
+  into.oob_detected <- into.oob_detected + from.oob_detected;
+  if from.race_reports <> [] then
+    into.race_reports <- from.race_reports @ into.race_reports
+
+(** Whether any sampling (block or launch) actually triggered. *)
+let sampled m =
+  m.sampling.sampled_grids > 0 || m.sampling.skipped_launches > 0
+
+(** Relative standard error of the extrapolated compute total, from the
+    accumulated stratified variance: [sqrt(Var)/total]. [0.0] when nothing
+    was sampled. *)
+let rel_std_error m =
+  let s = m.sampling in
+  if s.est_total > 0.0 && s.est_variance > 0.0 then
+    sqrt s.est_variance /. s.est_total
+  else 0.0
 
 let pp ppf m =
   let b = m.breakdown in

@@ -25,8 +25,22 @@ type breakdown = {
           over every grid launch. *)
 }
 
+(** Accounting for stratified grid/launch sampling ({!Sched}): how much was
+    skipped-and-extrapolated, and the accumulated stratified variance behind
+    {!rel_std_error}. All zero on exact runs. *)
+type sampling_stats = {
+  mutable sampled_grids : int;
+  mutable sampled_blocks : int;  (** Blocks simulated on sampled grids. *)
+  mutable skipped_blocks : int;  (** Blocks represented only by weights. *)
+  mutable sampled_launches : int;
+  mutable skipped_launches : int;
+  mutable est_total : float;  (** Extrapolated compute total estimated. *)
+  mutable est_variance : float;  (** Stratified variance of that total. *)
+}
+
 type t = {
   breakdown : breakdown;
+  sampling : sampling_stats;
   mutable makespan : float;
   mutable grids_launched : int;
   mutable device_launches : int;
@@ -52,4 +66,19 @@ val create : unit -> t
 val charge : t -> int -> float -> unit
 
 val total_compute : t -> float
+
+(** [merge ~into ~weight from] folds block-level metrics accumulated in a
+    private record into the device's shared one, scaled by the block's
+    sampling weight. At [weight = 1.0] the result is bit-identical to
+    having executed the block directly against [into] — the identity that
+    makes parallel batch commit byte-identical to serial execution. *)
+val merge : into:t -> weight:float -> t -> unit
+
+(** Whether any sampling (block or launch) actually triggered. *)
+val sampled : t -> bool
+
+(** Relative standard error of the extrapolated compute total
+    ([sqrt(Var)/total]; [0.0] on exact runs). *)
+val rel_std_error : t -> float
+
 val pp : Format.formatter -> t -> unit

@@ -23,9 +23,40 @@
     so the classic single-program API ({!Device}) is exactly the one-stream
     special case, bit-identical to the pre-tenancy scheduler.
 
-    Block side effects on memory happen when the block is dispatched, in
+    Block side effects on memory happen when the block is {e committed}, in
     deterministic event order, so programs whose cross-block communication
-    is commutative (atomics) behave as on real hardware. *)
+    is commutative (atomics) behave as on real hardware.
+
+    {b Parallel block dispatch} ([Config.block_jobs] > 1). Block processing
+    is split into a pure {e execute} phase (run the block's threads against
+    memory, accumulating into a private {!Metrics.t}) and a {e commit}
+    phase (SM assignment, timing, trace, metrics merge, launch dispatch,
+    grid completion). {!run_to_idle} pops a maximal prefix of ready events
+    whose kernels {!Blocksafe} proved free of cross-block conflicts — and
+    whose concrete buffer arguments pass a cheap pairwise-disjointness
+    check — executes them concurrently on worker domains, then commits the
+    results one by one in pop order. Because the execute phases commute on
+    memory (proved) and commits replay the exact serial accumulation order,
+    dumps and metrics are byte-identical at any [block_jobs]. Kernels the
+    analysis cannot prove safe simply run serially, as do all blocks under
+    [Config.check]. Provably-safe kernels never launch (the analysis
+    rejects launches), so a batch never feeds events back into the queue.
+
+    {b Stratified grid sampling} ([Config.sampling]). Grids with at least
+    [block_threshold] blocks enqueue only a deterministic stratified sample
+    of their blocks: the flat block range splits into contiguous strata and
+    each stratum contributes a systematic sample (hashed phase, so the
+    sample is a pure function of the seed and grid identity — identical at
+    any [block_jobs] and across engines). Every sampled block carries the
+    weight [N_h/k_h] of the stratum it represents; commits scale metrics by
+    the weight, advance the launch queue by the weighted service time, and
+    fold the skipped compute into the clock at the next drain. Blocks that
+    issue at least [launch_threshold] device launches likewise dispatch a
+    systematic sample with multiplicative inherited weights — the case that
+    matters for CDP child swarms. Per-stratum sums and sum-of-squares
+    accumulate into {!Metrics.sampling_stats} at grid completion, giving
+    the stratified-variance error bound reported with extrapolated
+    results. *)
 
 type dim3 = int * int * int
 
@@ -44,6 +75,14 @@ let kernel_name = function
 let kernel_nparams = function
   | K_closure cf -> cf.Compile.cf_nparams
   | K_bytecode bf -> bf.Bytecode.bf_nparams
+
+let kernel_safety = function
+  | K_closure cf -> cf.Compile.cf_safety
+  | K_bytecode bf -> bf.Bytecode.bf_safety
+
+let kernel_static_work = function
+  | K_closure cf -> cf.Compile.cf_static_work
+  | K_bytecode bf -> bf.Bytecode.bf_static_work
 
 (** One host stream / tenant sharing the device. Grid ids are dense per
     stream (a per-stream namespace), and every launch, block and compute
@@ -71,6 +110,16 @@ type job = {
 let make_job ~tenant ~id =
   { j_id = id; j_tenant = tenant; j_open_grids = 0; j_finish = 0.0 }
 
+(* Per-stratum accounting of a sampled grid: committed blocks, sum and
+   sum-of-squares of their compute cycles. Folded into the stream's
+   Metrics.sampling_stats at grid completion. *)
+type strata = {
+  sa_counts : int array;  (* N_h: total blocks per stratum *)
+  sa_n : int array;  (* blocks committed so far per stratum *)
+  sa_sum : float array;
+  sa_sumsq : float array;
+}
+
 type grid = {
   g_id : int;
   g_stream : stream;
@@ -80,11 +129,18 @@ type grid = {
   g_block : dim3;
   g_args : Value.t list;
   g_default_idx : int;
-  mutable g_blocks_left : int;
+  g_weight : float;
+      (** Inherited launch-sampling weight: this grid stands for
+          [g_weight] identical grids. [1.0] on exact runs. *)
+  g_strata : strata option;  (** [Some] exactly when block-sampled. *)
+  mutable g_blocks_left : int;  (** Enqueued (sampled) blocks left. *)
   mutable g_last_finish : float;
 }
 
-type event = Block_ready of grid * dim3
+(** A ready block: grid, block index, block-sampling weight (within-grid;
+    the effective weight is [g_weight *. w]), and stratum index ([-1] when
+    the grid is not block-sampled). *)
+type event = Block_ready of grid * dim3 * float * int
 
 type t = {
   cfg : Config.t;
@@ -94,11 +150,23 @@ type t = {
   sms : float array;  (** Per-SM earliest-free time. *)
   mutable launch_q_free : float;  (** Grid-management unit earliest-free. *)
   mutable clock : float;
+  mutable deferred_work : float;
+      (** SM-cycles represented by sampled-out blocks; folded into the
+          clock (divided across SMs) at the next {!run_to_idle} drain. *)
   default_stream : stream;
   mutable next_stream_id : int;
   trace : Trace.t;
   scratch : Vm.scratch;
-      (** Reusable per-block thread arena for the bytecode engine. *)
+      (** Reusable per-block thread arena for the bytecode engine (serial
+          path). *)
+  mutable scratches : Vm.scratch array;
+      (** Per-worker arenas for parallel batches; sized on first use. *)
+  mutable par_batches : int;
+      (** Batches of >= 2 blocks dispatched concurrently on worker
+          domains. Host-side accounting only (never folded into
+          {!Metrics.t}), so enabling parallel dispatch cannot perturb
+          simulated results. *)
+  mutable par_batch_blocks : int;  (** Blocks executed in those batches. *)
 }
 
 let create (cfg : Config.t) (mem : Memory.t) (metrics : Metrics.t) =
@@ -110,11 +178,15 @@ let create (cfg : Config.t) (mem : Memory.t) (metrics : Metrics.t) =
     sms = Array.make cfg.num_sms 0.0;
     launch_q_free = 0.0;
     clock = 0.0;
+    deferred_work = 0.0;
     default_stream =
       { st_id = 0; st_prog = None; st_metrics = metrics; st_next_grid_id = 0 };
     next_stream_id = 1;
     trace = Trace.create ();
     scratch = Vm.create_scratch ();
+    scratches = [||];
+    par_batches = 0;
+    par_batch_blocks = 0;
   }
 
 let default_stream t = t.default_stream
@@ -145,13 +217,84 @@ let stream_prog_exn (s : stream) =
       if s.st_id = 0 then Value.error "no program loaded on the device"
       else Value.error "no program loaded on stream %d" s.st_id
 
-(** Enqueue all blocks of a grid, schedulable from [ready]. [issue] is when
+(* ------------------------------------------------------------------ *)
+(* Deterministic sample selection                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A small xorshift-multiply mixer over OCaml's 63-bit ints (constants kept
+   under 2^62). Quality only needs to decorrelate sample phases across
+   grids and strata; determinism across runs, engines and [block_jobs] is
+   the real requirement. *)
+let mix h =
+  let h = (h lxor (h lsr 33)) * 0x2545F4914F6CDD1D in
+  let h = (h lxor (h lsr 29)) * 0x3C79AC492BA7B653 in
+  (h lxor (h lsr 31)) land max_int
+
+(* Uniform in [0, 1) from the low 24 bits. *)
+let phase01 h = float_of_int (h land 0xFFFFFF) /. 16777216.0
+
+let sample_key (sp : Config.sampling) ~stream_id ~gid ~salt =
+  mix ((((sp.seed * 31) + stream_id) * 31) + (gid * 31) + salt)
+
+(* Round a sampling fraction to a per-stratum take count in [1, n]. *)
+let take_count frac n =
+  let k = int_of_float (Float.round (frac *. float_of_int n)) in
+  max 1 (min n k)
+
+(* Systematic sample of [k] of [n] positions with a deterministic hashed
+   phase: floor(phase + j*step), step = n/k, phase in [0, step). Indices
+   are strictly increasing and < n. *)
+let systematic ~key ~n ~k =
+  let stepf = float_of_int n /. float_of_int k in
+  let phase = phase01 key *. stepf in
+  Array.init k (fun j -> int_of_float (phase +. (float_of_int j *. stepf)))
+
+(* Stratified block selection for a grid of [nblocks] blocks: flat indices
+   (ascending) with per-block weight and stratum index, plus the stratum
+   population counts. Returns [None] when the sample covers every block —
+   the caller then treats the grid as unsampled (bit-identical metrics). *)
+let select_blocks (sp : Config.sampling) ~stream_id ~gid ~nblocks =
+  let nh = max 1 (min sp.strata nblocks) in
+  let counts =
+    Array.init nh (fun h -> ((h + 1) * nblocks / nh) - (h * nblocks / nh))
+  in
+  let sel = ref [] in
+  let total = ref 0 in
+  for h = nh - 1 downto 0 do
+    let lo = h * nblocks / nh in
+    let n_h = counts.(h) in
+    if n_h > 0 then begin
+      let k = take_count sp.block_frac n_h in
+      if k >= n_h then begin
+        for i = lo + n_h - 1 downto lo do
+          sel := (i, 1.0, h) :: !sel
+        done;
+        total := !total + n_h
+      end
+      else begin
+        let key = sample_key sp ~stream_id ~gid ~salt:h in
+        let idx = systematic ~key ~n:n_h ~k in
+        let w = float_of_int n_h /. float_of_int k in
+        for j = k - 1 downto 0 do
+          sel := (lo + idx.(j), w, h) :: !sel
+        done;
+        total := !total + k
+      end
+    end
+  done;
+  if !total >= nblocks then None else Some (counts, !sel)
+
+(** Enqueue the blocks of a grid, schedulable from [ready]. [issue] is when
     the launch was issued (for tracing queue waits); defaults to [ready].
     The grid id comes out of [stream]'s namespace; with [?job] the grid is
-    attached to that job's open-grid accounting. *)
-let launch_grid ?issue ?(from_host = false) ?job t (stream : stream)
-    ~(kernel : kernel) ~(grid : dim3) ~(block : dim3) ~(args : Value.t list)
-    ~(ready : float) ~(default_idx : int) =
+    attached to that job's open-grid accounting. [weight] is the
+    launch-sampling weight this grid inherits (1 on exact paths). Under
+    [Config.sampling], grids with enough blocks (and enough statically
+    estimated work, {!Blocksafe.static_work}) enqueue only a stratified
+    sample of their blocks. *)
+let launch_grid ?issue ?(from_host = false) ?job ?(weight = 1.0) t
+    (stream : stream) ~(kernel : kernel) ~(grid : dim3) ~(block : dim3)
+    ~(args : Value.t list) ~(ready : float) ~(default_idx : int) =
   let gx, gy, gz = grid in
   let nblocks = gx * gy * gz in
   if nblocks <= 0 then
@@ -160,9 +303,20 @@ let launch_grid ?issue ?(from_host = false) ?job t (stream : stream)
     Value.error "launch of %S with %d threads per block (max %d)"
       (kernel_name kernel) (Value.dim3_total block)
       t.cfg.max_threads_per_block;
+  let gid = stream.st_next_grid_id in
+  let selection =
+    match t.cfg.sampling with
+    | Some sp
+      when sp.block_threshold > 0
+           && nblocks >= sp.block_threshold
+           && sp.block_frac < 1.0
+           && kernel_static_work kernel >= sp.min_static_work ->
+        select_blocks sp ~stream_id:stream.st_id ~gid ~nblocks
+    | _ -> None
+  in
   let g =
     {
-      g_id = stream.st_next_grid_id;
+      g_id = gid;
       g_stream = stream;
       g_job = job;
       g_kernel = kernel;
@@ -170,13 +324,31 @@ let launch_grid ?issue ?(from_host = false) ?job t (stream : stream)
       g_block = block;
       g_args = args;
       g_default_idx = default_idx;
-      g_blocks_left = nblocks;
+      g_weight = weight;
+      g_strata =
+        (match selection with
+        | None -> None
+        | Some (counts, _) ->
+            let nh = Array.length counts in
+            Some
+              {
+                sa_counts = counts;
+                sa_n = Array.make nh 0;
+                sa_sum = Array.make nh 0.0;
+                sa_sumsq = Array.make nh 0.0;
+              });
+      g_blocks_left =
+        (match selection with
+        | None -> nblocks
+        | Some (_, sel) -> List.length sel);
       g_last_finish = ready;
     }
   in
   stream.st_next_grid_id <- stream.st_next_grid_id + 1;
   (match job with Some j -> j.j_open_grids <- j.j_open_grids + 1 | None -> ());
-  stream.st_metrics.grids_launched <- stream.st_metrics.grids_launched + 1;
+  stream.st_metrics.grids_launched <-
+    stream.st_metrics.grids_launched
+    + max 1 (int_of_float (Float.round weight));
   Trace.record t.trace
     (Trace.Grid_launched
        {
@@ -188,27 +360,50 @@ let launch_grid ?issue ?(from_host = false) ?job t (stream : stream)
          t_issue = Option.value issue ~default:ready;
          t_ready = ready;
        });
-  for bz = 0 to gz - 1 do
-    for by = 0 to gy - 1 do
-      for bx = 0 to gx - 1 do
-        Event_queue.push t.events ready (Block_ready (g, (bx, by, bz)))
+  match selection with
+  | None ->
+      for bz = 0 to gz - 1 do
+        for by = 0 to gy - 1 do
+          for bx = 0 to gx - 1 do
+            Event_queue.push t.events ready
+              (Block_ready (g, (bx, by, bz), 1.0, -1))
+          done
+        done
       done
-    done
-  done
+  | Some (_, sel) ->
+      (* Ascending flat order matches the exact loop order, so insertion
+         sequence (the heap's tie-break) is deterministic either way. *)
+      List.iter
+        (fun (flat, w, h) ->
+          let bz = flat / (gy * gx) in
+          let rem = flat mod (gy * gx) in
+          Event_queue.push t.events ready
+            (Block_ready (g, (rem mod gx, rem / gx, bz), w, h)))
+        sel
 
 (** Route a device-side launch through the grid-management unit. Returns the
     time at which the child grid becomes schedulable. The queue is shared
     device-wide; the wait is charged to the issuing [stream]'s metrics, so
     under tenancy each tenant sees the congestion {e it experienced}
-    (including the part caused by other tenants' launches ahead of it). *)
-let process_device_launch t (stream : stream) ~issue =
+    (including the part caused by other tenants' launches ahead of it).
+    With [weight] > 1 (launch sampling) the one serviced launch stands for
+    [weight] identical ones: the queue advances by the weighted service
+    time and the charged busy time includes the arithmetic-series wait of
+    the represented copies; at [weight = 1.0] every expression reduces
+    bitwise to the unweighted one. *)
+let process_device_launch ?(weight = 1.0) t (stream : stream) ~issue =
   let cfg = t.cfg in
   let m = stream.st_metrics in
+  let interval = float_of_int cfg.launch_service_interval in
   let start = Float.max issue t.launch_q_free in
-  t.launch_q_free <- start +. float_of_int cfg.launch_service_interval;
-  let ready = t.launch_q_free +. float_of_int cfg.device_launch_latency in
-  m.device_launches <- m.device_launches + 1;
-  m.breakdown.launch_cycles <- m.breakdown.launch_cycles +. (ready -. issue);
+  t.launch_q_free <- start +. (weight *. interval);
+  let ready = start +. interval +. float_of_int cfg.device_launch_latency in
+  m.device_launches <-
+    m.device_launches + max 1 (int_of_float (Float.round weight));
+  m.breakdown.launch_cycles <-
+    m.breakdown.launch_cycles
+    +. (weight *. (ready -. issue))
+    +. (interval *. weight *. (weight -. 1.0) /. 2.0);
   (* Queue depth seen by this launch: launches ahead of it, i.e. the time
      it waited for service in units of the service interval. [start] (not
      the post-service [launch_q_free]) is the right numerator — using the
@@ -223,11 +418,13 @@ let process_device_launch t (stream : stream) ~issue =
   if pending > m.max_pending_launches then m.max_pending_launches <- pending;
   ready
 
-let process_host_launch t (stream : stream) ~issue =
+let process_host_launch ?(weight = 1.0) t (stream : stream) ~issue =
   let m = stream.st_metrics in
   let ready = issue +. float_of_int t.cfg.host_launch_latency in
-  m.host_launches <- m.host_launches + 1;
-  m.breakdown.launch_cycles <- m.breakdown.launch_cycles +. (ready -. issue);
+  m.host_launches <-
+    m.host_launches + max 1 (int_of_float (Float.round weight));
+  m.breakdown.launch_cycles <-
+    m.breakdown.launch_cycles +. (weight *. (ready -. issue));
   ready
 
 let resolve_kernel (stream : stream) name =
@@ -243,16 +440,49 @@ let resolve_kernel (stream : stream) name =
         Value.error "%S is not a __global__ kernel" name;
       K_bytecode bf
 
-let dispatch_launch_req t (stream : stream) ?job ~(base : float)
-    (lr : Compile.launch_req) =
+let dispatch_launch_req ?(weight = 1.0) t (stream : stream) ?job
+    ~(base : float) (lr : Compile.launch_req) =
   let kernel = resolve_kernel stream lr.lr_kernel in
   let ready =
-    if lr.lr_from_host then process_host_launch t stream ~issue:base
-    else process_device_launch t stream ~issue:base
+    if lr.lr_from_host then process_host_launch ~weight t stream ~issue:base
+    else process_device_launch ~weight t stream ~issue:base
   in
-  launch_grid t stream ?job ~issue:base ~from_host:lr.lr_from_host ~kernel
-    ~grid:lr.lr_grid ~block:lr.lr_block ~args:lr.lr_args ~ready
+  launch_grid t stream ?job ~issue:base ~from_host:lr.lr_from_host ~weight
+    ~kernel ~grid:lr.lr_grid ~block:lr.lr_block ~args:lr.lr_args ~ready
     ~default_idx:Metrics.tag_child
+
+(* Fold a sampled grid's per-stratum sums into the stream's sampling stats:
+   extrapolated total Σ N_h·mean_h and stratified variance
+   Σ N_h²·(1 − n_h/N_h)·s_h²/n_h, both scaled by the grid's inherited
+   weight. *)
+let fold_strata (g : grid) =
+  match g.g_strata with
+  | None -> ()
+  | Some s ->
+      let ss = g.g_stream.st_metrics.sampling in
+      ss.sampled_grids <- ss.sampled_grids + 1;
+      Array.iteri
+        (fun h count ->
+          let taken = s.sa_n.(h) in
+          if taken > 0 then begin
+            let n = float_of_int taken and nn = float_of_int count in
+            let mean = s.sa_sum.(h) /. n in
+            ss.sampled_blocks <- ss.sampled_blocks + taken;
+            ss.skipped_blocks <- ss.skipped_blocks + (count - taken);
+            ss.est_total <- ss.est_total +. (g.g_weight *. nn *. mean);
+            if taken > 1 && count > taken then begin
+              let var =
+                Float.max 0.0
+                  ((s.sa_sumsq.(h) -. (n *. mean *. mean)) /. (n -. 1.0))
+              in
+              ss.est_variance <-
+                ss.est_variance
+                +. g.g_weight *. g.g_weight *. nn *. nn
+                   *. (1.0 -. (n /. nn))
+                   *. var /. n
+            end
+          end)
+        s.sa_counts
 
 let grid_completed t (g : grid) =
   (* Grid-granularity aggregation: the host performs the aggregated
@@ -280,37 +510,75 @@ let grid_completed t (g : grid) =
               ~block:g.g_block ~mem:t.mem ~cfg:t.cfg
               ~metrics:stream.st_metrics)
   in
+  fold_strata g;
   List.iter
     (fun (lr : Compile.launch_req) ->
-      dispatch_launch_req t stream ?job:g.g_job ~base:g.g_last_finish
+      dispatch_launch_req ~weight:g.g_weight t stream ?job:g.g_job
+        ~base:g.g_last_finish
         { lr with lr_from_host = true })
     launches
 
-let step t =
-  let te, Block_ready (g, bidx) = Event_queue.pop t.events in
+(* ------------------------------------------------------------------ *)
+(* Execute / commit                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute one block into a fresh private metrics record. Pure with respect
+   to scheduler state: touches only [t.mem] (and the private record), so
+   provably-independent blocks may run concurrently. The private record is
+   returned even when execution aborts — incremental counters (sanitizer
+   reports, serialized launches) charged before the failure must still
+   reach the stream's metrics, as they would have under direct
+   accumulation. *)
+let exec_block t scratch (g : grid) ~bidx :
+    (Exec.result, exn) result * Metrics.t =
+  let priv = Metrics.create () in
+  let r =
+    match
+      match (stream_prog_exn g.g_stream, g.g_kernel) with
+      | P_closure cp, K_closure cf ->
+          Exec.run_block cp cf ~args:g.g_args ~gdim:g.g_grid ~bdim:g.g_block
+            ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:priv
+            ~default_idx:g.g_default_idx
+      | P_bytecode bp, K_bytecode bf ->
+          Vm.run_block scratch bp bf ~args:g.g_args ~gdim:g.g_grid
+            ~bdim:g.g_block ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:priv
+            ~default_idx:g.g_default_idx
+      | (P_closure _ | P_bytecode _), _ -> assert false
+    with
+    | r -> Ok r
+    | exception e -> Error e
+  in
+  (r, priv)
+
+(* A block whose execution aborted: fold what it did charge into the
+   stream's metrics (exactly what direct accumulation would have left
+   behind), then re-raise at the commit position. *)
+let abort_block (g : grid) priv e =
+  Metrics.merge ~into:g.g_stream.st_metrics ~weight:1.0 priv;
+  raise e
+
+(* Commit one executed block, in deterministic event order: SM assignment
+   and timing, weighted metrics merge (bit-identical to direct accumulation
+   at weight 1, see {!Metrics.merge}), trace, launch dispatch (with launch
+   sampling), stratum bookkeeping, grid completion. *)
+let commit_block t ~te (Block_ready (g, bidx, bw, stratum))
+    (r : Exec.result) (priv : Metrics.t) =
   let stream = g.g_stream in
+  let w = g.g_weight *. bw in
   (* earliest-free SM *)
   let sm = ref 0 in
   for i = 1 to Array.length t.sms - 1 do
     if t.sms.(i) < t.sms.(!sm) then sm := i
   done;
   let start = Float.max te t.sms.(!sm) in
-  let r =
-    match (stream_prog_exn stream, g.g_kernel) with
-    | P_closure cp, K_closure cf ->
-        Exec.run_block cp cf ~args:g.g_args ~gdim:g.g_grid ~bdim:g.g_block
-          ~bidx ~mem:t.mem ~cfg:t.cfg ~metrics:stream.st_metrics
-          ~default_idx:g.g_default_idx
-    | P_bytecode bp, K_bytecode bf ->
-        Vm.run_block t.scratch bp bf ~args:g.g_args ~gdim:g.g_grid
-          ~bdim:g.g_block ~bidx ~mem:t.mem ~cfg:t.cfg
-          ~metrics:stream.st_metrics ~default_idx:g.g_default_idx
-    | (P_closure _ | P_bytecode _), _ -> assert false
-  in
+  Metrics.merge ~into:stream.st_metrics ~weight:w priv;
   let sched = float_of_int t.cfg.block_sched_overhead in
   let finish = start +. sched +. r.r_compute_cycles in
   t.sms.(!sm) <- finish;
   if finish > t.clock then t.clock <- finish;
+  if w <> 1.0 then
+    t.deferred_work <-
+      t.deferred_work +. ((w -. 1.0) *. (sched +. r.r_compute_cycles));
   Trace.record t.trace
     (Trace.Block_dispatched
        {
@@ -321,12 +589,94 @@ let step t =
          b_finish = finish;
        });
   let par = float_of_int t.cfg.sm_warp_parallelism in
+  let launches =
+    let n = List.length r.r_launches in
+    match t.cfg.sampling with
+    | Some sp
+      when sp.launch_threshold > 0
+           && n >= sp.launch_threshold
+           && sp.launch_frac < 1.0 ->
+        let k = take_count sp.launch_frac n in
+        if k >= n then List.map (fun lr -> (lr, 1.0)) r.r_launches
+        else begin
+          let gx, gy, _ = g.g_grid in
+          let bx, by, bz = bidx in
+          let flat = (bz * gy * gx) + (by * gx) + bx in
+          let key =
+            sample_key sp ~stream_id:stream.st_id ~gid:g.g_id
+              ~salt:(flat + 0x51ED)
+          in
+          let arr = Array.of_list r.r_launches in
+          (* Child-launch sizes are heavy-tailed (hub vertices spawn grids
+             orders of magnitude larger than the median), so a uniform
+             position sample under-covers exactly the launches that carry
+             the cycles. Certainty stratum: the top ceil(k/2) launches by
+             child thread count are always dispatched at weight 1; the
+             remaining budget is a systematic sample over the other
+             positions, weighted by that sub-population alone. Launch dims
+             are static and ties break on position, so the pick is as
+             deterministic as the plain systematic one. *)
+          let threads i =
+            let cgx, cgy, cgz = arr.(i).Compile.lr_grid in
+            let cbx, cby, cbz = arr.(i).Compile.lr_block in
+            cgx * cgy * cgz * cbx * cby * cbz
+          in
+          let order = Array.init n Fun.id in
+          Array.sort
+            (fun i j ->
+              match compare (threads j) (threads i) with
+              | 0 -> compare i j
+              | d -> d)
+            order;
+          (* k = 1 leaves no budget for the sampled stratum; degrade to the
+             plain systematic sample (c = 0) rather than dropping the tail
+             mass entirely. *)
+          let c = if k >= 2 then (k + 1) / 2 else 0 in
+          let certain = Array.make n false in
+          for j = 0 to c - 1 do
+            certain.(order.(j)) <- true
+          done;
+          let rest = Array.make (n - c) 0 in
+          let ri = ref 0 in
+          for i = 0 to n - 1 do
+            if not certain.(i) then begin
+              rest.(!ri) <- i;
+              incr ri
+            end
+          done;
+          let ks = k - c in
+          let idx = systematic ~key ~n:(n - c) ~k:ks in
+          let lw = float_of_int (n - c) /. float_of_int ks in
+          let wsel = Array.make n 0.0 in
+          for i = 0 to n - 1 do
+            if certain.(i) then wsel.(i) <- 1.0
+          done;
+          Array.iter (fun j -> wsel.(rest.(j)) <- lw) idx;
+          let ss = stream.st_metrics.sampling in
+          ss.sampled_launches <- ss.sampled_launches + k;
+          ss.skipped_launches <- ss.skipped_launches + (n - k);
+          let out = ref [] in
+          for i = n - 1 downto 0 do
+            if wsel.(i) > 0.0 then out := (arr.(i), wsel.(i)) :: !out
+          done;
+          !out
+        end
+    | _ -> List.map (fun lr -> (lr, 1.0)) r.r_launches
+  in
   List.iter
-    (fun (lr : Compile.launch_req) ->
+    (fun ((lr : Compile.launch_req), lw) ->
       let offset = Float.min (lr.lr_issue_cost /. par) r.r_compute_cycles in
-      dispatch_launch_req t stream ?job:g.g_job ~base:(start +. sched +. offset)
+      dispatch_launch_req ~weight:(w *. lw) t stream ?job:g.g_job
+        ~base:(start +. sched +. offset)
         lr)
-    r.r_launches;
+    launches;
+  (match g.g_strata with
+  | Some s when stratum >= 0 ->
+      s.sa_n.(stratum) <- s.sa_n.(stratum) + 1;
+      s.sa_sum.(stratum) <- s.sa_sum.(stratum) +. r.r_compute_cycles;
+      s.sa_sumsq.(stratum) <-
+        s.sa_sumsq.(stratum) +. (r.r_compute_cycles *. r.r_compute_cycles)
+  | _ -> ());
   g.g_blocks_left <- g.g_blocks_left - 1;
   if finish > g.g_last_finish then g.g_last_finish <- finish;
   if g.g_blocks_left = 0 then begin
@@ -347,6 +697,13 @@ let step t =
     | None -> ()
   end
 
+let step t =
+  let te, ev = Event_queue.pop t.events in
+  let (Block_ready (g, bidx, _, _)) = ev in
+  match exec_block t t.scratch g ~bidx with
+  | Ok r, priv -> commit_block t ~te ev r priv
+  | Error e, priv -> abort_block g priv e
+
 (** Earliest pending block-event time, for external event loops
     ({e lib/tenancy}) that interleave host-side decisions with device
     progress. *)
@@ -354,10 +711,210 @@ let next_event_time t = Event_queue.peek_time t.events
 
 let has_pending_events t = not (Event_queue.is_empty t.events)
 
-(** Drain all pending work; returns the simulated clock. *)
+(* ------------------------------------------------------------------ *)
+(* Parallel batch dispatch                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Whether this block may join a parallel batch at all: the kernel's proof
+   holds, and the 1-D dims it may rely on check out. *)
+let batchable (g : grid) (s : Blocksafe.summary) =
+  s.bs_safe
+  && ((not s.bs_needs_1d)
+     ||
+     match (g.g_grid, g.g_block) with
+     | (_, 1, 1), (_, 1, 1) -> true
+     | _ -> false)
+
+(* The concrete buffers a grid touches, as (mode, buffer id) pairs. [None]
+   when the arguments alias in a way the per-parameter proof did not cover
+   (the same buffer bound to an Owned parameter and any other parameter,
+   or to both a Reduce and a read parameter). *)
+let grid_footprint (g : grid) (s : Blocksafe.summary) :
+    (Blocksafe.mode * int) list option =
+  let args = Array.of_list g.g_args in
+  if Array.length args <> Array.length s.bs_modes then None
+  else begin
+    let seen : (int, Blocksafe.mode) Hashtbl.t = Hashtbl.create 4 in
+    let fp = ref [] in
+    let ok = ref true in
+    Array.iteri
+      (fun i arg ->
+        match arg with
+        | Value.Ptr p -> (
+            let m = s.bs_modes.(i) in
+            match Hashtbl.find_opt seen p.buf with
+            | None ->
+                Hashtbl.add seen p.buf m;
+                fp := (m, p.buf) :: !fp
+            | Some prev -> (
+                match (prev, m) with
+                | Blocksafe.Read_only, Blocksafe.Read_only
+                | Blocksafe.Reduce, Blocksafe.Reduce ->
+                    ()
+                | _ -> ok := false))
+        | _ -> ())
+      args;
+    if !ok then Some !fp else None
+  end
+
+(* Cross-grid compatibility tables for one batch: a buffer owned (written
+   through a per-thread window) by one grid must not be visible to any
+   other grid in the batch; reduce targets may be shared only with other
+   reduce uses; reads may share with reads. *)
+type batch_tables = {
+  bt_owned : (int, unit) Hashtbl.t;
+  bt_reduced : (int, unit) Hashtbl.t;
+  bt_read : (int, unit) Hashtbl.t;
+  mutable bt_admitted : grid list;
+}
+
+let fp_compatible bt (m, b) =
+  match (m : Blocksafe.mode) with
+  | Owned _ ->
+      not
+        (Hashtbl.mem bt.bt_owned b
+        || Hashtbl.mem bt.bt_reduced b
+        || Hashtbl.mem bt.bt_read b)
+  | Reduce -> not (Hashtbl.mem bt.bt_owned b || Hashtbl.mem bt.bt_read b)
+  | Read_only ->
+      not (Hashtbl.mem bt.bt_owned b || Hashtbl.mem bt.bt_reduced b)
+
+let fp_insert bt fp =
+  List.iter
+    (fun ((m : Blocksafe.mode), b) ->
+      match m with
+      | Owned _ -> Hashtbl.replace bt.bt_owned b ()
+      | Reduce -> Hashtbl.replace bt.bt_reduced b ()
+      | Read_only -> Hashtbl.replace bt.bt_read b ())
+    fp
+
+(* Admit a grid into the batch (once per grid: blocks of an admitted grid
+   are compatible with it by construction — within-grid disjointness is
+   what {!Blocksafe} proved). *)
+let admit bt (g : grid) (s : Blocksafe.summary) =
+  List.memq g bt.bt_admitted
+  ||
+  match grid_footprint g s with
+  | None -> false
+  | Some fp ->
+      List.for_all (fp_compatible bt) fp
+      && begin
+           fp_insert bt fp;
+           bt.bt_admitted <- g :: bt.bt_admitted;
+           true
+         end
+
+(* Pop a maximal batch: the longest event-queue prefix of provably-safe,
+   pairwise buffer-disjoint blocks. Safe kernels never launch, so nothing
+   is fed back into the queue mid-batch and the prefix is well defined.
+   Returns at least one event; a single-element result (whether unsafe or
+   merely alone) is executed serially by the caller. *)
+let collect_batch t =
+  let (te, ev) = Event_queue.pop t.events in
+  let (Block_ready (g, _, _, _)) = ev in
+  let s = kernel_safety g.g_kernel in
+  if not (batchable g s) then [| (te, ev) |]
+  else begin
+    let bt =
+      {
+        bt_owned = Hashtbl.create 8;
+        bt_reduced = Hashtbl.create 8;
+        bt_read = Hashtbl.create 8;
+        bt_admitted = [];
+      }
+    in
+    if not (admit bt g s) then [| (te, ev) |]
+    else begin
+      let acc = ref [ (te, ev) ] in
+      let count = ref 1 in
+      let stop = ref false in
+      while not !stop do
+        match Event_queue.peek t.events with
+        | Some (te', (Block_ready (g', _, _, _) as ev')) ->
+            let s' = kernel_safety g'.g_kernel in
+            if batchable g' s' && admit bt g' s' then begin
+              ignore (Event_queue.pop t.events);
+              acc := (te', ev') :: !acc;
+              incr count
+            end
+            else stop := true
+        | None -> stop := true
+      done;
+      let arr = Array.make !count (te, ev) in
+      List.iteri (fun i e -> arr.(!count - 1 - i) <- e) !acc;
+      arr
+    end
+  end
+
+let ensure_scratches t jobs =
+  if Array.length t.scratches < jobs then
+    t.scratches <- Array.init jobs (fun _ -> Vm.create_scratch ());
+  t.scratches
+
+(* Execute a batch on [jobs] domains (strided partition, one Vm scratch
+   per worker) and commit the results in pop order. A block whose
+   execution raised gets its exception re-raised at its commit position,
+   after every earlier block has committed — the state a serial run would
+   have at the same failure, except that later batch members may also have
+   executed (their effects are unobservable: the run is aborting). *)
+let run_batch t (evs : (float * event) array) =
+  let n = Array.length evs in
+  let jobs = max 1 (min t.cfg.block_jobs n) in
+  if n = 1 || jobs = 1 then
+    Array.iter
+      (fun (te, ev) ->
+        let (Block_ready (g, bidx, _, _)) = ev in
+        match exec_block t t.scratch g ~bidx with
+        | Ok r, priv -> commit_block t ~te ev r priv
+        | Error e, priv -> abort_block g priv e)
+      evs
+  else begin
+    t.par_batches <- t.par_batches + 1;
+    t.par_batch_blocks <- t.par_batch_blocks + n;
+    let scratches = ensure_scratches t jobs in
+    let results = Array.make n None in
+    let worker w =
+      let scratch = scratches.(w) in
+      let i = ref w in
+      while !i < n do
+        let (_, Block_ready (g, bidx, _, _)) = evs.(!i) in
+        results.(!i) <- Some (exec_block t scratch g ~bidx);
+        i := !i + jobs
+      done
+    in
+    let domains =
+      Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    worker 0;
+    Array.iter Domain.join domains;
+    Array.iteri
+      (fun i (te, ev) ->
+        let (Block_ready (g, _, _, _)) = ev in
+        match results.(i) with
+        | Some (Ok r, priv) -> commit_block t ~te ev r priv
+        | Some (Error e, priv) -> abort_block g priv e
+        | None -> assert false)
+      evs
+  end
+
+(** Drain all pending work; returns the simulated clock. With
+    [Config.block_jobs] > 1 (and the sanitizer off), ready blocks execute
+    in provably-independent parallel batches; results commit in pop order,
+    so the outcome is byte-identical to the serial drain. Sampled-out work
+    ({!Config.sampling}) is folded into the clock here, spread across the
+    SMs. *)
 let run_to_idle t =
-  while not (Event_queue.is_empty t.events) do
-    step t
-  done;
+  if t.cfg.block_jobs <= 1 || t.cfg.check then
+    while not (Event_queue.is_empty t.events) do
+      step t
+    done
+  else
+    while not (Event_queue.is_empty t.events) do
+      run_batch t (collect_batch t)
+    done;
+  if t.deferred_work > 0.0 then begin
+    t.clock <- t.clock +. (t.deferred_work /. float_of_int (Array.length t.sms));
+    t.deferred_work <- 0.0
+  end;
   t.metrics.makespan <- t.clock;
   t.clock

@@ -11,7 +11,22 @@
     loaded program, grid-id namespace and {!Metrics.t}, while SMs, the
     launch queue, memory and the clock are shared. The default stream
     (id 0) shares the device-wide metrics record, so the single-program
-    {!Device} API is exactly the one-stream special case. *)
+    {!Device} API is exactly the one-stream special case.
+
+    Two paper-scale execution modes layer on top (see the implementation's
+    module documentation for the full model):
+
+    - {b Parallel block dispatch} ([Config.block_jobs] > 1):
+      {!run_to_idle} executes maximal prefixes of provably-independent
+      ready blocks ({!Blocksafe} plus a dynamic buffer-disjointness check)
+      concurrently on worker domains, committing results in pop order —
+      dumps and metrics are byte-identical to the serial drain.
+    - {b Stratified grid sampling} ([Config.sampling]): large grids
+      enqueue only a deterministic stratified sample of their blocks, and
+      launch-heavy blocks dispatch only a sample of their device launches;
+      skipped work is represented by weights on the simulated remainder,
+      with a stratified-variance error bound accumulated into
+      {!Metrics.sampling_stats}. *)
 
 type dim3 = int * int * int
 
@@ -23,6 +38,14 @@ type kernel = K_closure of Compile.cfunc | K_bytecode of Bytecode.func
 
 val kernel_name : kernel -> string
 val kernel_nparams : kernel -> int
+
+(** The kernel's cross-block independence proof ({!Blocksafe.analyze}),
+    computed at compile time under either engine. *)
+val kernel_safety : kernel -> Blocksafe.summary
+
+(** The kernel's static per-thread work estimate
+    ({!Blocksafe.static_work}). *)
+val kernel_static_work : kernel -> float
 
 (** One host stream / tenant. Every launch, block and compute cycle of the
     stream's grids is charged to [st_metrics]; grid ids are dense per
@@ -47,6 +70,15 @@ type job = {
 
 val make_job : tenant:int -> id:int -> job
 
+(** Per-stratum accounting of a block-sampled grid; folded into the
+    stream's {!Metrics.sampling_stats} at grid completion. *)
+type strata = {
+  sa_counts : int array;  (** Total blocks per stratum. *)
+  sa_n : int array;  (** Blocks committed so far per stratum. *)
+  sa_sum : float array;
+  sa_sumsq : float array;
+}
+
 type grid = {
   g_id : int;
   g_stream : stream;
@@ -56,11 +88,18 @@ type grid = {
   g_block : dim3;
   g_args : Value.t list;
   g_default_idx : int;
-  mutable g_blocks_left : int;
+  g_weight : float;
+      (** Inherited launch-sampling weight: this grid stands for
+          [g_weight] identical grids. [1.0] on exact runs. *)
+  g_strata : strata option;  (** [Some] exactly when block-sampled. *)
+  mutable g_blocks_left : int;  (** Enqueued (sampled) blocks left. *)
   mutable g_last_finish : float;
 }
 
-type event = Block_ready of grid * dim3
+(** A ready block: grid, block index, block-sampling weight (within-grid;
+    effective weight is [g_weight *. w]), and stratum index ([-1] when the
+    grid is not block-sampled). *)
+type event = Block_ready of grid * dim3 * float * int
 
 type t = {
   cfg : Config.t;
@@ -70,11 +109,24 @@ type t = {
   sms : float array;
   mutable launch_q_free : float;
   mutable clock : float;
+  mutable deferred_work : float;
+      (** SM-cycles represented by sampled-out blocks; folded into the
+          clock (divided across SMs) at the next {!run_to_idle} drain. *)
   default_stream : stream;
   mutable next_stream_id : int;
   trace : Trace.t;  (** Off by default; see {!Trace.enable}. *)
   scratch : Vm.scratch;
-      (** Reusable per-block thread arena for the bytecode engine. *)
+      (** Reusable per-block thread arena for the bytecode engine (serial
+          path). *)
+  mutable scratches : Vm.scratch array;
+      (** Per-worker arenas for parallel batches; sized on first use. *)
+  mutable par_batches : int;
+      (** Batches of >= 2 blocks dispatched concurrently on worker
+          domains. Host-side accounting (wall-clock observability, the
+          [@scale] occupancy gate) — deliberately {e not} part of
+          {!Metrics.t}, so parallel dispatch cannot perturb simulated
+          results. *)
+  mutable par_batch_blocks : int;  (** Blocks executed in those batches. *)
 }
 
 val create : Config.t -> Memory.t -> Metrics.t -> t
@@ -92,14 +144,17 @@ val new_stream : t -> stream
     disturb another. *)
 val load_stream : t -> stream -> Minicu.Ast.program -> unit
 
-(** Enqueue all blocks of a grid, schedulable from [ready]. [issue] (for
+(** Enqueue a grid's blocks (or, under {!Config.sampling}, a deterministic
+    stratified sample of them), schedulable from [ready]. [issue] (for
     trace queue-wait accounting) defaults to [ready]; [job] attaches the
     grid — and transitively every grid it spawns — to a job's open-grid
-    accounting. *)
+    accounting; [weight] (default 1) is the launch-sampling weight the
+    grid inherits. *)
 val launch_grid :
   ?issue:float ->
   ?from_host:bool ->
   ?job:job ->
+  ?weight:float ->
   t ->
   stream ->
   kernel:kernel ->
@@ -111,8 +166,9 @@ val launch_grid :
   unit
 
 (** Route a host-side launch; returns when the grid becomes schedulable.
-    Latency is charged to the issuing stream's metrics. *)
-val process_host_launch : t -> stream -> issue:float -> float
+    Latency is charged to the issuing stream's metrics, scaled by
+    [weight] (default 1: bit-identical to the unweighted form). *)
+val process_host_launch : ?weight:float -> t -> stream -> issue:float -> float
 
 (** Route a device-side launch through the (shared) grid-management unit;
     returns when the child grid becomes schedulable. Also tracks the
@@ -120,8 +176,12 @@ val process_host_launch : t -> stream -> issue:float -> float
     launches queued {e ahead} of this one at issue time — under tenancy
     that includes other tenants' launches (the launch being serviced is
     not pending behind itself: a burst of [n] simultaneous launches peaks
-    at [n - 1]). *)
-val process_device_launch : t -> stream -> issue:float -> float
+    at [n - 1]). With [weight] > 1 (launch sampling) the one serviced
+    launch stands for [weight] identical ones: the queue advances by the
+    weighted service time; at the default [weight = 1.0] every expression
+    reduces bitwise to the unweighted one. *)
+val process_device_launch :
+  ?weight:float -> t -> stream -> issue:float -> float
 
 (** Resolve a kernel by name in the stream's loaded program.
     @raise Value.Runtime_error if it is missing or not [__global__]. *)
@@ -140,5 +200,9 @@ val next_event_time : t -> float option
 
 val has_pending_events : t -> bool
 
-(** Drain all pending work; returns (and records) the simulated clock. *)
+(** Drain all pending work; returns (and records) the simulated clock.
+    With [Config.block_jobs] > 1 (and [Config.check] off), ready blocks
+    execute in provably-independent parallel batches with results
+    committed in pop order — byte-identical to the serial drain. Deferred
+    sampled-out work is folded into the clock here. *)
 val run_to_idle : t -> float

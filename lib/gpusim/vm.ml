@@ -701,8 +701,10 @@ let interp (p : Bytecode.prog) (t : thread) =
         let aop = Array.unsafe_get atomic_tbl (wd ops (pc + 1)) in
         let ptr = get_ptr t (b + wd ops (pc + 3)) in
         let v = box t (b + wd ops (pc + 4)) in
-        let old = Memory.load t.blk.Compile.mem ptr in
-        Memory.store t.blk.Compile.mem ptr (atomic_combine aop old v);
+        let old =
+          Memory.atomic_rmw t.blk.Compile.mem ptr (fun old ->
+              atomic_combine aop old v)
+        in
         set_value t (b + wd ops (pc + 2)) old;
         go (pc + 5)
     | 35 (* atomic.chk *) ->
@@ -719,9 +721,10 @@ let interp (p : Bytecode.prog) (t : thread) =
         let ptr = get_ptr t (b + wd ops (pc + 2)) in
         let cmpv = box t (b + wd ops (pc + 3)) in
         let v = box t (b + wd ops (pc + 4)) in
-        let old = Memory.load t.blk.Compile.mem ptr in
-        if Value.as_int old = Value.as_int cmpv then
-          Memory.store t.blk.Compile.mem ptr v;
+        let old =
+          Memory.atomic_rmw t.blk.Compile.mem ptr (fun old ->
+              if Value.as_int old = Value.as_int cmpv then v else old)
+        in
         set_value t (b + wd ops (pc + 1)) old;
         go (pc + 5)
     | 37 (* cas.chk *) ->

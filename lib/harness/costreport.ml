@@ -96,6 +96,7 @@ let collect ?(size = Benchmarks.Registry.Small) ?pool ?(budget = 12) () : t =
 let size_label = function
   | Benchmarks.Registry.Small -> "small"
   | Benchmarks.Registry.Medium -> "medium"
+  | Benchmarks.Registry.Large -> "large"
 
 let print_table t =
   let pf = Fmt.pr in

@@ -2,6 +2,19 @@
     CSVs of execution times per benchmark/dataset/configuration, and so do
     we ([bench/main.exe --csv=DIR]). *)
 
+(** Render a cycle count exactly. Simulated cycle totals are integral in
+    practice but carried as floats; at large-tier scale they exceed what a
+    float round-trips through fixed-point formats with fractional digits,
+    so cells and JSON emit the integer form: every 63-bit-representable
+    integral count prints as an OCaml int (no float formatting involved),
+    and anything bigger or genuinely fractional falls back to ["%.0f"],
+    which still prints every digit of the integer part. *)
+let cycles v =
+  if Float.is_integer v && Float.abs v < 4.611686018427387e18 then
+    (* exactly representable as an int on 64-bit *)
+    string_of_int (int_of_float v)
+  else Printf.sprintf "%.0f" v
+
 let escape s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
@@ -31,12 +44,12 @@ let fig9 path (rows : Figures.fig9_row list) =
     (List.map
        (fun (r : Figures.fig9_row) ->
          [ r.bench; r.dataset;
-           Printf.sprintf "%.0f" r.cdp_time;
-           Printf.sprintf "%.0f" r.no_cdp_time ]
+           cycles r.cdp_time;
+           cycles r.no_cdp_time ]
          @ List.concat_map
              (fun (_, time, params) ->
                [
-                 Printf.sprintf "%.0f" time;
+                 cycles time;
                  Fmt.str "%a" Variant.pp_params params;
                ])
              r.combos)
@@ -62,7 +75,7 @@ let fig11 path
                   (match gran with
                   | None -> "none"
                   | Some g -> Fmt.str "%a" Dpopt.Aggregation.pp_granularity g);
-                  Printf.sprintf "%.0f" time;
+                  cycles time;
                   Printf.sprintf "%.3f" (cdp_time /. time);
                 ])
               cells)
@@ -84,11 +97,11 @@ let fig10 path (data : (string * string * Figures.fig10_cell list) list) =
           (fun (c : Figures.fig10_cell) ->
             [
               bench; dataset; c.variant;
-              Printf.sprintf "%.0f" c.parent;
-              Printf.sprintf "%.0f" c.child;
-              Printf.sprintf "%.0f" c.agg;
-              Printf.sprintf "%.0f" c.launch;
-              Printf.sprintf "%.0f" c.disagg;
+              cycles c.parent;
+              cycles c.child;
+              cycles c.agg;
+              cycles c.launch;
+              cycles c.disagg;
             ])
           cells)
       data

@@ -3,6 +3,11 @@
     via [bench/main.exe -- fig9 --csv=DIR]. *)
 
 val escape : string -> string
+
+(** Exact rendering of a (float-carried) cycle count: integral values in
+    int range print as integers, everything else falls back to ["%.0f"].
+    No digits are lost at large-tier magnitudes. *)
+val cycles : float -> string
 val write_rows : string -> header:string list -> string list list -> unit
 
 (** One line per (bench, dataset): absolute times per code version plus the

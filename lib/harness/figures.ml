@@ -10,8 +10,15 @@
 let pf = Fmt.pr
 
 (* Per-spec parallelism: tuning inside a spec is adaptive/sequential, so a
-   spec is the natural job grain for the figure tables. *)
-let pmap pool f xs =
+   spec is the natural job grain for the figure tables. Progress (one step
+   per finished spec) renders on stderr only when it is a TTY. *)
+let pmap ~label pool f xs =
+  Progress.with_progress ~label ~total:(List.length xs) @@ fun progress ->
+  let f x =
+    let r = f x in
+    Progress.step progress;
+    r
+  in
   match pool with None -> List.map f xs | Some p -> Pool.map_list p f xs
 
 (* ------------------------------------------------------------------ *)
@@ -165,7 +172,7 @@ let print_fig9_summary (rows : fig9_row list) =
 
 let fig9 ?cfg ?quick ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = Benchmarks.Registry.all ~size () in
-  let rows = pmap pool (fun s -> fig9_row ?cfg ?quick s) specs in
+  let rows = pmap ~label:"fig9" pool (fun s -> fig9_row ?cfg ?quick s) specs in
   print_fig9_table ~title:"Fig. 9: Performance" rows;
   let summary = print_fig9_summary rows in
   (rows, summary)
@@ -207,7 +214,7 @@ let fig10_cells ?cfg (spec : Benchmarks.Bench_common.spec) : fig10_cell list =
 let fig10 ?cfg ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = Benchmarks.Registry.all ~size () in
   let all =
-    pmap pool
+    pmap ~label:"fig10" pool
       (fun (spec : Benchmarks.Bench_common.spec) ->
         (spec.name, spec.dataset, fig10_cells ?cfg spec))
       specs
@@ -255,7 +262,7 @@ let fig11_specs ?(size = Benchmarks.Registry.Small) () =
 let fig11 ?cfg ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = fig11_specs ~size () in
   let data =
-    pmap pool
+    pmap ~label:"fig11" pool
       (fun (spec : Benchmarks.Bench_common.spec) ->
         let cdp = Experiment.run ?cfg spec (Variant.Cdp Dpopt.Pipeline.none) in
         let table = Tuning.sweep ?cfg spec in
@@ -292,7 +299,11 @@ let fig11 ?cfg ?pool ?(size = Benchmarks.Registry.Small) () =
 let fig12 ?cfg ?quick ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = Benchmarks.Registry.road ~size () in
   (* the paper tunes the threshold beyond the largest launch here *)
-  let rows = pmap pool (fun s -> fig9_row ?cfg ?quick ~beyond_max:true s) specs in
+  let rows =
+    pmap ~label:"fig12" pool
+      (fun s -> fig9_row ?cfg ?quick ~beyond_max:true s)
+      specs
+  in
   print_fig9_table
     ~title:"Fig. 12: Performance of graph benchmarks on road graphs" rows;
   let geo f = Stats.geomean (List.map f rows) in
@@ -312,7 +323,7 @@ let fig12 ?cfg ?quick ?pool ?(size = Benchmarks.Registry.Small) () =
 let fixed128 ?cfg ?pool ?(size = Benchmarks.Registry.Small) () =
   let specs = Benchmarks.Registry.all ~size () in
   let results =
-    pmap pool
+    pmap ~label:"fixed128" pool
       (fun (spec : Benchmarks.Bench_common.spec) ->
         let cca =
           Tuning.tune ?cfg spec { Variant.t = false; c = true; a = true }

@@ -1,0 +1,65 @@
+(** Carriage-return progress lines for long sweeps (see the interface).
+    Rendering goes to stderr so stdout stays byte-identical with and
+    without a TTY; the counter is mutex-guarded because pool worker
+    domains all step the same tracker. *)
+
+type t = {
+  label : string;
+  total : int;
+  mutable done_ : int;
+  t0 : float;
+  mutable last_render : float;  (** Wall time of the last repaint. *)
+  enabled : bool;
+  lock : Mutex.t;
+}
+
+let tty () =
+  try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false
+
+let create ?enabled ~label ~total () =
+  let enabled = (match enabled with Some e -> e | None -> tty ()) && total > 0 in
+  {
+    label;
+    total;
+    done_ = 0;
+    t0 = Unix.gettimeofday ();
+    last_render = 0.0;
+    enabled;
+    lock = Mutex.create ();
+  }
+
+(* Repaint in place. Called with the lock held. *)
+let render t now =
+  let elapsed = now -. t.t0 in
+  let eta =
+    if t.done_ = 0 then ""
+    else
+      Printf.sprintf ", ETA %.0fs"
+        (elapsed /. float_of_int t.done_ *. float_of_int (t.total - t.done_))
+  in
+  Printf.eprintf "\r%s: %d/%d cells, %.1fs elapsed%s \027[K%!" t.label t.done_
+    t.total elapsed eta
+
+let step t =
+  Mutex.protect t.lock @@ fun () ->
+  t.done_ <- t.done_ + 1;
+  if t.enabled then begin
+    let now = Unix.gettimeofday () in
+    (* throttle repaints: a sweep of thousands of sub-second cells must
+       not turn stderr into a hot loop *)
+    if now -. t.last_render >= 0.2 || t.done_ >= t.total then begin
+      t.last_render <- now;
+      render t now
+    end
+  end
+
+let finish t =
+  Mutex.protect t.lock @@ fun () ->
+  if t.enabled then begin
+    render t (Unix.gettimeofday ());
+    prerr_newline ()
+  end
+
+let with_progress ?enabled ~label ~total f =
+  let p = create ?enabled ~label ~total () in
+  Fun.protect ~finally:(fun () -> finish p) (fun () -> f p)

@@ -1,0 +1,25 @@
+(** Progress lines for long-running sweeps: elapsed wall clock, cells
+    done/total, and an ETA extrapolated from the mean cell time so far.
+
+    Rendering is carriage-return-in-place on stderr and is {e off} unless
+    stderr is a TTY (or [?enabled] forces it), so redirected/CI runs stay
+    clean and stdout is untouched either way. {!step} is safe to call
+    from {!Pool} worker domains. *)
+
+type t
+
+(** [create ~label ~total ()] starts a tracker for [total] cells.
+    [?enabled] overrides the TTY autodetection (a [total] of 0 disables
+    rendering regardless). *)
+val create : ?enabled:bool -> label:string -> total:int -> unit -> t
+
+(** Count one finished cell and repaint (throttled to ~5 Hz). *)
+val step : t -> unit
+
+(** Final repaint plus newline, so subsequent output starts cleanly. *)
+val finish : t -> unit
+
+(** [with_progress ~label ~total f] — {!create}, run [f], always
+    {!finish}. *)
+val with_progress :
+  ?enabled:bool -> label:string -> total:int -> (t -> 'a) -> 'a

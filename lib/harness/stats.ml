@@ -14,10 +14,16 @@ let geomean xs =
   | _ ->
       List.iter
         (fun x ->
-          if x <= 0.0 then
+          (* non-finite samples (an inf ratio from a zero-time cell, a nan
+             from a degenerate aggregate) would silently poison the mean
+             through the log sum; reject them like non-positives *)
+          if x <= 0.0 || not (Float.is_finite x) then
             invalid_arg
-              (Fmt.str "Stats.geomean: non-positive sample %g" x))
+              (Fmt.str "Stats.geomean: non-positive or non-finite sample %g"
+                 x))
         xs;
+      (* log-domain accumulation: the direct product of large-tier cycle
+         ratios overflows the float range long before the mean does *)
       let n = float_of_int (List.length xs) in
       exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
 

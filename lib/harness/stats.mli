@@ -4,9 +4,11 @@
     (rendered as ["-"] by {!speedup_to_string}), never
     [infinity]/[neg_infinity]. *)
 
-(** Geometric mean; [nan] on the empty list.
-    @raise Invalid_argument on a non-positive sample (a geomean of
-    speedups is only defined over positive reals). *)
+(** Geometric mean, accumulated in the log domain so large-tier cycle
+    ratios cannot overflow; [nan] on the empty list.
+    @raise Invalid_argument on a non-positive or non-finite sample (a
+    geomean of speedups is only defined over positive reals, and an [inf]
+    or [nan] sample means an upstream cell was degenerate). *)
 val geomean : float list -> float
 
 (** Arithmetic mean; [nan] on the empty list. *)

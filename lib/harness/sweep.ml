@@ -31,6 +31,7 @@ let variants () : (string * Variant.t) list =
 let size_label = function
   | Benchmarks.Registry.Small -> "small"
   | Benchmarks.Registry.Medium -> "medium"
+  | Benchmarks.Registry.Large -> "large"
 
 (* Static model score for a cell; the model only covers CDP variants. *)
 let predict spec = function
@@ -48,7 +49,12 @@ let run ?(size = Benchmarks.Registry.Small) ?pool () : t =
       specs
   in
   let t0 = Unix.gettimeofday () in
-  let results = Experiment.run_cells ?pool cells in
+  let results =
+    (* progress on stderr when interactive (off otherwise), so large-tier
+       sweeps are observable without perturbing the deterministic stdout *)
+    Progress.with_progress ~label:"sweep" ~total:(List.length cells)
+      (fun progress -> Experiment.run_cells ?pool ~progress cells)
+  in
   let wall_parallel = Unix.gettimeofday () -. t0 in
   (* regroup: [results] is in cell order, i.e. per spec, variant-major *)
   let n_vars = List.length vars in
@@ -183,14 +189,14 @@ let write_json path t =
         (fun i c ->
           p
             "    {\"bench\": %s, \"dataset\": %s, \"variant\": %s, \
-             \"time_cycles\": %.0f, \"predicted_cycles\": %s, \
+             \"time_cycles\": %s, \"predicted_cycles\": %s, \
              \"fingerprint\": %d, \"speedup_vs_cdp\": %.4f}%s\n"
             (json_string c.sw_bench)
             (json_string c.sw_dataset)
             (json_string c.sw_variant)
-            c.sw_time
+            (Csv.cycles c.sw_time)
             (if Float.is_nan c.sw_predicted then "null"
-             else Printf.sprintf "%.0f" c.sw_predicted)
+             else Csv.cycles c.sw_predicted)
             c.sw_fingerprint c.sw_speedup_vs_cdp
             (if i = List.length t.sw_cells - 1 then "" else ","))
         t.sw_cells;
@@ -219,9 +225,9 @@ let write_csv path t =
          [
            string_of_int schema_version;
            c.sw_bench; c.sw_dataset; c.sw_variant;
-           Printf.sprintf "%.0f" c.sw_time;
+           Csv.cycles c.sw_time;
            (if Float.is_nan c.sw_predicted then ""
-            else Printf.sprintf "%.0f" c.sw_predicted);
+            else Csv.cycles c.sw_predicted);
            string_of_int c.sw_fingerprint;
            Printf.sprintf "%.4f" c.sw_speedup_vs_cdp;
          ])

@@ -42,29 +42,41 @@ let kron ?(seed = 42) ~scale ~edge_factor () : Csr.t =
     approximating a web crawl's power-law in-degrees with locality. *)
 let webgraph ?(seed = 4242) ~n ~edges_per_vertex () : Csr.t =
   let rng = Rng.create ~seed in
-  (* targets chosen preferentially from an endpoint pool *)
-  let pool = ref [ 0; 1 ] in
-  let pool_arr = ref (Array.of_list !pool) in
-  let pool_dirty = ref false in
+  (* Targets chosen preferentially from an endpoint pool. The pool is an
+     append-only dynamic array; draws address the prefix that existed when
+     the current vertex started, newest entry first — the exact indexing
+     (and so the exact graphs, per seed) of the original list-backed pool,
+     minus its O(n^2) per-vertex rebuild that dominated large-tier dataset
+     generation. *)
+  let pool = ref (Array.make 1024 0) in
+  let pool_len = ref 0 in
+  let push x =
+    if !pool_len = Array.length !pool then begin
+      let grown = Array.make (2 * !pool_len) 0 in
+      Array.blit !pool 0 grown 0 !pool_len;
+      pool := grown
+    end;
+    !pool.(!pool_len) <- x;
+    incr pool_len
+  in
+  (* seed pool [0; 1]: list head 0 = newest, so append in reverse *)
+  push 1;
+  push 0;
   let edges = ref [ (0, 1, 1); (1, 0, 1) ] in
   for v = 2 to n - 1 do
-    if !pool_dirty then begin
-      pool_arr := Array.of_list !pool;
-      pool_dirty := false
-    end;
+    let len_v = !pool_len in
     let k = 1 + Rng.int rng (2 * edges_per_vertex) in
     for _ = 1 to k do
       let target =
         if Rng.bool rng 0.2 then Rng.int rng v (* uniform exploration *)
-        else
-          let p = !pool_arr in
-          p.(Rng.int rng (Array.length p))
+        else !pool.(len_v - 1 - Rng.int rng len_v)
       in
       if target <> v then begin
         let w = 1 + Rng.int rng 63 in
         edges := (v, target, w) :: !edges;
-        pool := v :: target :: !pool;
-        pool_dirty := true
+        (* list prepend was [v; target; ...]: append the pair reversed *)
+        push target;
+        push v
       end
     done
   done;

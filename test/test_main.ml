@@ -38,5 +38,6 @@ let () =
       ("serve", Test_serve.suite);
       ("native", Test_native.suite);
       ("env", Test_env.suite);
+      ("scale", Test_scale.suite);
       ("tenancy", Test_tenancy.suite);
     ]

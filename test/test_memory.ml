@@ -80,6 +80,52 @@ let mem_suite =
     raises_rte "invalid buffer id" (fun () ->
         let m = Memory.create () in
         Memory.load m { Value.buf = 99; off = 0 });
+    (* Large Int/Float-initialized buffers take the unboxed typed-storage
+       path; everything observable must match the boxed representation. *)
+    t "typed int buffer round-trips and dumps" (fun () ->
+        let m = Memory.create () in
+        let n = 2048 in
+        let p = Memory.alloc m n ~init:(Value.Int 0) in
+        Memory.store m { p with off = 7 } (Value.Int 42);
+        Memory.store m { p with off = n - 1 } (Value.Int (-5)) ;
+        Alcotest.(check int) "load" 42
+          (Value.as_int (Memory.load m { p with off = 7 }));
+        let dump = List.hd (Memory.dump m ~first:1) in
+        Alcotest.(check int) "dump length" n (Array.length dump);
+        Alcotest.(check bool) "dump cells" true
+          (dump.(7) = Value.Int 42 && dump.(n - 1) = Value.Int (-5)
+          && dump.(0) = Value.Int 0);
+        Memory.write_ints m p (Array.init n (fun i -> i * 3));
+        Alcotest.(check int) "bulk read" (3 * (n - 1))
+          (Memory.read_ints m p n).(n - 1));
+    t "typed float buffer round-trips and dumps" (fun () ->
+        let m = Memory.create () in
+        let n = 1536 in
+        let p = Memory.alloc m n ~init:(Value.Float 0.5) in
+        Memory.store m { p with off = 3 } (Value.Float 2.25);
+        Alcotest.(check (float 0.0)) "load" 2.25
+          (Value.as_float (Memory.load m { p with off = 3 }));
+        let dump = List.hd (Memory.dump m ~first:1) in
+        Alcotest.(check bool) "dump cells" true
+          (dump.(3) = Value.Float 2.25 && dump.(0) = Value.Float 0.5));
+    t "mismatched-type store spills, dump still exact" (fun () ->
+        let m = Memory.create () in
+        let n = 1024 in
+        let p = Memory.alloc m n ~init:(Value.Int 1) in
+        (* a Float landing in an int-typed buffer must survive verbatim *)
+        Memory.store m { p with off = 100 } (Value.Float 6.75);
+        Alcotest.(check (float 0.0)) "spilled load" 6.75
+          (Value.as_float (Memory.load m { p with off = 100 }));
+        let dump = List.hd (Memory.dump m ~first:1) in
+        Alcotest.(check bool) "dump has the spilled value" true
+          (dump.(100) = Value.Float 6.75 && dump.(99) = Value.Int 1);
+        (* overwriting with the native type heals the cell *)
+        Memory.store m { p with off = 100 } (Value.Int 8);
+        Alcotest.(check int) "healed" 8
+          (Value.as_int (Memory.load m { p with off = 100 }));
+        let arr = Memory.read_array m p n in
+        Alcotest.(check bool) "bulk read sees healed cell" true
+          (arr.(100) = Value.Int 8));
   ]
 
 let eq_suite =
